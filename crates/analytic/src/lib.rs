@@ -1,0 +1,386 @@
+//! Closed-form cost model — Table 1 of the paper.
+//!
+//! For each algorithm, Table 1 gives the expected and worst-case stale
+//! time, the read cost (fraction of reads needing a server round trip),
+//! the write cost (invalidation messages per write), the ack-wait delay
+//! (how long a write can block when a client is unreachable), and the
+//! server state. This crate evaluates those formulas so the simulator can
+//! be validated against them on uniform synthetic workloads — the paper's
+//! own second validation method (§4.1).
+//!
+//! # Examples
+//!
+//! ```
+//! use vl_analytic::{Algorithm, CostParams};
+//!
+//! let params = CostParams {
+//!     object_timeout_secs: 100.0,
+//!     volume_timeout_secs: 10.0,
+//!     inactive_discard_secs: f64::INFINITY,
+//!     object_read_rate: 0.1,   // R: reads/sec of object o
+//!     volume_read_rate: 1.0,   // Σ_{o∈V} R_o
+//!     clients_caching: 50,     // C_tot
+//!     clients_with_object_lease: 20, // C_o
+//!     clients_with_volume_lease: 5,  // C_v
+//!     clients_recently_inactive: 10, // C_d
+//! };
+//! let lease = Algorithm::Lease.costs(&params);
+//! // Renewing a 100 s lease on an object read every 10 s costs
+//! // 1/(R·t) = 1/10 of a round trip per read.
+//! assert!((lease.read_cost_round_trips - 0.1).abs() < 1e-12);
+//! let volume = Algorithm::VolumeLease.costs(&params);
+//! // Volume leases add the amortized volume renewal: 1/(Σ R_o · t_v).
+//! assert!(volume.read_cost_round_trips > lease.read_cost_round_trips);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+
+/// Bytes of server state per tracked client record (as in §5.2).
+pub const RECORD_BYTES: f64 = 16.0;
+
+/// The algorithms of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// Validate at the server on every read.
+    PollEachRead,
+    /// Trust validations for `t` seconds.
+    Poll,
+    /// Invalidation callbacks without expiry.
+    Callback,
+    /// Per-object leases of length `t`.
+    Lease,
+    /// Leases with no invalidation messages: writes wait out every
+    /// outstanding lease (the §2.4 option the paper leaves unexplored).
+    WaitingLease,
+    /// Volume leases: short `t_v` per volume + long `t` per object.
+    VolumeLease,
+    /// Volume leases with delayed invalidations (`Delay(t_v, t, d)`).
+    DelayedInvalidation,
+}
+
+impl Algorithm {
+    /// All rows, in Table 1 order (plus the waiting-lease extension).
+    pub const ALL: [Algorithm; 7] = [
+        Algorithm::PollEachRead,
+        Algorithm::Poll,
+        Algorithm::Callback,
+        Algorithm::Lease,
+        Algorithm::WaitingLease,
+        Algorithm::VolumeLease,
+        Algorithm::DelayedInvalidation,
+    ];
+
+    /// Evaluates this algorithm's Table 1 row under `params`.
+    pub fn costs(self, params: &CostParams) -> Costs {
+        params.assert_valid();
+        let t = params.object_timeout_secs;
+        let tv = params.volume_timeout_secs;
+        let r = params.object_read_rate;
+        let rv = params.volume_read_rate;
+        match self {
+            Algorithm::PollEachRead => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: 1.0,
+                write_cost_messages: 0.0,
+                ack_wait_secs: 0.0,
+                state_bytes: 0.0,
+            },
+            Algorithm::Poll => Costs {
+                expected_stale_secs: t / 2.0,
+                worst_stale_secs: t,
+                read_cost_round_trips: min1(inv(r * t)),
+                write_cost_messages: 0.0,
+                ack_wait_secs: 0.0,
+                state_bytes: 0.0,
+            },
+            Algorithm::Callback => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: 0.0,
+                write_cost_messages: params.clients_caching as f64,
+                ack_wait_secs: f64::INFINITY,
+                state_bytes: RECORD_BYTES * params.clients_caching as f64,
+            },
+            Algorithm::Lease => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: min1(inv(r * t)),
+                write_cost_messages: params.clients_with_object_lease as f64,
+                ack_wait_secs: t,
+                state_bytes: RECORD_BYTES * params.clients_with_object_lease as f64,
+            },
+            Algorithm::WaitingLease => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: min1(inv(r * t)),
+                // Zero write traffic — the whole point — but *every*
+                // write to a leased object waits up to t, failure or not.
+                write_cost_messages: 0.0,
+                ack_wait_secs: t,
+                state_bytes: RECORD_BYTES * params.clients_with_object_lease as f64,
+            },
+            Algorithm::VolumeLease => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: min1(inv(rv * tv) + inv(r * t)),
+                write_cost_messages: params.clients_with_object_lease as f64,
+                ack_wait_secs: t.min(tv),
+                state_bytes: RECORD_BYTES * params.clients_with_object_lease as f64,
+            },
+            Algorithm::DelayedInvalidation => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: min1(inv(rv * tv) + inv(r * t)),
+                write_cost_messages: params.clients_with_volume_lease as f64,
+                ack_wait_secs: t.min(tv),
+                state_bytes: RECORD_BYTES * params.clients_recently_inactive as f64,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Algorithm::PollEachRead => "Poll Each Read",
+            Algorithm::Poll => "Poll",
+            Algorithm::Callback => "Callback",
+            Algorithm::Lease => "Lease",
+            Algorithm::WaitingLease => "Waiting Lease",
+            Algorithm::VolumeLease => "Volume Leases",
+            Algorithm::DelayedInvalidation => "Vol. Delay Inval",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The parameters of Figure 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostParams {
+    /// `t`: object timeout (lease length / poll trust window), seconds.
+    pub object_timeout_secs: f64,
+    /// `t_v`: volume timeout, seconds.
+    pub volume_timeout_secs: f64,
+    /// `d`: how long servers keep state for inactive clients, seconds.
+    pub inactive_discard_secs: f64,
+    /// `R`: how often object *o* is read by one client, reads/second.
+    pub object_read_rate: f64,
+    /// `Σ_{o∈V} R_o`: aggregate read rate over the volume, reads/second.
+    pub volume_read_rate: f64,
+    /// `C_tot`: clients with a copy of *o*.
+    pub clients_caching: u64,
+    /// `C_o`: clients holding a valid lease on *o*.
+    pub clients_with_object_lease: u64,
+    /// `C_v`: clients holding a valid lease on the volume.
+    pub clients_with_volume_lease: u64,
+    /// `C_d`: clients whose volume leases expired less than `d` ago.
+    pub clients_recently_inactive: u64,
+}
+
+impl CostParams {
+    fn assert_valid(&self) {
+        assert!(
+            self.object_timeout_secs >= 0.0
+                && self.volume_timeout_secs >= 0.0
+                && self.object_read_rate >= 0.0
+                && self.volume_read_rate >= 0.0,
+            "cost parameters must be non-negative"
+        );
+        assert!(
+            self.volume_read_rate >= self.object_read_rate,
+            "the volume read rate includes object o's reads"
+        );
+    }
+}
+
+/// One evaluated row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Costs {
+    /// Expected staleness of a read after a write, seconds.
+    pub expected_stale_secs: f64,
+    /// Worst-case staleness under a network failure, seconds.
+    pub worst_stale_secs: f64,
+    /// Fraction of reads requiring a server round trip.
+    pub read_cost_round_trips: f64,
+    /// Invalidation messages per write.
+    pub write_cost_messages: f64,
+    /// Worst write blocking when a client is unreachable, seconds
+    /// (`f64::INFINITY` for Callback).
+    pub ack_wait_secs: f64,
+    /// Server consistency state for the object, bytes.
+    pub state_bytes: f64,
+}
+
+impl Costs {
+    /// Read cost in one-way messages (a round trip is two), matching the
+    /// simulator's accounting.
+    pub fn read_cost_messages(&self) -> f64 {
+        2.0 * self.read_cost_round_trips
+    }
+}
+
+/// `1/x`, with the convention that an idle or timeout-free configuration
+/// (`x == 0`) re-validates on every read.
+fn inv(x: f64) -> f64 {
+    if x <= 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / x
+    }
+}
+
+/// Clamp a per-read cost to at most one round trip per read.
+fn min1(x: f64) -> f64 {
+    x.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CostParams {
+        CostParams {
+            object_timeout_secs: 100.0,
+            volume_timeout_secs: 10.0,
+            inactive_discard_secs: f64::INFINITY,
+            object_read_rate: 0.1,
+            volume_read_rate: 2.0,
+            clients_caching: 100,
+            clients_with_object_lease: 40,
+            clients_with_volume_lease: 8,
+            clients_recently_inactive: 12,
+        }
+    }
+
+    #[test]
+    fn poll_each_read_row() {
+        let c = Algorithm::PollEachRead.costs(&params());
+        assert_eq!(c.read_cost_round_trips, 1.0);
+        assert_eq!(c.read_cost_messages(), 2.0);
+        assert_eq!(c.write_cost_messages, 0.0);
+        assert_eq!(c.state_bytes, 0.0);
+        assert_eq!(c.worst_stale_secs, 0.0);
+    }
+
+    #[test]
+    fn poll_row_staleness_scales_with_t() {
+        let c = Algorithm::Poll.costs(&params());
+        assert_eq!(c.expected_stale_secs, 50.0);
+        assert_eq!(c.worst_stale_secs, 100.0);
+        assert!((c.read_cost_round_trips - 0.1).abs() < 1e-12); // 1/(0.1·100)
+        assert_eq!(c.ack_wait_secs, 0.0);
+    }
+
+    #[test]
+    fn poll_read_cost_clamps_at_one() {
+        let mut p = params();
+        p.object_read_rate = 0.001; // reads far rarer than the window
+        let c = Algorithm::Poll.costs(&p);
+        assert_eq!(c.read_cost_round_trips, 1.0, "min(1/(R·t), 1)");
+        // Zero timeout degenerates to poll-each-read.
+        p.object_read_rate = 0.1;
+        p.object_timeout_secs = 0.0;
+        assert_eq!(Algorithm::Poll.costs(&p).read_cost_round_trips, 1.0);
+    }
+
+    #[test]
+    fn callback_row_blocks_forever_and_tracks_everyone() {
+        let c = Algorithm::Callback.costs(&params());
+        assert_eq!(c.read_cost_round_trips, 0.0);
+        assert_eq!(c.write_cost_messages, 100.0);
+        assert!(c.ack_wait_secs.is_infinite());
+        assert_eq!(c.state_bytes, 1600.0);
+    }
+
+    #[test]
+    fn lease_row() {
+        let c = Algorithm::Lease.costs(&params());
+        assert!((c.read_cost_round_trips - 0.1).abs() < 1e-12);
+        assert_eq!(c.write_cost_messages, 40.0);
+        assert_eq!(c.ack_wait_secs, 100.0);
+        assert_eq!(c.state_bytes, 640.0);
+    }
+
+    #[test]
+    fn volume_lease_row_adds_amortized_volume_renewal() {
+        let c = Algorithm::VolumeLease.costs(&params());
+        // 1/(2.0·10) + 1/(0.1·100) = 0.05 + 0.1
+        assert!((c.read_cost_round_trips - 0.15).abs() < 1e-12);
+        assert_eq!(c.ack_wait_secs, 10.0, "min(t, t_v)");
+        assert_eq!(c.write_cost_messages, 40.0, "still C_o");
+    }
+
+    #[test]
+    fn delay_row_contacts_only_volume_holders() {
+        let c = Algorithm::DelayedInvalidation.costs(&params());
+        assert_eq!(c.write_cost_messages, 8.0, "C_v not C_o");
+        assert_eq!(c.state_bytes, RECORD_BYTES * 12.0, "size(C_d)");
+        assert_eq!(c.ack_wait_secs, 10.0);
+        let v = Algorithm::VolumeLease.costs(&params());
+        assert_eq!(c.read_cost_round_trips, v.read_cost_round_trips);
+    }
+
+    #[test]
+    fn strong_algorithms_have_zero_staleness() {
+        for alg in [
+            Algorithm::PollEachRead,
+            Algorithm::Callback,
+            Algorithm::Lease,
+            Algorithm::WaitingLease,
+            Algorithm::VolumeLease,
+            Algorithm::DelayedInvalidation,
+        ] {
+            let c = alg.costs(&params());
+            assert_eq!(c.expected_stale_secs, 0.0, "{alg}");
+            assert_eq!(c.worst_stale_secs, 0.0, "{alg}");
+        }
+    }
+
+    #[test]
+    fn longer_object_leases_cut_read_cost_but_raise_ack_wait() {
+        let mut p = params();
+        p.object_timeout_secs = 10.0;
+        let short = Algorithm::Lease.costs(&p);
+        p.object_timeout_secs = 10_000.0;
+        let long = Algorithm::Lease.costs(&p);
+        assert!(long.read_cost_round_trips < short.read_cost_round_trips);
+        assert!(long.ack_wait_secs > short.ack_wait_secs);
+    }
+
+    #[test]
+    fn volume_lease_bounds_ack_wait_despite_long_object_lease() {
+        let mut p = params();
+        p.object_timeout_secs = 1_000_000.0;
+        p.volume_timeout_secs = 10.0;
+        let lease = Algorithm::Lease.costs(&p);
+        let volume = Algorithm::VolumeLease.costs(&p);
+        assert_eq!(lease.ack_wait_secs, 1_000_000.0);
+        assert_eq!(volume.ack_wait_secs, 10.0, "the paper's headline property");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rates_rejected() {
+        let mut p = params();
+        p.object_read_rate = -1.0;
+        let _ = Algorithm::Lease.costs(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "includes object")]
+    fn volume_rate_must_dominate_object_rate() {
+        let mut p = params();
+        p.volume_read_rate = 0.01;
+        let _ = Algorithm::VolumeLease.costs(&p);
+    }
+
+    #[test]
+    fn display_names_match_table1() {
+        assert_eq!(Algorithm::VolumeLease.to_string(), "Volume Leases");
+        assert_eq!(Algorithm::DelayedInvalidation.to_string(), "Vol. Delay Inval");
+    }
+}

@@ -1,0 +1,61 @@
+//! Criterion bench + regeneration for Figure 5 (messages vs timeout).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vl_bench::fig5;
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_types::Duration;
+use vl_workload::{TraceGenerator, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = WorkloadConfig::smoke();
+    let rows = fig5::run(&cfg);
+    println!("\n# Figure 5 (smoke preset) — messages vs object timeout");
+    println!("{}", fig5::table(&rows, "messages").render());
+    for bound in [10u64, 100] {
+        if let Some((vol, delay)) = fig5::savings_at_bound(&rows, bound) {
+            println!(
+                "write-delay bound {bound}s: Volume saves {:.0}%, Delay saves {:.0}% (paper: 32%/39% @10s, 30%/40% @100s)",
+                vol * 100.0,
+                delay * 100.0
+            );
+        }
+    }
+
+    let trace = TraceGenerator::new(cfg).generate();
+    let mut g = c.benchmark_group("fig5");
+    g.bench_function("volume_lease_full_trace", |b| {
+        b.iter(|| {
+            SimulationBuilder::new(ProtocolKind::VolumeLease {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(100_000),
+            })
+            .run(&trace)
+        })
+    });
+    g.bench_function("delayed_invalidation_full_trace", |b| {
+        b.iter(|| {
+            SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(100_000),
+                inactive_discard: Duration::MAX,
+            })
+            .run(&trace)
+        })
+    });
+    g.bench_function("lease_full_trace", |b| {
+        b.iter(|| {
+            SimulationBuilder::new(ProtocolKind::Lease {
+                timeout: Duration::from_secs(100_000),
+            })
+            .run(&trace)
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench + regeneration for Figures 6–7 (server state vs t).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vl_bench::fig67;
+use vl_workload::{TraceGenerator, WorkloadConfig};
+
+fn bench(c: &mut Criterion) {
+    let cfg = WorkloadConfig::smoke();
+    for (fig, rank) in [("Figure 6", 1usize), ("Figure 7", 10)] {
+        let rows = fig67::run(&cfg, rank);
+        println!("\n# {fig} (smoke preset) — avg state at popularity rank {rank}");
+        println!("{}", fig67::table(&rows).render());
+    }
+
+    let trace = TraceGenerator::new(cfg).generate();
+    c.bench_function("fig6_7/state_sweep_one_timeout", |b| {
+        b.iter(|| fig67::run_on(&trace, 1, &[10_000]))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

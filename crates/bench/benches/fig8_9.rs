@@ -1,0 +1,27 @@
+//! Criterion bench + regeneration for Figures 8–9 (load bursts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vl_bench::fig89;
+use vl_workload::WorkloadConfig;
+
+fn bench(c: &mut Criterion) {
+    let cfg = WorkloadConfig::smoke();
+    for (fig, bursty) in [("Figure 8 (default writes)", false), ("Figure 9 (bursty writes)", true)] {
+        let curves = fig89::run(&cfg, bursty);
+        println!("\n# {fig} (smoke preset) — peak 1-second loads at busiest server");
+        for curve in &curves {
+            println!("peak {:>6} msg/s  {}", curve.peak, curve.line);
+        }
+    }
+
+    c.bench_function("fig8_9/burst_histogram_default", |b| {
+        b.iter(|| fig89::run(&cfg, false))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Microbenchmarks for the hot-path data structures.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vl_types::{ClientId, Duration, LeaseSet, Timestamp};
+use vl_workload::dist::Zipf;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("lease_set_grant_check_revoke", |b| {
+        let now = Timestamp::from_secs(100);
+        b.iter(|| {
+            let mut set = LeaseSet::new();
+            for i in 0..64u32 {
+                set.grant(ClientId(i), now + Duration::from_secs(u64::from(i)));
+            }
+            let valid = set.valid_count(now + Duration::from_secs(32));
+            for i in 0..64u32 {
+                set.revoke(ClientId(i));
+            }
+            black_box(valid)
+        })
+    });
+
+    g.bench_function("zipf_sample_68k_ranks", |b| {
+        use rand::SeedableRng;
+        let zipf = Zipf::new(68_665, 0.986);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+
+    g.bench_function("event_queue_schedule_pop_1k", |b| {
+        use vl_sim::EventQueue;
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(Timestamp::from_millis(i * 7919 % 1000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum += e;
+            }
+            black_box(sum)
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Criterion bench + regeneration for Table 1 (analytic validation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vl_bench::table1;
+
+fn bench(c: &mut Criterion) {
+    // Print the paper-style validation table once.
+    let rows = table1::run(&table1::default_config());
+    println!("\n# Table 1 validation (uniform workload)");
+    println!("{}", table1::table(&rows).render());
+
+    let cfg = table1::default_config();
+    c.bench_function("table1/uniform_validation_all_algorithms", |b| {
+        b.iter(|| table1::run(&cfg))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Ablation: how finely each server's objects are grouped into volumes —
+//! the grouping question the paper leaves as future work (§4.2).
+
+use vl_bench::{ablation, cli};
+
+fn main() {
+    let args = cli::parse("ablation_grouping", "");
+    let rows = ablation::grouping_sweep(&args.config, 10, 100_000, &[1, 2, 4, 8, 16]);
+    cli::emit(
+        "Ablation — volume shards per server (t_v=10, t=1e5)",
+        &ablation::grouping_table(&rows),
+        args.csv.as_ref(),
+    );
+}

@@ -1,0 +1,14 @@
+//! Ablation: invalidating leases vs §2.4's "wait out the leases" option
+//! (zero write messages, every write blocks up to t).
+
+use vl_bench::{ablation, cli};
+
+fn main() {
+    let args = cli::parse("ablation_wait", "");
+    let rows = ablation::waiting_lease_sweep(&args.config, &[10, 100, 1_000, 10_000, 100_000]);
+    cli::emit(
+        "Ablation — Lease(t) vs WaitLease(t): messages vs write blocking",
+        &ablation::wait_table(&rows),
+        args.csv.as_ref(),
+    );
+}

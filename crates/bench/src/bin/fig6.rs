@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: average consistency state at the most popular
+//! server vs. object timeout.
+
+use vl_bench::{cli, fig67};
+
+fn main() {
+    let args = cli::parse("fig6", "");
+    let rows = fig67::run(&args.config, 1);
+    cli::emit(
+        "Figure 6 — avg state (bytes) at the most popular server vs t",
+        &fig67::table(&rows),
+        args.csv.as_ref(),
+    );
+}

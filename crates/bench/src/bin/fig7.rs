@@ -1,0 +1,14 @@
+//! Regenerates Figure 7: average consistency state at the 10th most
+//! popular server vs. object timeout.
+
+use vl_bench::{cli, fig67};
+
+fn main() {
+    let args = cli::parse("fig7", "");
+    let rows = fig67::run(&args.config, 10);
+    cli::emit(
+        "Figure 7 — avg state (bytes) at the 10th most popular server vs t",
+        &fig67::table(&rows),
+        args.csv.as_ref(),
+    );
+}

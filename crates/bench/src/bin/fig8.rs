@@ -1,0 +1,17 @@
+//! Regenerates Figure 8: cumulative histogram of 1-second periods with
+//! load ≥ x messages at the busiest server, default write workload.
+
+use vl_bench::{cli, fig89};
+
+fn main() {
+    let args = cli::parse("fig8", "");
+    let curves = fig89::run(&args.config, false);
+    cli::emit(
+        "Figure 8 — periods of heavy server load (default workload)",
+        &fig89::table(&curves),
+        args.csv.as_ref(),
+    );
+    for c in &curves {
+        println!("peak {:>6} msg/s  {}", c.peak, c.line);
+    }
+}

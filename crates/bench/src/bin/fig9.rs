@@ -1,0 +1,17 @@
+//! Regenerates Figure 9: the Figure 8 histogram under the "bursty write"
+//! workload (k ~ Exp(10) co-writes per volume write).
+
+use vl_bench::{cli, fig89};
+
+fn main() {
+    let args = cli::parse("fig9", "");
+    let curves = fig89::run(&args.config, true);
+    cli::emit(
+        "Figure 9 — periods of heavy server load (bursty-write workload)",
+        &fig89::table(&curves),
+        args.csv.as_ref(),
+    );
+    for c in &curves {
+        println!("peak {:>6} msg/s  {}", c.peak, c.line);
+    }
+}

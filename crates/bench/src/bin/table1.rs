@@ -1,0 +1,20 @@
+//! Validates the simulator against the Table 1 closed forms on a uniform
+//! synthetic workload (the paper's §4.1 methodology).
+
+use vl_bench::{cli, table1};
+
+fn main() {
+    let args = cli::parse("table1", "");
+    let rows = table1::run(&table1::default_config());
+    cli::emit(
+        "Table 1 validation — analytic vs simulated read cost",
+        &table1::table(&rows),
+        args.csv.as_ref(),
+    );
+    let worst = rows
+        .iter()
+        .filter(|r| r.algorithm != "Callback")
+        .map(|r| r.relative_error)
+        .fold(0.0f64, f64::max);
+    println!("worst relative error (excl. Callback start-up): {worst:.4}");
+}

@@ -1,0 +1,89 @@
+//! Minimal argument handling shared by the experiment binaries.
+//!
+//! Every binary accepts:
+//!
+//! ```text
+//! --preset smoke|medium|paper   workload scale (default: medium)
+//! --seed N                      override the workload seed
+//! --csv PATH                    also write the rows as CSV
+//! ```
+
+use std::path::PathBuf;
+use std::process::exit;
+use vl_workload::{WorkloadConfig, WorkloadPreset};
+
+/// Parsed common options.
+#[derive(Clone, Debug)]
+pub struct CommonArgs {
+    /// The selected workload configuration.
+    pub config: WorkloadConfig,
+    /// Optional CSV output path.
+    pub csv: Option<PathBuf>,
+    /// Remaining unrecognized arguments (binary-specific flags).
+    pub rest: Vec<String>,
+}
+
+/// Parses `std::env::args`, printing usage and exiting on `--help` or a
+/// malformed invocation.
+pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
+    let mut preset = WorkloadPreset::Medium;
+    let mut seed: Option<u64> = None;
+    let mut csv: Option<PathBuf> = None;
+    let mut rest = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                println!(
+                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH]{extra_help}"
+                );
+                exit(0);
+            }
+            "--preset" => {
+                let v = args.next().unwrap_or_default();
+                preset = match v.as_str() {
+                    "smoke" => WorkloadPreset::Smoke,
+                    "medium" => WorkloadPreset::Medium,
+                    "paper" => WorkloadPreset::Paper,
+                    other => {
+                        eprintln!("unknown preset '{other}' (want smoke|medium|paper)");
+                        exit(2);
+                    }
+                };
+            }
+            "--seed" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(s) => seed = Some(s),
+                None => {
+                    eprintln!("--seed needs an integer");
+                    exit(2);
+                }
+            },
+            "--csv" => match args.next() {
+                Some(p) => csv = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--csv needs a path");
+                    exit(2);
+                }
+            },
+            other => rest.push(other.to_owned()),
+        }
+    }
+    let mut config = WorkloadConfig::preset(preset);
+    if let Some(s) = seed {
+        config.seed = s;
+    }
+    CommonArgs { config, csv, rest }
+}
+
+/// Prints a table and optionally writes the CSV, with a standard banner.
+pub fn emit(title: &str, table: &crate::output::Table, csv: Option<&PathBuf>) {
+    println!("# {title}");
+    println!("{}", table.render());
+    if let Some(path) = csv {
+        match table.write_csv(path) {
+            Ok(()) => println!("(csv written to {})", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+}

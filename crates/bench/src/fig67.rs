@@ -1,0 +1,199 @@
+//! Figures 6–7: average consistency state (bytes) at a server vs. `t`.
+//!
+//! Figure 6 reports the trace's most popular server, Figure 7 the 10th
+//! most popular. Lines: `Callback` (flat), `Lease(t)`, `Volume(10, t)`,
+//! `Delay(10, t, ∞)` (queues never discarded) and `Delay(10, t, 1h)`
+//! (short discard — the configuration the paper argues can use *less*
+//! state than everything else).
+
+use crate::output::Table;
+use crate::{secs, TIMEOUT_SWEEP_SECS};
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_types::{Duration, ServerId};
+use vl_workload::{Trace, TraceGenerator, WorkloadConfig};
+
+/// One plotted point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Row {
+    /// Line label.
+    pub line: String,
+    /// Swept object timeout, seconds.
+    pub t_secs: u64,
+    /// Popularity rank of the measured server (1 = most popular).
+    pub server_rank: usize,
+    /// The measured server.
+    pub server: ServerId,
+    /// Time-weighted average consistency state, bytes.
+    pub avg_state_bytes: f64,
+}
+
+/// A named line family: label plus a constructor from the swept `t`.
+pub type Line = (&'static str, Box<dyn Fn(Duration) -> ProtocolKind>);
+
+/// The line families of Figures 6–7.
+pub fn lines() -> Vec<Line> {
+    vec![
+        (
+            "Callback",
+            Box::new(|_| ProtocolKind::Callback) as Box<dyn Fn(Duration) -> ProtocolKind>,
+        ),
+        ("Lease(t)", Box::new(|t| ProtocolKind::Lease { timeout: t })),
+        (
+            "Volume(10, t)",
+            Box::new(|t| ProtocolKind::VolumeLease {
+                volume_timeout: secs(10),
+                object_timeout: t,
+            }),
+        ),
+        (
+            "Delay(10, t, inf)",
+            Box::new(|t| ProtocolKind::DelayedInvalidation {
+                volume_timeout: secs(10),
+                object_timeout: t,
+                inactive_discard: Duration::MAX,
+            }),
+        ),
+        (
+            "Delay(10, t, 1h)",
+            Box::new(|t| ProtocolKind::DelayedInvalidation {
+                volume_timeout: secs(10),
+                object_timeout: t,
+                inactive_discard: secs(3600),
+            }),
+        ),
+    ]
+}
+
+/// Runs the sweep measuring the server at popularity `rank`
+/// (1 = most popular → Figure 6; 10 → Figure 7).
+///
+/// # Panics
+///
+/// Panics if the trace has fewer than `rank` active servers.
+pub fn run_on(trace: &Trace, rank: usize, timeouts: &[u64]) -> Vec<Row> {
+    let ranked = trace.servers_by_popularity();
+    assert!(
+        ranked.len() >= rank && rank >= 1,
+        "trace has only {} active servers, need rank {rank}",
+        ranked.len()
+    );
+    let server = ranked[rank - 1].0;
+    let mut rows = Vec::new();
+    for (name, kind_of) in lines() {
+        for &t in timeouts {
+            let report = SimulationBuilder::new(kind_of(secs(t))).run(trace);
+            rows.push(Row {
+                line: name.to_owned(),
+                t_secs: t,
+                server_rank: rank,
+                server,
+                avg_state_bytes: report.avg_state_bytes(server),
+            });
+        }
+    }
+    rows
+}
+
+/// Generates the trace and runs the standard sweep for the given rank.
+pub fn run(cfg: &WorkloadConfig, rank: usize) -> Vec<Row> {
+    let trace = TraceGenerator::new(cfg.clone()).generate();
+    run_on(&trace, rank, &TIMEOUT_SWEEP_SECS)
+}
+
+/// Formats rows for printing.
+pub fn table(rows: &[Row]) -> Table {
+    let mut t = Table::new(["line", "t_secs", "server", "avg_state_bytes"]);
+    for r in rows {
+        t.push([
+            r.line.clone(),
+            r.t_secs.to_string(),
+            r.server.to_string(),
+            format!("{:.1}", r.avg_state_bytes),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_rows(rank: usize) -> Vec<Row> {
+        let trace = TraceGenerator::new(WorkloadConfig::smoke()).generate();
+        run_on(&trace, rank, &[10, 1000, 100_000])
+    }
+
+    #[test]
+    fn produces_rows_for_all_lines() {
+        let rows = smoke_rows(1);
+        assert_eq!(rows.len(), 5 * 3);
+        assert!(rows.iter().all(|r| r.avg_state_bytes >= 0.0));
+    }
+
+    #[test]
+    fn lease_state_grows_with_t() {
+        let rows = smoke_rows(1);
+        let lease: Vec<f64> = rows
+            .iter()
+            .filter(|r| r.line == "Lease(t)")
+            .map(|r| r.avg_state_bytes)
+            .collect();
+        assert!(
+            lease[0] < lease[2],
+            "longer leases hold records longer: {lease:?}"
+        );
+    }
+
+    #[test]
+    fn short_leases_use_less_state_than_callback() {
+        let rows = smoke_rows(1);
+        let get = |line: &str, t: u64| {
+            rows.iter()
+                .find(|r| r.line == line && r.t_secs == t)
+                .unwrap()
+                .avg_state_bytes
+        };
+        assert!(
+            get("Lease(t)", 10) < get("Callback", 10),
+            "the paper's short-timeout state advantage"
+        );
+    }
+
+    #[test]
+    fn volume_adds_little_state_over_lease() {
+        let rows = smoke_rows(1);
+        let get = |line: &str, t: u64| {
+            rows.iter()
+                .find(|r| r.line == line && r.t_secs == t)
+                .unwrap()
+                .avg_state_bytes
+        };
+        let lease = get("Lease(t)", 100_000);
+        let volume = get("Volume(10, t)", 100_000);
+        assert!(volume >= lease);
+        assert!(
+            volume < lease * 1.5,
+            "short volume leases are cheap: {volume} vs {lease}"
+        );
+    }
+
+    #[test]
+    fn tenth_server_has_less_state_than_first() {
+        let r1 = smoke_rows(1);
+        let r10 = smoke_rows(10);
+        let sum = |rows: &[Row]| -> f64 { rows.iter().map(|r| r.avg_state_bytes).sum() };
+        assert!(sum(&r10) < sum(&r1), "less popular ⇒ less lease state");
+    }
+
+    #[test]
+    #[should_panic(expected = "need rank")]
+    fn absurd_rank_panics() {
+        let _ = smoke_rows(10_000);
+    }
+
+    #[test]
+    fn table_renders() {
+        let rows = smoke_rows(1);
+        assert!(table(&rows).render().contains("avg_state_bytes"));
+    }
+}

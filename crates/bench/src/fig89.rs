@@ -1,0 +1,178 @@
+//! Figures 8–9: bursts of load at the most heavily loaded server.
+//!
+//! A cumulative histogram: for each algorithm, how many 1-second periods
+//! saw at least *x* messages sent or received at the busiest server.
+//! Figure 8 uses the default write workload; Figure 9 the "bursty write"
+//! variant (`k ~ Exp(10)` co-writes per write), which blows up the
+//! invalidation bursts of `Callback` and `Volume` but not of `Delay`.
+//!
+//! Algorithm configurations follow §5.3: the polling/object-lease
+//! baselines use *short* timeouts (their load is renewal bursts on
+//! reads); `Callback`, `Volume`, and `Delay` use *long* object leases
+//! (their load is invalidation bursts on writes — except `Delay`, which
+//! defers them).
+
+use crate::output::Table;
+use crate::secs;
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_metrics::LoadHistogram;
+use vl_types::{Duration, ServerId};
+use vl_workload::{TraceGenerator, WorkloadConfig, WriteModelConfig};
+
+/// Short timeout for the poll/lease baselines, seconds.
+pub const SHORT_T_SECS: u64 = 100;
+/// Long object-lease timeout for the server-driven algorithms, seconds.
+pub const LONG_T_SECS: u64 = 1_000_000;
+
+/// One algorithm's full cumulative curve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Curve {
+    /// Line label.
+    pub line: String,
+    /// The measured (busiest) server.
+    pub server: ServerId,
+    /// `(load x, number of 1-second periods with load ≥ x)` points.
+    pub points: Vec<(u64, u64)>,
+    /// Peak 1-second load.
+    pub peak: u64,
+}
+
+/// The algorithm configurations of §5.3.
+pub fn lines() -> Vec<(&'static str, ProtocolKind)> {
+    vec![
+        (
+            "Poll(100)",
+            ProtocolKind::Poll {
+                timeout: secs(SHORT_T_SECS),
+            },
+        ),
+        (
+            "Lease(100)",
+            ProtocolKind::Lease {
+                timeout: secs(SHORT_T_SECS),
+            },
+        ),
+        ("Callback", ProtocolKind::Callback),
+        (
+            "Volume(10, 1e6)",
+            ProtocolKind::VolumeLease {
+                volume_timeout: secs(10),
+                object_timeout: secs(LONG_T_SECS),
+            },
+        ),
+        (
+            "Delay(10, 1e6, inf)",
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout: secs(10),
+                object_timeout: secs(LONG_T_SECS),
+                inactive_discard: Duration::MAX,
+            },
+        ),
+    ]
+}
+
+/// Runs the experiment. With `bursty` set, writes use the Figure 9
+/// co-write model; otherwise the default model (Figure 8).
+pub fn run(cfg: &WorkloadConfig, bursty: bool) -> Vec<Curve> {
+    let mut cfg = cfg.clone();
+    cfg.writes = if bursty {
+        WriteModelConfig {
+            burst_mean: Some(10.0),
+            ..cfg.writes
+        }
+    } else {
+        WriteModelConfig {
+            burst_mean: None,
+            ..cfg.writes
+        }
+    };
+    let trace = TraceGenerator::new(cfg).generate();
+    let busiest = trace.servers_by_popularity()[0].0;
+    lines()
+        .into_iter()
+        .map(|(name, kind)| {
+            let report = SimulationBuilder::new(kind)
+                .track_load([busiest])
+                .run(&trace);
+            let hist: LoadHistogram = report
+                .metrics
+                .load_histogram(busiest)
+                .expect("busiest server is tracked");
+            Curve {
+                line: name.to_owned(),
+                server: busiest,
+                peak: hist.peak(),
+                points: hist.cumulative_curve(),
+            }
+        })
+        .collect()
+}
+
+/// Formats the curves row-per-point for printing/CSV.
+pub fn table(curves: &[Curve]) -> Table {
+    let mut t = Table::new(["line", "server", "load_msgs_per_sec", "periods_at_least"]);
+    for c in curves {
+        for &(x, y) in &c.points {
+            t.push([
+                c.line.clone(),
+                c.server.to_string(),
+                x.to_string(),
+                y.to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_curves(bursty: bool) -> Vec<Curve> {
+        run(&WorkloadConfig::smoke(), bursty)
+    }
+
+    #[test]
+    fn produces_a_curve_per_line() {
+        let curves = smoke_curves(false);
+        assert_eq!(curves.len(), 5);
+        for c in &curves {
+            assert!(!c.points.is_empty(), "{} has an empty curve", c.line);
+            assert!(c.peak > 0, "{}", c.line);
+            // Cumulative curves are non-increasing in y.
+            assert!(c.points.windows(2).all(|w| w[0].1 > w[1].1));
+        }
+    }
+
+    #[test]
+    fn delay_peak_no_higher_than_volume_peak() {
+        let curves = smoke_curves(false);
+        let peak = |line: &str| curves.iter().find(|c| c.line == line).unwrap().peak;
+        assert!(
+            peak("Delay(10, 1e6, inf)") <= peak("Volume(10, 1e6)"),
+            "delaying invalidations cannot raise the write burst"
+        );
+    }
+
+    #[test]
+    fn bursty_writes_raise_volume_and_callback_peaks() {
+        let normal = smoke_curves(false);
+        let bursty = smoke_curves(true);
+        let peak = |cs: &[Curve], line: &str| cs.iter().find(|c| c.line == line).unwrap().peak;
+        // Co-written volumes multiply simultaneous invalidations.
+        assert!(
+            peak(&bursty, "Volume(10, 1e6)") >= peak(&normal, "Volume(10, 1e6)"),
+            "bursty {} vs normal {}",
+            peak(&bursty, "Volume(10, 1e6)"),
+            peak(&normal, "Volume(10, 1e6)")
+        );
+        assert!(peak(&bursty, "Callback") >= peak(&normal, "Callback"));
+    }
+
+    #[test]
+    fn table_has_row_per_point() {
+        let curves = smoke_curves(false);
+        let total: usize = curves.iter().map(|c| c.points.len()).sum();
+        assert_eq!(table(&curves).len(), total);
+    }
+}

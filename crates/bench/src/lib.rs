@@ -1,0 +1,36 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! Each experiment is a pure function from a [`vl_workload::WorkloadConfig`]
+//! (or a uniform synthetic workload, for Table 1) to a vector of typed
+//! rows. The `src/bin/*` binaries print the rows as aligned tables and
+//! optional CSV; the Criterion benches in `benches/` time the underlying
+//! simulations at smoke scale and print the same rows once per run.
+//!
+//! | paper artifact | function | binary |
+//! |----------------|----------|--------|
+//! | Table 1 validation | [`table1::run`] | `table1` |
+//! | Figure 5 (messages vs t) | [`fig5::run`] | `fig5` |
+//! | Figures 6–7 (server state) | [`fig67::run`] | `fig6`, `fig7` |
+//! | Figures 8–9 (load bursts) | [`fig89::run`] | `fig8`, `fig9` |
+//! | t_v ablation (ours) | [`ablation::volume_timeout_sweep`] | `ablation_tv` |
+//! | d ablation (ours) | [`ablation::inactive_discard_sweep`] | `ablation_d` |
+
+pub mod ablation;
+pub mod cli;
+pub mod fig5;
+pub mod fig67;
+pub mod fig89;
+pub mod output;
+pub mod table1;
+pub mod uniform;
+
+use vl_types::Duration;
+
+/// The object-timeout sweep used on the x-axis of Figures 5–7
+/// (log scale, 10¹..10⁷ seconds).
+pub const TIMEOUT_SWEEP_SECS: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000];
+
+/// Shorthand used throughout the harness.
+pub fn secs(s: u64) -> Duration {
+    Duration::from_secs(s)
+}

@@ -1,0 +1,487 @@
+//! Client cache speaking the live volume-lease protocol.
+//!
+//! A [`CacheClient`] mirrors Figure 4 of the paper: it reads a cached
+//! object only while it holds valid leases on **both** the object and
+//! the object's volume, renews lapsed leases at the server, answers
+//! invalidations with acks, and runs the client half of the
+//! reconnection protocol (`MUST_RENEW_ALL` → `RENEW_OBJ_LEASES` → apply
+//! invalidate/renew → ack) after it has been unreachable or the server
+//! has rebooted into a new epoch.
+//!
+//! If the server cannot be reached, [`CacheClient::read`] fails with
+//! [`ReadError::Unavailable`] rather than returning possibly-stale data —
+//! the "signal an error" client policy from §2.4; callers that prefer
+//! stale-but-fast can fall back to [`CacheClient::read_suspect`].
+//!
+//! # Examples
+//!
+//! ```
+//! use bytes::Bytes;
+//! use vl_client::{CacheClient, ClientConfig};
+//! use vl_net::{InMemoryNetwork, NodeId};
+//! use vl_server::{LeaseServer, ServerConfig, WallClock};
+//! use vl_types::{ClientId, ObjectId, ServerId};
+//!
+//! let net = InMemoryNetwork::new();
+//! let clock = WallClock::new();
+//! let server = LeaseServer::spawn(
+//!     ServerConfig::new(ServerId(0)),
+//!     net.endpoint(NodeId::Server(ServerId(0))),
+//!     clock,
+//! );
+//! server.create_object(ObjectId(1), Bytes::from_static(b"hello"));
+//!
+//! let client = CacheClient::spawn(
+//!     ClientConfig::new(ClientId(1), ServerId(0)),
+//!     net.endpoint(NodeId::Client(ClientId(1))),
+//!     clock,
+//! );
+//! assert_eq!(&client.read(ObjectId(1))?[..], b"hello");
+//! // The second read is served from cache: both leases are valid.
+//! assert_eq!(&client.read(ObjectId(1))?[..], b"hello");
+//! assert_eq!(client.stats().local_reads, 1);
+//! client.shutdown();
+//! server.shutdown();
+//! # Ok::<(), vl_client::ReadError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod multi;
+
+pub use multi::{MultiCache, MultiConfig, ObjectLocation};
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+use vl_net::{Channel, NetError, NodeId};
+use vl_proto::{codec, ClientMsg, ServerMsg};
+use vl_server::WallClock;
+use vl_types::{ClientId, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+
+/// Client configuration.
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// This client's identity.
+    pub client: ClientId,
+    /// The origin server.
+    pub server: ServerId,
+    /// The volume this client reads (1:1 with the server by default).
+    pub volume: VolumeId,
+    /// How long to wait for a response before resending.
+    pub request_timeout: StdDuration,
+    /// Resend attempts before a read fails with
+    /// [`ReadError::Unavailable`].
+    pub max_retries: usize,
+}
+
+impl ClientConfig {
+    /// Defaults: volume = server id, 300 ms request timeout, 3 retries.
+    pub fn new(client: ClientId, server: ServerId) -> ClientConfig {
+        ClientConfig {
+            client,
+            server,
+            volume: VolumeId(server.raw()),
+            request_timeout: StdDuration::from_millis(300),
+            max_retries: 3,
+        }
+    }
+}
+
+/// Why a read could not be satisfied.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// The server did not respond within the retry budget; per §2.4 the
+    /// client refuses to return possibly-stale data.
+    Unavailable {
+        /// The object that could not be validated.
+        object: ObjectId,
+    },
+    /// The client has been shut down.
+    Shutdown,
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Unavailable { object } => {
+                write!(f, "cannot validate {object}: server unreachable")
+            }
+            ReadError::Shutdown => f.write_str("client shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+/// Point-in-time client statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reads served purely from cache (both leases valid).
+    pub local_reads: u64,
+    /// Reads that needed at least one server exchange.
+    pub remote_reads: u64,
+    /// Immediate invalidations received.
+    pub invalidations: u64,
+    /// Invalidations delivered in volume-renewal batches.
+    pub batched_invalidations: u64,
+    /// Reconnection exchanges completed (`MUST_RENEW_ALL` handled).
+    pub reconnections: u64,
+    /// Requests resent after a timeout.
+    pub retries: u64,
+    /// Total time spent inside successful `read` calls, milliseconds.
+    pub read_time_total_ms: u64,
+    /// Slowest successful `read`, milliseconds.
+    pub read_time_max_ms: u64,
+}
+
+impl ClientStats {
+    /// Mean latency of successful reads, milliseconds (0 when none).
+    pub fn mean_read_latency_ms(&self) -> f64 {
+        let reads = self.local_reads + self.remote_reads;
+        if reads == 0 {
+            0.0
+        } else {
+            self.read_time_total_ms as f64 / reads as f64
+        }
+    }
+}
+
+#[derive(Default)]
+struct State {
+    epoch: Epoch,
+    vol_expire: Timestamp,
+    cached: HashMap<ObjectId, (Version, Bytes)>,
+    obj_expire: HashMap<ObjectId, Timestamp>,
+    stats: ClientStats,
+    generation: u64,
+}
+
+impl State {
+    fn vol_ok(&self, now: Timestamp) -> bool {
+        self.vol_expire > now
+    }
+
+    fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
+        self.obj_expire.get(&object).is_some_and(|&e| e > now)
+            && self.cached.contains_key(&object)
+    }
+
+    fn drop_copy(&mut self, object: ObjectId) {
+        self.cached.remove(&object);
+        self.obj_expire.remove(&object);
+    }
+}
+
+/// A live cache client (owns a background receive thread).
+pub struct CacheClient {
+    cfg: ClientConfig,
+    clock: WallClock,
+    endpoint: Arc<dyn Channel>,
+    state: Arc<(Mutex<State>, Condvar)>,
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for CacheClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheClient")
+            .field("client", &self.cfg.client)
+            .field("server", &self.cfg.server)
+            .finish()
+    }
+}
+
+impl CacheClient {
+    /// Starts the client's receive loop.
+    pub fn spawn(
+        cfg: ClientConfig,
+        endpoint: impl Channel + 'static,
+        clock: WallClock,
+    ) -> CacheClient {
+        let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
+        let state = Arc::new((Mutex::new(State::default()), Condvar::new()));
+        let running = Arc::new(AtomicBool::new(true));
+        let thread = {
+            let endpoint = Arc::clone(&endpoint);
+            let state = Arc::clone(&state);
+            let running = Arc::clone(&running);
+            let cfg = cfg.clone();
+            std::thread::Builder::new()
+                .name(format!("vl-client-{}", cfg.client))
+                .spawn(move || receive_loop(&cfg, &endpoint, &state, &running))
+                .expect("spawn client thread")
+        };
+        CacheClient {
+            cfg,
+            clock,
+            endpoint,
+            state,
+            running,
+            thread: Some(thread),
+        }
+    }
+
+    /// Reads `object` with strong consistency: returns only data covered
+    /// by valid object **and** volume leases, renewing them as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Unavailable`] when the server cannot be reached
+    /// within the retry budget; [`ReadError::Shutdown`] after
+    /// [`shutdown`](CacheClient::shutdown).
+    pub fn read(&self, object: ObjectId) -> Result<Bytes, ReadError> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Err(ReadError::Shutdown);
+        }
+        let started = Instant::now();
+        let done = |st: &mut State, data: Bytes, local: bool| {
+            if local {
+                st.stats.local_reads += 1;
+            } else {
+                st.stats.remote_reads += 1;
+            }
+            let ms = started.elapsed().as_millis() as u64;
+            st.stats.read_time_total_ms += ms;
+            st.stats.read_time_max_ms = st.stats.read_time_max_ms.max(ms);
+            Ok(data)
+        };
+        let (lock, cv) = &*self.state;
+        // Fast path: both leases valid.
+        {
+            let mut st = lock.lock();
+            let now = self.clock.now();
+            if st.vol_ok(now) && st.obj_ok(object, now) {
+                let data = st.cached[&object].1.clone();
+                return done(&mut st, data, true);
+            }
+        }
+        for attempt in 0..=self.cfg.max_retries {
+            // (Re)issue whatever is still needed. Like the fourth case of
+            // Figure 4's client, lapsed volume and object leases are
+            // requested together — the grants are independent.
+            {
+                let mut st = lock.lock();
+                let now = self.clock.now();
+                if attempt > 0 {
+                    st.stats.retries += 1;
+                }
+                let need_vol = !st.vol_ok(now);
+                let need_obj = !st.obj_ok(object, now);
+                let epoch = st.epoch;
+                let version = st.cached.get(&object).map_or(Version::NONE, |(v, _)| *v);
+                drop(st);
+                if need_vol {
+                    self.send(&ClientMsg::ReqVolLease {
+                        volume: self.cfg.volume,
+                        epoch,
+                    });
+                }
+                if need_obj {
+                    self.send(&ClientMsg::ReqObjLease { object, version });
+                }
+            }
+            // Wait for the receive loop to make progress.
+            let deadline = Instant::now() + self.cfg.request_timeout;
+            let mut st = lock.lock();
+            loop {
+                let now = self.clock.now();
+                if st.vol_ok(now) && st.obj_ok(object, now) {
+                    let data = st.cached[&object].1.clone();
+                    return done(&mut st, data, false);
+                }
+                if cv.wait_until(&mut st, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+        Err(ReadError::Unavailable { object })
+    }
+
+    /// Returns the cached copy *without* lease validation — the
+    /// "return suspect data with a warning" client policy. `None` if
+    /// nothing is cached.
+    pub fn read_suspect(&self, object: ObjectId) -> Option<Bytes> {
+        self.state.0.lock().cached.get(&object).map(|(_, b)| b.clone())
+    }
+
+    /// The version this client has cached for `object`.
+    pub fn cached_version(&self, object: ObjectId) -> Option<Version> {
+        self.state.0.lock().cached.get(&object).map(|(v, _)| *v)
+    }
+
+    /// Whether both leases covering `object` are currently valid.
+    pub fn holds_valid_leases(&self, object: ObjectId) -> bool {
+        let st = self.state.0.lock();
+        let now = self.clock.now();
+        st.vol_ok(now) && st.obj_ok(object, now)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.state.0.lock().stats
+    }
+
+    /// Stops the receive loop and drops the endpoint.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+
+    fn send(&self, msg: &ClientMsg) {
+        let _ = self
+            .endpoint
+            .send(NodeId::Server(self.cfg.server), codec::encode_client(msg));
+    }
+}
+
+impl Drop for CacheClient {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn receive_loop(
+    cfg: &ClientConfig,
+    endpoint: &Arc<dyn Channel>,
+    state: &(Mutex<State>, Condvar),
+    running: &AtomicBool,
+) {
+    let (lock, cv) = state;
+    let server = NodeId::Server(cfg.server);
+    while running.load(Ordering::SeqCst) {
+        let msg = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
+            Ok((_, bytes)) => match codec::decode_server(&bytes) {
+                Ok(m) => m,
+                Err(_) => continue, // corrupt frame
+            },
+            Err(NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let mut st = lock.lock();
+        match msg {
+            ServerMsg::Invalidate { object } => {
+                st.drop_copy(object);
+                st.stats.invalidations += 1;
+                drop(st);
+                let _ = endpoint.send(
+                    server,
+                    codec::encode_client(&ClientMsg::AckInvalidate { object }),
+                );
+                st = lock.lock();
+            }
+            ServerMsg::ObjLease {
+                object,
+                version,
+                expire,
+                data,
+            } => {
+                if let Some(bytes) = data {
+                    st.cached.insert(object, (version, bytes));
+                } else if let Some((v, _)) = st.cached.get(&object) {
+                    debug_assert_eq!(*v, version, "no-data grant implies same version");
+                }
+                if st.cached.contains_key(&object) {
+                    st.obj_expire.insert(object, expire);
+                }
+            }
+            ServerMsg::VolLease {
+                volume,
+                expire,
+                epoch,
+                invalidate,
+            } => {
+                if volume == cfg.volume {
+                    let had_batch = !invalidate.is_empty();
+                    for object in invalidate {
+                        st.drop_copy(object);
+                        st.stats.batched_invalidations += 1;
+                    }
+                    st.vol_expire = expire;
+                    st.epoch = epoch;
+                    if had_batch {
+                        drop(st);
+                        let _ = endpoint.send(
+                            server,
+                            codec::encode_client(&ClientMsg::AckVolBatch { volume }),
+                        );
+                        st = lock.lock();
+                    }
+                }
+            }
+            ServerMsg::MustRenewAll { volume } => {
+                if volume == cfg.volume {
+                    // Our volume lease is void; report every cached
+                    // object with its version (Figure 4).
+                    st.vol_expire = Timestamp::ZERO;
+                    let leases: Vec<(ObjectId, Version)> =
+                        st.cached.iter().map(|(&o, (v, _))| (o, *v)).collect();
+                    drop(st);
+                    let _ = endpoint.send(
+                        server,
+                        codec::encode_client(&ClientMsg::RenewObjLeases { volume, leases }),
+                    );
+                    st = lock.lock();
+                }
+            }
+            ServerMsg::InvalRenew {
+                volume,
+                invalidate,
+                renew,
+            } => {
+                if volume == cfg.volume {
+                    for object in invalidate {
+                        st.drop_copy(object);
+                        st.stats.batched_invalidations += 1;
+                    }
+                    for (object, version, expire) in renew {
+                        if let Some((v, _)) = st.cached.get(&object) {
+                            debug_assert_eq!(*v, version);
+                            st.obj_expire.insert(object, expire);
+                        }
+                    }
+                    st.stats.reconnections += 1;
+                    drop(st);
+                    let _ = endpoint.send(
+                        server,
+                        codec::encode_client(&ClientMsg::AckVolBatch { volume }),
+                    );
+                    st = lock.lock();
+                }
+            }
+        }
+        st.generation += 1;
+        cv.notify_all();
+        drop(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults() {
+        let cfg = ClientConfig::new(ClientId(2), ServerId(5));
+        assert_eq!(cfg.volume, VolumeId(5));
+        assert!(cfg.max_retries >= 1);
+    }
+
+    #[test]
+    fn read_error_display() {
+        let e = ReadError::Unavailable { object: ObjectId(3) };
+        assert!(e.to_string().contains("o3"));
+        assert_eq!(ReadError::Shutdown.to_string(), "client shut down");
+    }
+}

@@ -1,0 +1,416 @@
+//! A multi-origin cache client.
+//!
+//! [`CacheClient`](crate::CacheClient) binds to a single server — fine
+//! for a dedicated mirror, but the paper's world is a browser-like cache
+//! talking to *many* origins (the trace has 1000 servers). [`MultiCache`]
+//! keeps independent volume-lease state per volume and object leases per
+//! object, over one network endpoint; each read names the object's
+//! location, like a URL names a host.
+//!
+//! A key property this surfaces is **failure isolation**: a partition to
+//! one origin makes only *its* objects unavailable (their volume lease
+//! lapses), while reads against every other origin keep succeeding — the
+//! per-volume blast radius the paper's design intends.
+//!
+//! # Examples
+//!
+//! See `tests/live_multi.rs` in the repository root for a three-origin
+//! walkthrough with partitions.
+
+use crate::{ClientStats, ReadError};
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration as StdDuration, Instant};
+use vl_net::{Channel, NetError, NodeId};
+use vl_proto::{codec, ClientMsg, ServerMsg};
+use vl_server::WallClock;
+use vl_types::{ClientId, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+
+/// Where an object lives: the lease-granting server and its volume.
+/// Plays the role a URL's host plays for a browser.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObjectLocation {
+    /// The origin server.
+    pub server: ServerId,
+    /// The volume the object belongs to on that server.
+    pub volume: VolumeId,
+}
+
+impl ObjectLocation {
+    /// Location on `server`'s default volume (volume id = server id, the
+    /// paper's 1:1 arrangement).
+    pub fn origin(server: ServerId) -> ObjectLocation {
+        ObjectLocation {
+            server,
+            volume: VolumeId(server.raw()),
+        }
+    }
+}
+
+/// Configuration for a [`MultiCache`].
+#[derive(Clone, Debug)]
+pub struct MultiConfig {
+    /// This client's identity.
+    pub client: ClientId,
+    /// How long to wait for a response before resending.
+    pub request_timeout: StdDuration,
+    /// Resend attempts before a read fails.
+    pub max_retries: usize,
+}
+
+impl MultiConfig {
+    /// Defaults matching [`crate::ClientConfig::new`].
+    pub fn new(client: ClientId) -> MultiConfig {
+        MultiConfig {
+            client,
+            request_timeout: StdDuration::from_millis(300),
+            max_retries: 3,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct VolState {
+    server: ServerId,
+    expire: Timestamp,
+    epoch: Epoch,
+}
+
+#[derive(Default)]
+struct MState {
+    vols: HashMap<VolumeId, VolState>,
+    /// object → (version, data, volume) — the volume routes acks and
+    /// scopes reconnection lease sets.
+    cached: HashMap<ObjectId, (Version, Bytes, VolumeId)>,
+    obj_expire: HashMap<ObjectId, Timestamp>,
+    stats: ClientStats,
+    generation: u64,
+}
+
+impl MState {
+    fn vol_ok(&self, volume: VolumeId, now: Timestamp) -> bool {
+        self.vols.get(&volume).is_some_and(|v| v.expire > now)
+    }
+
+    fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
+        self.obj_expire.get(&object).is_some_and(|&e| e > now)
+            && self.cached.contains_key(&object)
+    }
+
+    fn drop_copy(&mut self, object: ObjectId) {
+        self.cached.remove(&object);
+        self.obj_expire.remove(&object);
+    }
+}
+
+/// A cache client that reads from many origins concurrently, with one
+/// short volume lease per origin volume and long leases per object.
+pub struct MultiCache {
+    cfg: MultiConfig,
+    clock: WallClock,
+    endpoint: Arc<dyn Channel>,
+    state: Arc<(Mutex<MState>, Condvar)>,
+    running: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl fmt::Debug for MultiCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MultiCache")
+            .field("client", &self.cfg.client)
+            .field("volumes", &self.state.0.lock().vols.len())
+            .finish()
+    }
+}
+
+impl MultiCache {
+    /// Starts the receive loop.
+    pub fn spawn(cfg: MultiConfig, endpoint: impl Channel + 'static, clock: WallClock) -> MultiCache {
+        let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
+        let state = Arc::new((Mutex::new(MState::default()), Condvar::new()));
+        let running = Arc::new(AtomicBool::new(true));
+        let thread = {
+            let endpoint = Arc::clone(&endpoint);
+            let state = Arc::clone(&state);
+            let running = Arc::clone(&running);
+            std::thread::Builder::new()
+                .name(format!("vl-multicache-{}", cfg.client))
+                .spawn(move || receive_loop(&endpoint, &state, &running))
+                .expect("spawn multicache thread")
+        };
+        MultiCache {
+            cfg,
+            clock,
+            endpoint,
+            state,
+            running,
+            thread: Some(thread),
+        }
+    }
+
+    /// Reads `object` from `location` with strong consistency, renewing
+    /// the volume and object leases as needed.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Unavailable`] when that origin cannot be reached
+    /// within the retry budget (reads against other origins are
+    /// unaffected); [`ReadError::Shutdown`] after
+    /// [`shutdown`](MultiCache::shutdown).
+    pub fn read(&self, location: ObjectLocation, object: ObjectId) -> Result<Bytes, ReadError> {
+        if !self.running.load(Ordering::SeqCst) {
+            return Err(ReadError::Shutdown);
+        }
+        let started = Instant::now();
+        let (lock, cv) = &*self.state;
+        let finish = |st: &mut MState, data: Bytes, local: bool| {
+            if local {
+                st.stats.local_reads += 1;
+            } else {
+                st.stats.remote_reads += 1;
+            }
+            let ms = started.elapsed().as_millis() as u64;
+            st.stats.read_time_total_ms += ms;
+            st.stats.read_time_max_ms = st.stats.read_time_max_ms.max(ms);
+            Ok(data)
+        };
+        {
+            let mut st = lock.lock();
+            let now = self.clock.now();
+            if st.vol_ok(location.volume, now) && st.obj_ok(object, now) {
+                let data = st.cached[&object].1.clone();
+                return finish(&mut st, data, true);
+            }
+        }
+        let server = NodeId::Server(location.server);
+        for attempt in 0..=self.cfg.max_retries {
+            {
+                let mut st = lock.lock();
+                let now = self.clock.now();
+                if attempt > 0 {
+                    st.stats.retries += 1;
+                }
+                let need_vol = !st.vol_ok(location.volume, now);
+                let need_obj = !st.obj_ok(object, now);
+                let epoch = st.vols.get(&location.volume).map_or(Epoch(0), |v| v.epoch);
+                let version = st.cached.get(&object).map_or(Version::NONE, |(v, _, _)| *v);
+                // Pre-register the volume's server so replies route acks.
+                st.vols
+                    .entry(location.volume)
+                    .or_insert(VolState {
+                        server: location.server,
+                        expire: Timestamp::ZERO,
+                        epoch,
+                    })
+                    .server = location.server;
+                drop(st);
+                if need_vol {
+                    let _ = self.endpoint.send(
+                        server,
+                        codec::encode_client(&ClientMsg::ReqVolLease {
+                            volume: location.volume,
+                            epoch,
+                        }),
+                    );
+                }
+                if need_obj {
+                    let _ = self.endpoint.send(
+                        server,
+                        codec::encode_client(&ClientMsg::ReqObjLease { object, version }),
+                    );
+                }
+            }
+            let deadline = Instant::now() + self.cfg.request_timeout;
+            let mut st = lock.lock();
+            loop {
+                let now = self.clock.now();
+                if st.vol_ok(location.volume, now) && st.obj_ok(object, now) {
+                    let data = st.cached[&object].1.clone();
+                    return finish(&mut st, data, false);
+                }
+                if cv.wait_until(&mut st, deadline).timed_out() {
+                    break;
+                }
+            }
+        }
+        Err(ReadError::Unavailable { object })
+    }
+
+    /// Statistics across all origins.
+    pub fn stats(&self) -> ClientStats {
+        self.state.0.lock().stats
+    }
+
+    /// Number of volumes with a currently valid lease.
+    pub fn live_volumes(&self) -> usize {
+        let st = self.state.0.lock();
+        let now = self.clock.now();
+        st.vols.values().filter(|v| v.expire > now).count()
+    }
+
+    /// Stops the receive loop.
+    pub fn shutdown(mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for MultiCache {
+    fn drop(&mut self) {
+        self.running.store(false, Ordering::SeqCst);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn receive_loop(
+    endpoint: &Arc<dyn Channel>,
+    state: &(Mutex<MState>, Condvar),
+    running: &AtomicBool,
+) {
+    let (lock, cv) = state;
+    while running.load(Ordering::SeqCst) {
+        let (from, msg) = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
+            Ok((from, bytes)) => match codec::decode_server(&bytes) {
+                Ok(m) => (from, m),
+                Err(_) => continue,
+            },
+            Err(NetError::Timeout) => continue,
+            Err(_) => return,
+        };
+        let mut st = lock.lock();
+        match msg {
+            ServerMsg::Invalidate { object } => {
+                st.drop_copy(object);
+                st.stats.invalidations += 1;
+                drop(st);
+                let _ = endpoint.send(
+                    from,
+                    codec::encode_client(&ClientMsg::AckInvalidate { object }),
+                );
+                st = lock.lock();
+            }
+            ServerMsg::ObjLease {
+                object,
+                version,
+                expire,
+                data,
+            } => {
+                let volume = st.cached.get(&object).map(|(_, _, v)| *v);
+                if let Some(bytes) = data {
+                    // New data: associate the object with the sender's
+                    // volume if we did not know it yet.
+                    let volume = volume.unwrap_or_else(|| {
+                        st.vols
+                            .iter()
+                            .find(|(_, v)| NodeId::Server(v.server) == from)
+                            .map(|(&vol, _)| vol)
+                            .unwrap_or(VolumeId(u32::MAX))
+                    });
+                    st.cached.insert(object, (version, bytes, volume));
+                }
+                if st.cached.contains_key(&object) {
+                    st.obj_expire.insert(object, expire);
+                }
+            }
+            ServerMsg::VolLease {
+                volume,
+                expire,
+                epoch,
+                invalidate,
+            } => {
+                let had_batch = !invalidate.is_empty();
+                for object in invalidate {
+                    st.drop_copy(object);
+                    st.stats.batched_invalidations += 1;
+                }
+                let server = match from {
+                    NodeId::Server(s) => s,
+                    NodeId::Client(_) => continue,
+                };
+                st.vols.insert(
+                    volume,
+                    VolState {
+                        server,
+                        expire,
+                        epoch,
+                    },
+                );
+                if had_batch {
+                    drop(st);
+                    let _ = endpoint
+                        .send(from, codec::encode_client(&ClientMsg::AckVolBatch { volume }));
+                    st = lock.lock();
+                }
+            }
+            ServerMsg::MustRenewAll { volume } => {
+                if let Some(v) = st.vols.get_mut(&volume) {
+                    v.expire = Timestamp::ZERO;
+                }
+                let leases: Vec<(ObjectId, Version)> = st
+                    .cached
+                    .iter()
+                    .filter(|(_, (_, _, vol))| *vol == volume)
+                    .map(|(&o, (ver, _, _))| (o, *ver))
+                    .collect();
+                drop(st);
+                let _ = endpoint.send(
+                    from,
+                    codec::encode_client(&ClientMsg::RenewObjLeases { volume, leases }),
+                );
+                st = lock.lock();
+            }
+            ServerMsg::InvalRenew {
+                volume,
+                invalidate,
+                renew,
+            } => {
+                for object in invalidate {
+                    st.drop_copy(object);
+                    st.stats.batched_invalidations += 1;
+                }
+                for (object, version, expire) in renew {
+                    if let Some((v, _, _)) = st.cached.get(&object) {
+                        debug_assert_eq!(*v, version);
+                        st.obj_expire.insert(object, expire);
+                    }
+                }
+                st.stats.reconnections += 1;
+                drop(st);
+                let _ = endpoint
+                    .send(from, codec::encode_client(&ClientMsg::AckVolBatch { volume }));
+                st = lock.lock();
+            }
+        }
+        st.generation += 1;
+        cv.notify_all();
+        drop(st);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_origin_pairs_volume_with_server() {
+        let loc = ObjectLocation::origin(ServerId(7));
+        assert_eq!(loc.server, ServerId(7));
+        assert_eq!(loc.volume, VolumeId(7));
+    }
+
+    #[test]
+    fn config_defaults() {
+        let cfg = MultiConfig::new(ClientId(3));
+        assert_eq!(cfg.client, ClientId(3));
+        assert!(cfg.max_retries >= 1);
+    }
+}

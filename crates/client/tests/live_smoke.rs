@@ -1,0 +1,33 @@
+//! Single-origin smoke test: the minimal read → cache-hit → stats cycle.
+
+use bytes::Bytes;
+use vl_client::{CacheClient, ClientConfig};
+use vl_net::{InMemoryNetwork, NodeId};
+use vl_server::{LeaseServer, ServerConfig, WallClock};
+use vl_types::{ClientId, ObjectId, ServerId};
+
+#[test]
+fn basic_read_then_cache_hit() {
+    let net = InMemoryNetwork::new();
+    let clock = WallClock::new();
+    let server = LeaseServer::spawn(
+        ServerConfig::new(ServerId(0)),
+        net.endpoint(NodeId::Server(ServerId(0))),
+        clock,
+    );
+    server.create_object(ObjectId(1), Bytes::from_static(b"hello"));
+    let client = CacheClient::spawn(
+        ClientConfig::new(ClientId(1), ServerId(0)),
+        net.endpoint(NodeId::Client(ClientId(1))),
+        clock,
+    );
+    assert_eq!(&client.read(ObjectId(1)).unwrap()[..], b"hello");
+    assert_eq!(&client.read(ObjectId(1)).unwrap()[..], b"hello");
+    let stats = client.stats();
+    assert_eq!(stats.remote_reads, 1);
+    assert_eq!(stats.local_reads, 1);
+    assert!(client.holds_valid_leases(ObjectId(1)));
+    assert_eq!(client.cached_version(ObjectId(1)), Some(vl_types::Version::FIRST));
+    client.shutdown();
+    server.shutdown();
+}

@@ -1,0 +1,146 @@
+//! Client-side cache state (the simulator's model of every client cache).
+
+use std::collections::{BTreeSet, HashMap};
+use vl_types::{ClientId, ObjectId, Version, VolumeId};
+
+/// The cached copies held by every client: object → version, plus a
+/// per-volume index used by the reconnection protocol (a returning client
+/// must enumerate its cached objects of one volume, Figure 4).
+///
+/// Caches are infinite, as in the paper (§4.1): copies leave only by
+/// invalidation.
+///
+/// # Examples
+///
+/// ```
+/// use vl_core::ClientCaches;
+/// use vl_types::{ClientId, ObjectId, Version, VolumeId};
+///
+/// let mut caches = ClientCaches::new();
+/// caches.put(ClientId(0), ObjectId(7), VolumeId(1), Version::FIRST);
+/// assert_eq!(caches.version_of(ClientId(0), ObjectId(7)), Some(Version::FIRST));
+/// assert_eq!(caches.cached_in_volume(ClientId(0), VolumeId(1)), vec![ObjectId(7)]);
+/// caches.drop_copy(ClientId(0), ObjectId(7), VolumeId(1));
+/// assert_eq!(caches.version_of(ClientId(0), ObjectId(7)), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ClientCaches {
+    /// Per client: object → cached version.
+    copies: Vec<HashMap<ObjectId, Version>>,
+    /// Per client: volume → cached objects (kept in sync with `copies`).
+    by_volume: Vec<HashMap<VolumeId, BTreeSet<ObjectId>>>,
+}
+
+impl ClientCaches {
+    /// Creates an empty cache set; client slots grow on demand.
+    pub fn new() -> ClientCaches {
+        ClientCaches::default()
+    }
+
+    fn slot(&mut self, client: ClientId) -> usize {
+        let i = client.raw() as usize;
+        if self.copies.len() <= i {
+            self.copies.resize_with(i + 1, HashMap::new);
+            self.by_volume.resize_with(i + 1, HashMap::new);
+        }
+        i
+    }
+
+    /// Stores (or refreshes) `client`'s copy of `object`.
+    pub fn put(&mut self, client: ClientId, object: ObjectId, volume: VolumeId, version: Version) {
+        let i = self.slot(client);
+        self.copies[i].insert(object, version);
+        self.by_volume[i].entry(volume).or_default().insert(object);
+    }
+
+    /// The version `client` has cached for `object`, if any.
+    pub fn version_of(&self, client: ClientId, object: ObjectId) -> Option<Version> {
+        self.copies
+            .get(client.raw() as usize)
+            .and_then(|m| m.get(&object).copied())
+    }
+
+    /// Discards `client`'s copy of `object` (an invalidation landed).
+    /// Returns `true` if a copy was present.
+    pub fn drop_copy(&mut self, client: ClientId, object: ObjectId, volume: VolumeId) -> bool {
+        let i = client.raw() as usize;
+        let Some(map) = self.copies.get_mut(i) else {
+            return false;
+        };
+        let had = map.remove(&object).is_some();
+        if had {
+            if let Some(set) = self.by_volume[i].get_mut(&volume) {
+                set.remove(&object);
+            }
+        }
+        had
+    }
+
+    /// The objects `client` currently caches from `volume`, ascending —
+    /// the `leaseSet` a reconnecting client reports to the server.
+    pub fn cached_in_volume(&self, client: ClientId, volume: VolumeId) -> Vec<ObjectId> {
+        self.by_volume
+            .get(client.raw() as usize)
+            .and_then(|m| m.get(&volume))
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total copies cached by `client`.
+    pub fn count_for(&self, client: ClientId) -> usize {
+        self.copies
+            .get(client.raw() as usize)
+            .map_or(0, HashMap::len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_drop_roundtrip() {
+        let mut c = ClientCaches::new();
+        assert_eq!(c.version_of(ClientId(9), ObjectId(1)), None);
+        c.put(ClientId(9), ObjectId(1), VolumeId(0), Version(3));
+        assert_eq!(c.version_of(ClientId(9), ObjectId(1)), Some(Version(3)));
+        c.put(ClientId(9), ObjectId(1), VolumeId(0), Version(4));
+        assert_eq!(c.version_of(ClientId(9), ObjectId(1)), Some(Version(4)));
+        assert!(c.drop_copy(ClientId(9), ObjectId(1), VolumeId(0)));
+        assert!(!c.drop_copy(ClientId(9), ObjectId(1), VolumeId(0)));
+        assert_eq!(c.count_for(ClientId(9)), 0);
+    }
+
+    #[test]
+    fn volume_index_stays_in_sync() {
+        let mut c = ClientCaches::new();
+        c.put(ClientId(0), ObjectId(2), VolumeId(5), Version(1));
+        c.put(ClientId(0), ObjectId(1), VolumeId(5), Version(1));
+        c.put(ClientId(0), ObjectId(3), VolumeId(6), Version(1));
+        assert_eq!(
+            c.cached_in_volume(ClientId(0), VolumeId(5)),
+            vec![ObjectId(1), ObjectId(2)]
+        );
+        c.drop_copy(ClientId(0), ObjectId(1), VolumeId(5));
+        assert_eq!(
+            c.cached_in_volume(ClientId(0), VolumeId(5)),
+            vec![ObjectId(2)]
+        );
+        assert_eq!(
+            c.cached_in_volume(ClientId(0), VolumeId(6)),
+            vec![ObjectId(3)]
+        );
+        assert!(c.cached_in_volume(ClientId(1), VolumeId(5)).is_empty());
+    }
+
+    #[test]
+    fn clients_are_isolated() {
+        let mut c = ClientCaches::new();
+        c.put(ClientId(0), ObjectId(1), VolumeId(0), Version(1));
+        c.put(ClientId(1), ObjectId(1), VolumeId(0), Version(2));
+        assert_eq!(c.version_of(ClientId(0), ObjectId(1)), Some(Version(1)));
+        assert_eq!(c.version_of(ClientId(1), ObjectId(1)), Some(Version(2)));
+        c.drop_copy(ClientId(0), ObjectId(1), VolumeId(0));
+        assert_eq!(c.version_of(ClientId(1), ObjectId(1)), Some(Version(2)));
+    }
+}

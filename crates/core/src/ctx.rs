@@ -1,0 +1,99 @@
+//! The per-event context handed to protocol implementations.
+
+use vl_metrics::{MessageKind, Metrics, CONTROL_MSG_BYTES};
+use vl_types::{ClientId, ObjectId, ServerId, Timestamp, Version};
+use vl_workload::Universe;
+
+/// Bytes charged per object entry in a list-carrying message (an 8-byte
+/// object id plus a 4-byte version number).
+pub const LIST_ENTRY_BYTES: u64 = 12;
+
+/// Everything a [`crate::Protocol`] needs while handling one trace event:
+/// the static topology, the authoritative object versions, and the
+/// metrics sink.
+///
+/// The engine owns the version vector; protocols read it to decide
+/// whether a renewal must piggyback fresh data, and the engine bumps it
+/// after each write event.
+#[derive(Debug)]
+pub struct Ctx<'a> {
+    /// The static topology.
+    pub universe: &'a Universe,
+    /// Authoritative current version of every object, indexed by id.
+    pub versions: &'a [Version],
+    /// The metrics sink.
+    pub metrics: &'a mut Metrics,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current version of `object`.
+    pub fn version(&self, object: ObjectId) -> Version {
+        self.versions[object.raw() as usize]
+    }
+
+    /// Records one control message (50 bytes + `extra_bytes`) between
+    /// `client` and the server hosting `object`'s volume.
+    pub fn send(
+        &mut self,
+        kind: MessageKind,
+        object: ObjectId,
+        client: ClientId,
+        extra_bytes: u64,
+        now: Timestamp,
+    ) {
+        let server = self.universe.server_of(object);
+        self.send_to_server(kind, server, client, extra_bytes, now);
+    }
+
+    /// Records one control message against an explicit server.
+    pub fn send_to_server(
+        &mut self,
+        kind: MessageKind,
+        server: ServerId,
+        client: ClientId,
+        extra_bytes: u64,
+        now: Timestamp,
+    ) {
+        self.metrics
+            .count_msg(kind, server, client, CONTROL_MSG_BYTES + extra_bytes, now);
+    }
+
+    /// Payload size of `object`, for data-carrying replies.
+    pub fn payload(&self, object: ObjectId) -> u64 {
+        self.universe.object(object).size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vl_types::ServerId;
+    use vl_workload::UniverseBuilder;
+
+    #[test]
+    fn send_routes_to_hosting_server() {
+        let mut b = UniverseBuilder::new();
+        let v = b.add_volume(ServerId(3));
+        let o = b.add_object(v, 777);
+        let u = b.build();
+        let versions = vec![Version::FIRST];
+        let mut m = Metrics::new();
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &versions,
+            metrics: &mut m,
+        };
+        ctx.send(
+            MessageKind::Invalidate,
+            o,
+            ClientId(1),
+            0,
+            Timestamp::ZERO,
+        );
+        assert_eq!(ctx.payload(o), 777);
+        assert_eq!(ctx.version(o), Version::FIRST);
+        let _ = ctx;
+        assert_eq!(m.server_messages(ServerId(3)), 1);
+        assert_eq!(m.total_bytes(), CONTROL_MSG_BYTES);
+    }
+}

@@ -1,0 +1,258 @@
+//! Protocol selection and parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use vl_types::Duration;
+
+/// Which consistency algorithm to run, with its timeouts.
+///
+/// Display renders the paper's notation — `Lease(10)`,
+/// `Volume(10, 100000)`, `Delay(10, 100000, ∞)` — with timeouts in
+/// seconds.
+///
+/// # Examples
+///
+/// ```
+/// use vl_core::ProtocolKind;
+/// use vl_types::Duration;
+///
+/// let kind = ProtocolKind::DelayedInvalidation {
+///     volume_timeout: Duration::from_secs(10),
+///     object_timeout: Duration::from_secs(100_000),
+///     inactive_discard: Duration::MAX,
+/// };
+/// assert_eq!(kind.to_string(), "Delay(10, 100000, ∞)");
+/// assert!(kind.is_strongly_consistent());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProtocolKind {
+    /// Validate at the server on every read (§2.1).
+    PollEachRead,
+    /// Trust cached data for `timeout` after validation (§2.2). The only
+    /// algorithm here that can return stale data.
+    Poll {
+        /// How long a validation stays trusted.
+        timeout: Duration,
+    },
+    /// Server tracks every caching client and invalidates before each
+    /// write (§2.3). Unbounded write delay under failures.
+    Callback,
+    /// Gray & Cheriton object leases (§2.4).
+    Lease {
+        /// Object lease length `t`.
+        timeout: Duration,
+    },
+    /// Object leases where the server never sends invalidations: every
+    /// write simply waits for all outstanding leases on the object to
+    /// expire. §2.4 mentions this option ("servers may also choose to
+    /// invalidate caches by simply waiting for all outstanding leases to
+    /// expire") without exploring it; this implementation does. Zero
+    /// write messages, but *every* write to a leased object blocks up
+    /// to `t` — not just writes that hit failures.
+    WaitingLease {
+        /// Object lease length `t`.
+        timeout: Duration,
+    },
+    /// The paper's volume leases (§3.1): long object leases + one short
+    /// volume lease per server.
+    VolumeLease {
+        /// Volume lease length `t_v` (short).
+        volume_timeout: Duration,
+        /// Object lease length `t` (long).
+        object_timeout: Duration,
+    },
+    /// Volume leases with delayed invalidations (§3.2): invalidations for
+    /// volume-expired clients are queued per client and delivered on
+    /// volume renewal; after `inactive_discard` the queue is discarded
+    /// and the client must run the reconnection protocol.
+    DelayedInvalidation {
+        /// Volume lease length `t_v` (short).
+        volume_timeout: Duration,
+        /// Object lease length `t` (long).
+        object_timeout: Duration,
+        /// The paper's `d`: how long pending messages are kept for an
+        /// inactive client. [`Duration::MAX`] means "keep forever"
+        /// (written `∞` in the paper's `Delay(t_v, t, ∞)`).
+        inactive_discard: Duration,
+    },
+}
+
+impl ProtocolKind {
+    /// `true` unless the algorithm can return stale data (only
+    /// [`ProtocolKind::Poll`] with a non-zero timeout can).
+    pub fn is_strongly_consistent(&self) -> bool {
+        !matches!(self, ProtocolKind::Poll { timeout } if !timeout.is_zero())
+    }
+
+    /// The object-lease / validation timeout `t`, when the algorithm has
+    /// one.
+    pub fn object_timeout(&self) -> Option<Duration> {
+        match *self {
+            ProtocolKind::PollEachRead | ProtocolKind::Callback => None,
+            ProtocolKind::Poll { timeout }
+            | ProtocolKind::Lease { timeout }
+            | ProtocolKind::WaitingLease { timeout } => Some(timeout),
+            ProtocolKind::VolumeLease { object_timeout, .. }
+            | ProtocolKind::DelayedInvalidation { object_timeout, .. } => Some(object_timeout),
+        }
+    }
+
+    /// The volume-lease timeout `t_v`, for the volume algorithms.
+    pub fn volume_timeout(&self) -> Option<Duration> {
+        match *self {
+            ProtocolKind::VolumeLease { volume_timeout, .. }
+            | ProtocolKind::DelayedInvalidation { volume_timeout, .. } => Some(volume_timeout),
+            _ => None,
+        }
+    }
+
+    /// Worst-case write delay under client/network failure — the "ack
+    /// wait delay" column of Table 1. `None` means unbounded.
+    pub fn max_write_delay(&self) -> Option<Duration> {
+        match *self {
+            ProtocolKind::PollEachRead | ProtocolKind::Poll { .. } => Some(Duration::ZERO),
+            ProtocolKind::Callback => None,
+            ProtocolKind::Lease { timeout } | ProtocolKind::WaitingLease { timeout } => {
+                Some(timeout)
+            }
+            ProtocolKind::VolumeLease {
+                volume_timeout,
+                object_timeout,
+            }
+            | ProtocolKind::DelayedInvalidation {
+                volume_timeout,
+                object_timeout,
+                ..
+            } => Some(volume_timeout.min(object_timeout)),
+        }
+    }
+}
+
+fn secs(d: Duration) -> String {
+    if d.is_infinite() {
+        "∞".to_owned()
+    } else if d.as_millis().is_multiple_of(1000) {
+        format!("{}", d.as_secs())
+    } else {
+        format!("{:.3}", d.as_secs_f64())
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ProtocolKind::PollEachRead => f.write_str("PollEachRead"),
+            ProtocolKind::Poll { timeout } => write!(f, "Poll({})", secs(timeout)),
+            ProtocolKind::Callback => f.write_str("Callback"),
+            ProtocolKind::Lease { timeout } => write!(f, "Lease({})", secs(timeout)),
+            ProtocolKind::WaitingLease { timeout } => {
+                write!(f, "WaitLease({})", secs(timeout))
+            }
+            ProtocolKind::VolumeLease {
+                volume_timeout,
+                object_timeout,
+            } => write!(
+                f,
+                "Volume({}, {})",
+                secs(volume_timeout),
+                secs(object_timeout)
+            ),
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout,
+                object_timeout,
+                inactive_discard,
+            } => write!(
+                f,
+                "Delay({}, {}, {})",
+                secs(volume_timeout),
+                secs(object_timeout),
+                secs(inactive_discard)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(ProtocolKind::PollEachRead.to_string(), "PollEachRead");
+        assert_eq!(
+            ProtocolKind::Poll {
+                timeout: Duration::from_secs(100)
+            }
+            .to_string(),
+            "Poll(100)"
+        );
+        assert_eq!(ProtocolKind::Callback.to_string(), "Callback");
+        assert_eq!(
+            ProtocolKind::Lease {
+                timeout: Duration::from_secs(10)
+            }
+            .to_string(),
+            "Lease(10)"
+        );
+        assert_eq!(
+            ProtocolKind::VolumeLease {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(100_000),
+            }
+            .to_string(),
+            "Volume(10, 100000)"
+        );
+    }
+
+    #[test]
+    fn strong_consistency_classification() {
+        assert!(ProtocolKind::PollEachRead.is_strongly_consistent());
+        assert!(ProtocolKind::Callback.is_strongly_consistent());
+        assert!(!ProtocolKind::Poll {
+            timeout: Duration::from_secs(60)
+        }
+        .is_strongly_consistent());
+        assert!(ProtocolKind::Poll {
+            timeout: Duration::ZERO
+        }
+        .is_strongly_consistent());
+    }
+
+    #[test]
+    fn write_delay_bounds_match_table1() {
+        assert_eq!(
+            ProtocolKind::Callback.max_write_delay(),
+            None,
+            "callback can stall forever"
+        );
+        assert_eq!(
+            ProtocolKind::Lease {
+                timeout: Duration::from_secs(10)
+            }
+            .max_write_delay(),
+            Some(Duration::from_secs(10))
+        );
+        assert_eq!(
+            ProtocolKind::VolumeLease {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(100_000),
+            }
+            .max_write_delay(),
+            Some(Duration::from_secs(10)),
+            "min(t, t_v)"
+        );
+    }
+
+    #[test]
+    fn timeout_accessors() {
+        let k = ProtocolKind::DelayedInvalidation {
+            volume_timeout: Duration::from_secs(10),
+            object_timeout: Duration::from_secs(1000),
+            inactive_discard: Duration::from_secs(3600),
+        };
+        assert_eq!(k.object_timeout(), Some(Duration::from_secs(1000)));
+        assert_eq!(k.volume_timeout(), Some(Duration::from_secs(10)));
+        assert_eq!(ProtocolKind::Callback.object_timeout(), None);
+        assert_eq!(ProtocolKind::Callback.volume_timeout(), None);
+    }
+}

@@ -1,0 +1,637 @@
+//! *Volume Leases with Delayed Invalidations* (§3.2) — the paper's most
+//! refined algorithm.
+//!
+//! Once a client's volume lease has expired the client cannot read any of
+//! the volume's objects without first contacting the server, so there is
+//! no need to invalidate its object leases eagerly. Instead the server:
+//!
+//! 1. moves the client to the volume's **Inactive** set and queues each
+//!    object invalidation on a per-client **pending list** (16 bytes of
+//!    server state per queued message);
+//! 2. delivers the whole list, batched into the volume-lease grant, if
+//!    the client renews the volume (one message + one ack, however many
+//!    invalidations it carries);
+//! 3. after the client has been inactive for `d` seconds, demotes it to
+//!    the **Unreachable** set, discarding its pending list *and* its
+//!    object-lease records — a returning client then runs the
+//!    reconnection protocol of §3.1.1 (`MUST_RENEW_ALL` →
+//!    `RENEW_OBJ_LEASES` → batched invalidate/renew → ack).
+
+use super::Protocol;
+use crate::cache::ClientCaches;
+use crate::track::LeaseTrack;
+use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
+use std::collections::{BTreeMap, BTreeSet};
+use vl_metrics::MessageKind;
+use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId, LEASE_RECORD_BYTES};
+use vl_workload::Universe;
+
+/// One queued object invalidation for an inactive client.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    object: ObjectId,
+    enqueued: Timestamp,
+}
+
+/// A client in the Inactive set: volume lapsed, invalidations queued.
+#[derive(Clone, Debug)]
+struct InactiveRec {
+    /// When the client's volume lease expired (inactivity starts here).
+    since: Timestamp,
+    pending: Vec<Pending>,
+}
+
+/// Per-volume bookkeeping beyond the lease tables.
+#[derive(Clone, Debug, Default)]
+struct VolumeState {
+    inactive: BTreeMap<ClientId, InactiveRec>,
+    unreachable: BTreeSet<ClientId>,
+    /// Which objects each client holds leases on — consulted when a
+    /// demotion must discard a client's lease records wholesale.
+    holdings: BTreeMap<ClientId, BTreeSet<ObjectId>>,
+}
+
+/// The `Delay(t_v, t, d)` algorithm.
+#[derive(Debug)]
+pub struct DelayedInvalidation {
+    volume_timeout: Duration,
+    object_timeout: Duration,
+    inactive_discard: Duration,
+    obj_leases: Vec<LeaseTrack>,
+    vol_leases: Vec<LeaseTrack>,
+    vols: Vec<VolumeState>,
+    caches: ClientCaches,
+}
+
+impl DelayedInvalidation {
+    /// Creates the protocol. `inactive_discard` of [`Duration::MAX`] is
+    /// the paper's `Delay(t_v, t, ∞)`: pending lists are never discarded.
+    pub fn new(
+        volume_timeout: Duration,
+        object_timeout: Duration,
+        inactive_discard: Duration,
+        universe: &Universe,
+    ) -> DelayedInvalidation {
+        DelayedInvalidation {
+            volume_timeout,
+            object_timeout,
+            inactive_discard,
+            obj_leases: universe
+                .objects()
+                .iter()
+                .map(|o| LeaseTrack::new(o.server))
+                .collect(),
+            vol_leases: universe
+                .volumes()
+                .iter()
+                .map(|v| LeaseTrack::new(v.server))
+                .collect(),
+            vols: vec![VolumeState::default(); universe.volume_count()],
+            caches: ClientCaches::new(),
+        }
+    }
+
+    /// True if `client` currently sits in `volume`'s Unreachable set.
+    pub fn is_unreachable(&self, client: ClientId, volume: VolumeId) -> bool {
+        self.vols[volume.raw() as usize].unreachable.contains(&client)
+    }
+
+    /// Pending queued invalidations for `client` in `volume` (for tests
+    /// and diagnostics).
+    pub fn pending_count(&self, client: ClientId, volume: VolumeId) -> usize {
+        self.vols[volume.raw() as usize]
+            .inactive
+            .get(&client)
+            .map_or(0, |r| r.pending.len())
+    }
+
+    fn grant_object(
+        &mut self,
+        now: Timestamp,
+        client: ClientId,
+        object: ObjectId,
+        volume: VolumeId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.obj_leases[object.raw() as usize].grant(
+            client,
+            now,
+            now.saturating_add(self.object_timeout),
+            ctx.metrics,
+        );
+        self.vols[volume.raw() as usize]
+            .holdings
+            .entry(client)
+            .or_default()
+            .insert(object);
+        self.caches.put(client, object, volume, ctx.version(object));
+    }
+
+    fn revoke_object(
+        &mut self,
+        at: Timestamp,
+        client: ClientId,
+        object: ObjectId,
+        volume: VolumeId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.obj_leases[object.raw() as usize].revoke(client, at, ctx.metrics);
+        if let Some(set) = self.vols[volume.raw() as usize].holdings.get_mut(&client) {
+            set.remove(&object);
+        }
+    }
+
+    /// If `client`'s inactivity in `volume` has outlived `d`, demote it:
+    /// discard its pending list and lease records (both charged up to the
+    /// demotion instant) and add it to the Unreachable set.
+    fn demote_if_due(&mut self, now: Timestamp, client: ClientId, volume: VolumeId, ctx: &mut Ctx<'_>) {
+        if self.inactive_discard.is_infinite() {
+            return;
+        }
+        let vi = volume.raw() as usize;
+        let due = self.vols[vi]
+            .inactive
+            .get(&client)
+            .map(|rec| rec.since.saturating_add(self.inactive_discard))
+            .filter(|&cutoff| now >= cutoff);
+        let Some(cutoff) = due else { return };
+        let rec = self.vols[vi]
+            .inactive
+            .remove(&client)
+            .expect("checked above");
+        let server = ctx.universe.volume(volume).server;
+        for p in rec.pending {
+            ctx.metrics.state_held(
+                server,
+                LEASE_RECORD_BYTES,
+                cutoff.saturating_sub(p.enqueued),
+            );
+        }
+        let held: Vec<ObjectId> = self.vols[vi]
+            .holdings
+            .remove(&client)
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        for object in held {
+            self.obj_leases[object.raw() as usize].revoke(client, cutoff, ctx.metrics);
+        }
+        self.vols[vi].unreachable.insert(client);
+    }
+
+    /// The §3.1.1 reconnection exchange for an unreachable client.
+    ///
+    /// Six one-way messages: `REQ_VOL_LEASE`, `MUST_RENEW_ALL`,
+    /// `RENEW_OBJ_LEASES(leaseSet)`, the batched `INVALIDATE`/`RENEW`
+    /// reply, `ACK_INVALIDATE`, and the final `VOL_LEASE` grant.
+    fn reconnect(&mut self, now: Timestamp, client: ClientId, volume: VolumeId, ctx: &mut Ctx<'_>) {
+        let vi = volume.raw() as usize;
+        let server = ctx.universe.volume(volume).server;
+        let cached = self.caches.cached_in_volume(client, volume);
+        let list_bytes = cached.len() as u64 * LIST_ENTRY_BYTES;
+
+        ctx.send_to_server(MessageKind::VolLeaseRequest, server, client, 0, now);
+        ctx.send_to_server(MessageKind::MustRenewAll, server, client, 0, now);
+        ctx.send_to_server(MessageKind::RenewObjLeases, server, client, list_bytes, now);
+        ctx.send_to_server(
+            MessageKind::BatchedInvalRenew,
+            server,
+            client,
+            list_bytes,
+            now,
+        );
+        ctx.send_to_server(MessageKind::AckInvalidate, server, client, 0, now);
+        ctx.send_to_server(MessageKind::VolLeaseGrant, server, client, 0, now);
+
+        for object in cached {
+            let fresh = self.caches.version_of(client, object) == Some(ctx.version(object));
+            if fresh {
+                // Renew the lease on the still-current copy.
+                self.grant_object(now, client, object, volume, ctx);
+            } else {
+                // Invalidate: the client discards its stale copy.
+                self.caches.drop_copy(client, object, volume);
+            }
+        }
+        self.vols[vi].unreachable.remove(&client);
+        self.vol_leases[vi].grant(
+            client,
+            now,
+            now.saturating_add(self.volume_timeout),
+            ctx.metrics,
+        );
+    }
+}
+
+impl Protocol for DelayedInvalidation {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::DelayedInvalidation {
+            volume_timeout: self.volume_timeout,
+            object_timeout: self.object_timeout,
+            inactive_discard: self.inactive_discard,
+        }
+    }
+
+    fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
+        let volume = ctx.universe.volume_of(object);
+        let vi = volume.raw() as usize;
+        self.demote_if_due(now, client, volume, ctx);
+
+        if self.vols[vi].unreachable.contains(&client) {
+            self.reconnect(now, client, volume, ctx);
+            // Fall through: the read itself still needs a valid object
+            // lease (reconnection renewed it only if the copy was fresh).
+        }
+
+        let vol_ok = self.vol_leases[vi].is_valid(client, now);
+        let obj_ok = self.obj_leases[object.raw() as usize].is_valid(client, now);
+        let current = ctx.version(object);
+        let cached = self.caches.version_of(client, object);
+
+        match (vol_ok, obj_ok) {
+            (true, true) => {
+                debug_assert_eq!(cached, Some(current));
+            }
+            (true, false) => {
+                ctx.send(MessageKind::ObjLeaseRequest, object, client, 0, now);
+                let data = if cached == Some(current) {
+                    0
+                } else {
+                    ctx.payload(object)
+                };
+                ctx.send(MessageKind::ObjLeaseGrant, object, client, data, now);
+                self.grant_object(now, client, object, volume, ctx);
+            }
+            (false, _) => {
+                // Volume renewal; delivers any pending invalidations
+                // batched into the grant, and renews the object lease in
+                // the same round trip when needed.
+                let pending = self.vols[vi]
+                    .inactive
+                    .remove(&client)
+                    .map(|r| r.pending)
+                    .unwrap_or_default();
+                let server = ctx.universe.volume(volume).server;
+                let pending_bytes = pending.len() as u64 * LIST_ENTRY_BYTES;
+
+                ctx.send_to_server(
+                    MessageKind::VolLeaseRequest,
+                    server,
+                    client,
+                    if obj_ok { 0 } else { LIST_ENTRY_BYTES },
+                    now,
+                );
+                for p in &pending {
+                    ctx.metrics.state_held(
+                        server,
+                        LEASE_RECORD_BYTES,
+                        now.saturating_sub(p.enqueued),
+                    );
+                    self.caches.drop_copy(client, p.object, volume);
+                }
+                // Re-evaluate the object after applying pending drops.
+                let cached = self.caches.version_of(client, object);
+                let need_obj = !obj_ok;
+                let data = if need_obj && cached != Some(current) {
+                    ctx.payload(object)
+                } else {
+                    0
+                };
+                ctx.send_to_server(
+                    MessageKind::VolLeaseGrant,
+                    server,
+                    client,
+                    pending_bytes + if need_obj { LIST_ENTRY_BYTES } else { 0 } + data,
+                    now,
+                );
+                if !pending.is_empty() {
+                    ctx.send_to_server(MessageKind::AckInvalidate, server, client, 0, now);
+                }
+                self.vol_leases[vi].grant(
+                    client,
+                    now,
+                    now.saturating_add(self.volume_timeout),
+                    ctx.metrics,
+                );
+                if need_obj {
+                    self.grant_object(now, client, object, volume, ctx);
+                } else {
+                    debug_assert_eq!(cached, Some(current));
+                }
+            }
+        }
+        ctx.metrics.record_read(false);
+    }
+
+    fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
+        let volume = ctx.universe.volume_of(object);
+        let vi = volume.raw() as usize;
+        for client in self.obj_leases[object.raw() as usize].valid_holders(now) {
+            self.demote_if_due(now, client, volume, ctx);
+            if self.vols[vi].unreachable.contains(&client) {
+                // Its lease records were discarded at demotion; if the
+                // demotion just happened this holder no longer exists.
+                continue;
+            }
+            if self.vol_leases[vi].is_valid(client, now) {
+                // Active client: invalidate immediately.
+                ctx.send(MessageKind::Invalidate, object, client, 0, now);
+                ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
+                self.revoke_object(now, client, object, volume, ctx);
+                self.caches.drop_copy(client, object, volume);
+            } else {
+                // Volume lapsed: queue the invalidation instead.
+                let since = self.vol_leases[vi].expiry_of(client).unwrap_or(now);
+                self.revoke_object(now, client, object, volume, ctx);
+                self.vols[vi]
+                    .inactive
+                    .entry(client)
+                    .or_insert_with(|| InactiveRec {
+                        since,
+                        pending: Vec::new(),
+                    })
+                    .pending
+                    .push(Pending {
+                        object,
+                        enqueued: now,
+                    });
+            }
+        }
+        self.obj_leases[object.raw() as usize].sweep_expired(now, ctx.metrics);
+        ctx.metrics.record_write_delay(Duration::ZERO);
+    }
+
+    fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>) {
+        for track in self.obj_leases.iter_mut().chain(self.vol_leases.iter_mut()) {
+            track.finalize(end, ctx.metrics);
+        }
+        for (vi, vol) in self.vols.iter_mut().enumerate() {
+            let server = ctx.universe.volume(VolumeId(vi as u32)).server;
+            for rec in vol.inactive.values() {
+                let cutoff = if self.inactive_discard.is_infinite() {
+                    end
+                } else {
+                    rec.since.saturating_add(self.inactive_discard).min(end)
+                };
+                for p in &rec.pending {
+                    ctx.metrics.state_held(
+                        server,
+                        LEASE_RECORD_BYTES,
+                        cutoff.saturating_sub(p.enqueued),
+                    );
+                }
+            }
+            vol.inactive.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::testutil::{two_volume_universe, versions};
+    use vl_metrics::Metrics;
+    use vl_types::Version;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn proto(u: &Universe, d: Duration) -> DelayedInvalidation {
+        DelayedInvalidation::new(Duration::from_secs(10), Duration::from_secs(1000), d, u)
+    }
+
+    macro_rules! ctx {
+        ($u:expr, $v:expr, $m:expr) => {
+            &mut Ctx {
+                universe: &$u,
+                versions: &$v,
+                metrics: &mut $m,
+            }
+        };
+    }
+
+    fn write(
+        p: &mut DelayedInvalidation,
+        vers: &mut [Version],
+        u: &Universe,
+        m: &mut Metrics,
+        at: Timestamp,
+        o: ObjectId,
+    ) {
+        let mut c = Ctx {
+            universe: u,
+            versions: vers,
+            metrics: m,
+        };
+        p.on_write(at, o, &mut c);
+        vers[o.raw() as usize] = vers[o.raw() as usize].next();
+    }
+
+    #[test]
+    fn write_to_volume_lapsed_client_sends_no_message() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        let before = m.total_messages();
+        // Volume lease (10 s) lapsed; object lease (1000 s) still valid.
+        write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(0));
+        assert_eq!(m.total_messages(), before, "invalidation was queued, not sent");
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 1);
+    }
+
+    #[test]
+    fn pending_invalidations_are_batched_on_volume_renewal() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        // Client caches both objects of volume 0.
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(0), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        // Both are written while the volume lease is lapsed.
+        write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(0));
+        write(&mut p, &mut vers, &u, &mut m, ts(200), ObjectId(1));
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 2);
+        let before = m.total_messages();
+        // The client returns: one volume renewal delivers both
+        // invalidations (REQ + GRANT-with-batch + ACK) and re-fetches the
+        // object being read in the same round trip.
+        p.on_read(ts(300), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.total_messages() - before, 3);
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 0);
+        assert_eq!(m.staleness().stale_reads(), 0);
+        // Object 1's copy was dropped by the batch; reading it now
+        // re-fetches under the fresh volume lease.
+        let before = m.total_bytes();
+        p.on_read(ts(301), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        assert!(m.total_bytes() - before > 1000, "data refetched");
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn active_clients_are_invalidated_immediately() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        let before = m.total_messages();
+        write(&mut p, &mut vers, &u, &mut m, ts(5), ObjectId(0)); // vol still valid
+        assert_eq!(m.total_messages() - before, 2, "INVALIDATE + ACK");
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 0);
+    }
+
+    #[test]
+    fn inactive_client_demoted_to_unreachable_after_d() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let d = Duration::from_secs(50);
+        let mut p = proto(&u, d);
+        // Client holds leases on both objects of volume 0.
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(1), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        write(&mut p, &mut vers, &u, &mut m, ts(20), ObjectId(0)); // queued (vol lapsed at 10)
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 1);
+        // d counts from volume expiry (t=10); the write to object 1 at
+        // t=70 touches a holder whose demotion is due (10 + 50 = 60 ≤ 70),
+        // so the server discards its queue and lease records.
+        let before = m.total_messages();
+        write(&mut p, &mut vers, &u, &mut m, ts(70), ObjectId(1));
+        assert!(p.is_unreachable(ClientId(0), VolumeId(0)));
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 0);
+        assert_eq!(
+            m.total_messages(),
+            before,
+            "no message is sent to an unreachable client"
+        );
+    }
+
+    #[test]
+    fn unreachable_client_reconnects_with_must_renew_all() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let d = Duration::from_secs(50);
+        let mut p = proto(&u, d);
+        // Client caches both objects; object 0 is then written while the
+        // volume lease is lapsed (invalidations queued, not sent).
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(1), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        write(&mut p, &mut vers, &u, &mut m, ts(20), ObjectId(0));
+        let before = m.total_messages();
+        // The client stays away past d; its own return (a read of the
+        // still-fresh object 1 at t=80 ≥ 10 + 50) triggers demotion and
+        // then the §3.1.1 reconnection exchange.
+        p.on_read(ts(80), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        assert!(!p.is_unreachable(ClientId(0), VolumeId(0)));
+        assert_eq!(
+            m.message_counters().count(MessageKind::MustRenewAll),
+            1,
+            "reconnection protocol ran"
+        );
+        // 6 reconnection messages; object 1's copy was fresh, so its
+        // lease was renewed in the batch and the read is then local.
+        assert_eq!(m.total_messages() - before, 6);
+        // Object 0's copy was stale and dropped; reading it re-fetches.
+        let bytes_before = m.total_bytes();
+        p.on_read(ts(81), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert!(m.total_bytes() - bytes_before >= 1000);
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn never_stale_under_interleaved_reads_and_writes() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::from_secs(40));
+        for round in 0u64..200 {
+            let t = ts(round * 3);
+            let c = ClientId((round % 2) as u32);
+            let o = ObjectId(round % 3);
+            p.on_read(t, c, o, ctx!(u, vers, m));
+            if round % 5 == 0 {
+                write(
+                    &mut p,
+                    &mut vers,
+                    &u,
+                    &mut m,
+                    t + Duration::from_secs(1),
+                    ObjectId((round / 5) % 3),
+                );
+            }
+        }
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn pending_state_is_charged_for_queue_lifetime() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(0)); // queued at 100
+        p.on_read(ts(400), ClientId(0), ObjectId(0), ctx!(u, vers, m)); // delivered at 400
+        p.finalize(ts(1000), ctx!(u, vers, m));
+        // Check the queue contribution is present: total state integral at
+        // server 0 includes 16 B × 300 s for the pending record.
+        let raw = m.state_integral().raw_byte_ms(vl_types::ServerId(0));
+        assert!(
+            raw >= 16 * 300_000,
+            "pending record lifetime missing from integral: {raw}"
+        );
+    }
+
+    #[test]
+    fn batched_delivery_bytes_scale_with_pending_count() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(0), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(0));
+        write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(1));
+        let bytes_before = m.total_bytes();
+        // Volume renewal carrying 2 pending invalidations + combined
+        // object renewal with data: REQ(50+12) + GRANT(50+2·12+12+1000)
+        // + ACK(50).
+        p.on_read(ts(300), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(
+            m.total_bytes() - bytes_before,
+            (50 + 12) + (50 + 2 * 12 + 12 + 1000) + 50
+        );
+    }
+
+    #[test]
+    fn volume_renewal_without_pending_needs_no_ack() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        let before = m.total_messages();
+        // Volume lapsed, object lease still valid, nothing pending:
+        // plain 2-message renewal.
+        p.on_read(ts(100), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.total_messages() - before, 2);
+        assert_eq!(m.message_counters().count(MessageKind::AckInvalidate), 0);
+    }
+
+    #[test]
+    fn delay_infinite_d_never_demotes() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u, Duration::MAX);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        write(&mut p, &mut vers, &u, &mut m, ts(20), ObjectId(0));
+        write(&mut p, &mut vers, &u, &mut m, ts(1_000_000), ObjectId(1));
+        assert!(!p.is_unreachable(ClientId(0), VolumeId(0)));
+        assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! The consistency algorithms behind one trait: the paper's six plus
+//! the waiting-lease extension.
+
+mod callback;
+mod delay;
+mod lease;
+mod poll;
+mod volume;
+
+pub use callback::Callback;
+pub use delay::DelayedInvalidation;
+pub use lease::ObjectLease;
+pub use poll::{Poll, PollEachRead};
+pub use volume::VolumeLease;
+
+use crate::{Ctx, ProtocolKind};
+use std::fmt::Debug;
+use vl_types::{ClientId, ObjectId, Timestamp};
+use vl_workload::Universe;
+
+/// A cache-consistency algorithm driven by trace events.
+///
+/// The engine calls [`on_read`](Protocol::on_read) for every client read
+/// and [`on_write`](Protocol::on_write) before committing every write
+/// (bumping the authoritative version afterwards), then
+/// [`finalize`](Protocol::finalize) once at the end of the span so open
+/// state intervals can be charged to the state integral.
+///
+/// Implementations record *all* of their message, state, and staleness
+/// costs through the [`Ctx`] they are handed.
+pub trait Protocol: Debug {
+    /// Which algorithm (and parameters) this is.
+    fn kind(&self) -> ProtocolKind;
+
+    /// Client `client` reads `object` at `now`.
+    fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>);
+
+    /// The origin server is about to write `object` at `now`; the engine
+    /// increments the authoritative version when this returns.
+    fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>);
+
+    /// The trace has ended at `end`: close any open state intervals.
+    fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>);
+}
+
+/// Instantiates the implementation for `kind`, sized for `universe`.
+pub fn new_protocol(kind: ProtocolKind, universe: &Universe) -> Box<dyn Protocol> {
+    match kind {
+        ProtocolKind::PollEachRead => Box::new(PollEachRead::new()),
+        ProtocolKind::Poll { timeout } => Box::new(Poll::new(timeout)),
+        ProtocolKind::Callback => Box::new(Callback::new(universe)),
+        ProtocolKind::Lease { timeout } => Box::new(ObjectLease::new(timeout, universe)),
+        ProtocolKind::WaitingLease { timeout } => {
+            Box::new(ObjectLease::new_waiting(timeout, universe))
+        }
+        ProtocolKind::VolumeLease {
+            volume_timeout,
+            object_timeout,
+        } => Box::new(VolumeLease::new(volume_timeout, object_timeout, universe)),
+        ProtocolKind::DelayedInvalidation {
+            volume_timeout,
+            object_timeout,
+            inactive_discard,
+        } => Box::new(DelayedInvalidation::new(
+            volume_timeout,
+            object_timeout,
+            inactive_discard,
+            universe,
+        )),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared fixtures for protocol unit tests.
+
+    use vl_types::{ServerId, Version};
+    use vl_workload::{Universe, UniverseBuilder};
+
+    /// Two servers; server 0 hosts volume 0 with objects {0, 1}, server 1
+    /// hosts volume 1 with object {2}. All objects are 1000 bytes.
+    pub fn two_volume_universe() -> Universe {
+        let mut b = UniverseBuilder::new();
+        let v0 = b.add_volume(ServerId(0));
+        let v1 = b.add_volume(ServerId(1));
+        b.add_object(v0, 1000);
+        b.add_object(v0, 1000);
+        b.add_object(v1, 1000);
+        b.build()
+    }
+
+    /// Fresh version vector for `n` objects.
+    pub fn versions(n: usize) -> Vec<Version> {
+        vec![Version::FIRST; n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vl_types::Duration;
+
+    #[test]
+    fn factory_builds_every_kind() {
+        let u = testutil::two_volume_universe();
+        let kinds = [
+            ProtocolKind::PollEachRead,
+            ProtocolKind::Poll {
+                timeout: Duration::from_secs(60),
+            },
+            ProtocolKind::Callback,
+            ProtocolKind::Lease {
+                timeout: Duration::from_secs(60),
+            },
+            ProtocolKind::WaitingLease {
+                timeout: Duration::from_secs(60),
+            },
+            ProtocolKind::VolumeLease {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(1000),
+            },
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout: Duration::from_secs(10),
+                object_timeout: Duration::from_secs(1000),
+                inactive_discard: Duration::MAX,
+            },
+        ];
+        for kind in kinds {
+            let p = new_protocol(kind, &u);
+            assert_eq!(p.kind(), kind, "factory must preserve the kind");
+        }
+    }
+}

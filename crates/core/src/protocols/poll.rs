@@ -1,0 +1,272 @@
+//! The client-driven baselines: *Poll Each Read* (§2.1) and *Poll(t)*
+//! (§2.2).
+
+use crate::cache::ClientCaches;
+use crate::{Ctx, ProtocolKind};
+use super::Protocol;
+use std::collections::HashMap;
+use vl_metrics::MessageKind;
+use vl_types::{ClientId, Duration, ObjectId, Timestamp};
+
+/// *Poll Each Read*: validate with the server before every cache read.
+///
+/// Strongly consistent and never delays writes, but every read pays a
+/// round trip — the paper's motivation for server-driven protocols.
+#[derive(Debug, Default)]
+pub struct PollEachRead {
+    caches: ClientCaches,
+}
+
+impl PollEachRead {
+    /// Creates the protocol.
+    pub fn new() -> PollEachRead {
+        PollEachRead::default()
+    }
+}
+
+impl Protocol for PollEachRead {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::PollEachRead
+    }
+
+    fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
+        let current = ctx.version(object);
+        let cached = self.caches.version_of(client, object);
+        ctx.send(MessageKind::PollRequest, object, client, 0, now);
+        // The reply carries data only when the cached copy is out of date.
+        let data = if cached == Some(current) {
+            0
+        } else {
+            ctx.payload(object)
+        };
+        ctx.send(MessageKind::PollReply, object, client, data, now);
+        self.caches
+            .put(client, object, ctx.universe.volume_of(object), current);
+        ctx.metrics.record_read(false);
+    }
+
+    fn on_write(&mut self, _now: Timestamp, _object: ObjectId, ctx: &mut Ctx<'_>) {
+        // Writes proceed immediately; no server consistency state exists.
+        ctx.metrics.record_write_delay(Duration::ZERO);
+    }
+
+    fn finalize(&mut self, _end: Timestamp, _ctx: &mut Ctx<'_>) {}
+}
+
+/// *Poll(t)*: trust a validation for `timeout`, then re-validate.
+///
+/// The only algorithm in this workspace that can serve stale reads: a
+/// write inside the trust window is invisible until the next validation.
+#[derive(Debug)]
+pub struct Poll {
+    timeout: Duration,
+    caches: ClientCaches,
+    /// (client, object) → last validation instant.
+    validated: HashMap<(u32, u64), Timestamp>,
+}
+
+impl Poll {
+    /// Creates the protocol with trust window `timeout`. A zero timeout
+    /// degenerates to [`PollEachRead`], as in the paper.
+    pub fn new(timeout: Duration) -> Poll {
+        Poll {
+            timeout,
+            caches: ClientCaches::new(),
+            validated: HashMap::new(),
+        }
+    }
+}
+
+impl Protocol for Poll {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::Poll {
+            timeout: self.timeout,
+        }
+    }
+
+    fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
+        let key = (client.raw(), object.raw());
+        let current = ctx.version(object);
+        let cached = self.caches.version_of(client, object);
+        let fresh_enough = cached.is_some()
+            && self
+                .validated
+                .get(&key)
+                .is_some_and(|&v| now < v.saturating_add(self.timeout));
+        if fresh_enough {
+            // Serve from cache without contacting the server; this is
+            // where staleness sneaks in.
+            ctx.metrics.record_read(cached != Some(current));
+            return;
+        }
+        ctx.send(MessageKind::PollRequest, object, client, 0, now);
+        let data = if cached == Some(current) {
+            0
+        } else {
+            ctx.payload(object)
+        };
+        ctx.send(MessageKind::PollReply, object, client, data, now);
+        self.caches
+            .put(client, object, ctx.universe.volume_of(object), current);
+        self.validated.insert(key, now);
+        ctx.metrics.record_read(false);
+    }
+
+    fn on_write(&mut self, _now: Timestamp, _object: ObjectId, ctx: &mut Ctx<'_>) {
+        ctx.metrics.record_write_delay(Duration::ZERO);
+    }
+
+    fn finalize(&mut self, _end: Timestamp, _ctx: &mut Ctx<'_>) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::testutil::{two_volume_universe, versions};
+    use vl_metrics::Metrics;
+    use vl_types::Version;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn poll_each_read_always_messages() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = PollEachRead::new();
+        for s in 0..5 {
+            let mut ctx = Ctx {
+                universe: &u,
+                versions: &vers,
+                metrics: &mut m,
+            };
+            p.on_read(ts(s), ClientId(0), ObjectId(0), &mut ctx);
+        }
+        assert_eq!(m.total_messages(), 10); // 2 per read
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn poll_each_read_sends_data_only_when_changed() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = PollEachRead::new();
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(0), ClientId(0), ObjectId(0), &mut ctx);
+        let first_fetch = m.total_bytes(); // 50 + 50 + 1000
+        assert_eq!(first_fetch, 1100);
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(1), ClientId(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.total_bytes(), 1200, "unchanged data is not resent");
+        vers[0] = Version(2);
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(2), ClientId(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.total_bytes(), 2300, "changed data is resent");
+    }
+
+    #[test]
+    fn poll_caches_within_timeout() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = Poll::new(Duration::from_secs(10));
+        for s in [0u64, 3, 6, 9] {
+            let mut ctx = Ctx {
+                universe: &u,
+                versions: &vers,
+                metrics: &mut m,
+            };
+            p.on_read(ts(s), ClientId(0), ObjectId(0), &mut ctx);
+        }
+        assert_eq!(m.total_messages(), 2, "only the first read polls");
+        // Past the window: revalidates.
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(10), ClientId(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.total_messages(), 4);
+    }
+
+    #[test]
+    fn poll_serves_stale_data_inside_window() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = Poll::new(Duration::from_secs(100));
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(0), ClientId(0), ObjectId(0), &mut ctx);
+        // A write lands inside the trust window.
+        vers[0] = Version(2);
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(50), ClientId(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.staleness().stale_reads(), 1);
+        // After expiry the client revalidates and sees the new version.
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_read(ts(100), ClientId(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.staleness().stale_reads(), 1);
+        assert_eq!(m.staleness().reads(), 3);
+    }
+
+    #[test]
+    fn poll_zero_timeout_equals_poll_each_read() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = Poll::new(Duration::ZERO);
+        for s in 0..4 {
+            let mut ctx = Ctx {
+                universe: &u,
+                versions: &vers,
+                metrics: &mut m,
+            };
+            p.on_read(ts(s), ClientId(0), ObjectId(0), &mut ctx);
+        }
+        assert_eq!(m.total_messages(), 8);
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn writes_never_delay() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = Poll::new(Duration::from_secs(10));
+        let mut ctx = Ctx {
+            universe: &u,
+            versions: &vers,
+            metrics: &mut m,
+        };
+        p.on_write(ts(0), ObjectId(0), &mut ctx);
+        assert_eq!(m.total_messages(), 0);
+        assert_eq!(m.max_write_delay(), Duration::ZERO);
+    }
+}

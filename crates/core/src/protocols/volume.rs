@@ -1,0 +1,326 @@
+//! The paper's basic *Volume Leases* algorithm (§3.1).
+
+use super::Protocol;
+use crate::cache::ClientCaches;
+use crate::track::LeaseTrack;
+use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
+use vl_metrics::MessageKind;
+use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId};
+use vl_workload::Universe;
+
+/// Volume leases: a client reads from cache only while it holds valid
+/// leases on **both** the object (long, `t`) and the object's volume
+/// (short, `t_v`); the server may write once **either** has expired.
+///
+/// Renewals of a volume lease and an object lease triggered by the same
+/// read share one round trip (the grant carries both records), so the
+/// extra cost over plain [`super::ObjectLease`] is only the reads where
+/// the volume lapsed but the object lease is still live — cheap whenever
+/// a client reads several objects from the volume within `t_v` of each
+/// other (spatial locality).
+#[derive(Debug)]
+pub struct VolumeLease {
+    volume_timeout: Duration,
+    object_timeout: Duration,
+    obj_leases: Vec<LeaseTrack>,
+    vol_leases: Vec<LeaseTrack>,
+    caches: ClientCaches,
+}
+
+impl VolumeLease {
+    /// Creates the protocol with volume lease `volume_timeout` (`t_v`)
+    /// and object lease `object_timeout` (`t`).
+    pub fn new(
+        volume_timeout: Duration,
+        object_timeout: Duration,
+        universe: &Universe,
+    ) -> VolumeLease {
+        VolumeLease {
+            volume_timeout,
+            object_timeout,
+            obj_leases: universe
+                .objects()
+                .iter()
+                .map(|o| LeaseTrack::new(o.server))
+                .collect(),
+            vol_leases: universe
+                .volumes()
+                .iter()
+                .map(|v| LeaseTrack::new(v.server))
+                .collect(),
+            caches: ClientCaches::new(),
+        }
+    }
+
+    fn grant_volume(
+        &mut self,
+        now: Timestamp,
+        client: ClientId,
+        volume: VolumeId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        self.vol_leases[volume.raw() as usize].grant(
+            client,
+            now,
+            now.saturating_add(self.volume_timeout),
+            ctx.metrics,
+        );
+    }
+
+    fn grant_object(
+        &mut self,
+        now: Timestamp,
+        client: ClientId,
+        object: ObjectId,
+        ctx: &mut Ctx<'_>,
+    ) {
+        let current = ctx.version(object);
+        self.obj_leases[object.raw() as usize].grant(
+            client,
+            now,
+            now.saturating_add(self.object_timeout),
+            ctx.metrics,
+        );
+        self.caches
+            .put(client, object, ctx.universe.volume_of(object), current);
+    }
+}
+
+impl Protocol for VolumeLease {
+    fn kind(&self) -> ProtocolKind {
+        ProtocolKind::VolumeLease {
+            volume_timeout: self.volume_timeout,
+            object_timeout: self.object_timeout,
+        }
+    }
+
+    fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
+        let volume = ctx.universe.volume_of(object);
+        let vol_ok = self.vol_leases[volume.raw() as usize].is_valid(client, now);
+        let obj_ok = self.obj_leases[object.raw() as usize].is_valid(client, now);
+        let current = ctx.version(object);
+        let cached = self.caches.version_of(client, object);
+
+        match (vol_ok, obj_ok) {
+            (true, true) => {
+                // Both leases valid ⇒ the copy is guaranteed current.
+                debug_assert_eq!(cached, Some(current));
+            }
+            (true, false) => {
+                // Renew just the object lease.
+                ctx.send(MessageKind::ObjLeaseRequest, object, client, 0, now);
+                let data = if cached == Some(current) {
+                    0
+                } else {
+                    ctx.payload(object)
+                };
+                ctx.send(MessageKind::ObjLeaseGrant, object, client, data, now);
+                self.grant_object(now, client, object, ctx);
+            }
+            (false, true) => {
+                // Renew just the volume lease. The object lease is valid,
+                // which in the basic algorithm means the server kept
+                // invalidating it even while the volume lease was lapsed,
+                // so the cached copy is still current.
+                ctx.send(MessageKind::VolLeaseRequest, object, client, 0, now);
+                ctx.send(MessageKind::VolLeaseGrant, object, client, 0, now);
+                self.grant_volume(now, client, volume, ctx);
+                debug_assert_eq!(cached, Some(current));
+            }
+            (false, false) => {
+                // One round trip renews both (the request names the volume
+                // and the object; the grant carries both lease records).
+                ctx.send(
+                    MessageKind::ObjLeaseRequest,
+                    object,
+                    client,
+                    LIST_ENTRY_BYTES,
+                    now,
+                );
+                let data = if cached == Some(current) {
+                    0
+                } else {
+                    ctx.payload(object)
+                };
+                ctx.send(
+                    MessageKind::ObjLeaseGrant,
+                    object,
+                    client,
+                    LIST_ENTRY_BYTES + data,
+                    now,
+                );
+                self.grant_volume(now, client, volume, ctx);
+                self.grant_object(now, client, object, ctx);
+            }
+        }
+        ctx.metrics.record_read(false);
+    }
+
+    fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
+        // The basic algorithm notifies every valid object-lease holder,
+        // whether or not its volume lease is current (write cost C_o).
+        let track = &mut self.obj_leases[object.raw() as usize];
+        let volume = ctx.universe.volume_of(object);
+        for client in track.valid_holders(now) {
+            ctx.send(MessageKind::Invalidate, object, client, 0, now);
+            ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
+            track.revoke(client, now, ctx.metrics);
+            self.caches.drop_copy(client, object, volume);
+        }
+        track.sweep_expired(now, ctx.metrics);
+        ctx.metrics.record_write_delay(Duration::ZERO);
+    }
+
+    fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>) {
+        for track in self.obj_leases.iter_mut().chain(self.vol_leases.iter_mut()) {
+            track.finalize(end, ctx.metrics);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::testutil::{two_volume_universe, versions};
+    use vl_metrics::Metrics;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn proto(u: &Universe) -> VolumeLease {
+        VolumeLease::new(Duration::from_secs(10), Duration::from_secs(1000), u)
+    }
+
+    macro_rules! ctx {
+        ($u:expr, $v:expr, $m:expr) => {
+            &mut Ctx {
+                universe: &$u,
+                versions: &$v,
+                metrics: &mut $m,
+            }
+        };
+    }
+
+    #[test]
+    fn first_read_renews_both_in_one_round_trip() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.total_messages(), 2, "combined volume+object renewal");
+    }
+
+    #[test]
+    fn burst_within_volume_amortizes_the_volume_lease() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        // Objects 0 and 1 share volume 0; second read inside t_v needs
+        // only an object lease.
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(1), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        assert_eq!(m.total_messages(), 4);
+        assert_eq!(
+            m.message_counters().count(MessageKind::VolLeaseRequest),
+            0,
+            "volume lease still valid: no separate volume renewal"
+        );
+        // Re-reads inside both leases are free.
+        p.on_read(ts(2), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.on_read(ts(2), ClientId(0), ObjectId(1), ctx!(u, vers, m));
+        assert_eq!(m.total_messages(), 4);
+    }
+
+    #[test]
+    fn lapsed_volume_with_live_object_lease_renews_volume_only() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        // t_v = 10 lapses; t = 1000 still live.
+        p.on_read(ts(60), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.total_messages(), 4);
+        assert_eq!(m.message_counters().count(MessageKind::VolLeaseRequest), 1);
+        assert_eq!(m.message_counters().count(MessageKind::VolLeaseGrant), 1);
+    }
+
+    #[test]
+    fn write_reaches_holders_even_with_lapsed_volume_lease() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        let before = m.total_messages();
+        // Volume lease lapsed at t=10, object lease is valid until 1000:
+        // basic Volume Leases still invalidates (write cost C_o).
+        p.on_write(ts(500), ObjectId(0), ctx!(u, vers, m));
+        vers[0] = vers[0].next();
+        assert_eq!(m.total_messages() - before, 2);
+        // Client returns: volume renewal, then object renewal fetches new
+        // data — never a stale read.
+        p.on_read(ts(501), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn strong_consistency_across_write_patterns() {
+        let u = two_volume_universe();
+        let mut vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        for round in 0u64..30 {
+            let t = ts(round * 7);
+            p.on_read(t, ClientId((round % 3) as u32), ObjectId(round % 3), ctx!(u, vers, m));
+            if round % 4 == 0 {
+                let o = ObjectId(round % 3);
+                p.on_write(t + Duration::from_secs(1), o, ctx!(u, vers, m));
+                vers[o.raw() as usize] = vers[o.raw() as usize].next();
+            }
+        }
+        assert_eq!(m.staleness().stale_reads(), 0);
+    }
+
+    #[test]
+    fn combined_renewal_charges_extra_bytes_not_messages() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        // Combined volume+object renewal: 2 messages, 100 control bytes
+        // + 2 × 12 list-entry bytes + 1000 data bytes.
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 100 + 2 * LIST_ENTRY_BYTES + 1000);
+    }
+
+    #[test]
+    fn reads_route_messages_to_the_owning_server() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m)); // server 0
+        p.on_read(ts(0), ClientId(0), ObjectId(2), ctx!(u, vers, m)); // server 1
+        assert_eq!(m.server_messages(vl_types::ServerId(0)), 2);
+        assert_eq!(m.server_messages(vl_types::ServerId(1)), 2);
+    }
+
+    #[test]
+    fn volume_lease_adds_state_over_object_lease_only_briefly() {
+        let u = two_volume_universe();
+        let vers = versions(3);
+        let mut m = Metrics::new();
+        let mut p = proto(&u);
+        p.on_read(ts(0), ClientId(0), ObjectId(0), ctx!(u, vers, m));
+        p.finalize(ts(1000), ctx!(u, vers, m));
+        // Object lease: 16 B × 1000 s; volume lease: 16 B × 10 s.
+        let avg = m.avg_state_bytes(vl_types::ServerId(0), Duration::from_secs(1000));
+        let expected = (16.0 * 1000.0 + 16.0 * 10.0) / 1000.0;
+        assert!((avg - expected).abs() < 1e-9, "avg {avg} vs {expected}");
+    }
+}

@@ -1,0 +1,264 @@
+//! Server-side lease interval tracking with exact state accounting.
+
+use vl_metrics::Metrics;
+use vl_types::{ClientId, ServerId, Timestamp, LEASE_RECORD_BYTES};
+use std::collections::BTreeMap;
+
+/// One client's current lease record: a contiguous validity interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Interval {
+    /// When the record was created (or re-created after a gap).
+    start: Timestamp,
+    /// When the current lease runs out. [`Timestamp::MAX`] models a
+    /// callback record, which never expires on its own.
+    expire: Timestamp,
+}
+
+/// Tracks the leases (or callbacks) granted on one object or one volume,
+/// reporting each record's exact lifetime to the state integral
+/// (Figures 6–7) the moment it closes.
+///
+/// A record's memory lifetime is the union of its back-to-back renewal
+/// intervals: renewing an still-valid lease extends the same record;
+/// renewing after a gap closes the old record (it was discarded at
+/// expiry) and opens a new one.
+///
+/// # Examples
+///
+/// ```
+/// use vl_core::LeaseTrack;
+/// use vl_metrics::Metrics;
+/// use vl_types::{ClientId, ServerId, Timestamp, Duration};
+///
+/// let mut track = LeaseTrack::new(ServerId(0));
+/// let mut m = Metrics::new();
+/// let t0 = Timestamp::from_secs(0);
+/// track.grant(ClientId(1), t0, t0 + Duration::from_secs(10), &mut m);
+/// assert!(track.is_valid(ClientId(1), Timestamp::from_secs(5)));
+/// track.finalize(Timestamp::from_secs(100), &mut m);
+/// // 16 bytes held for 10 of 100 seconds → average 1.6 bytes.
+/// assert!((m.avg_state_bytes(ServerId(0), Duration::from_secs(100)) - 1.6).abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug)]
+pub struct LeaseTrack {
+    server: ServerId,
+    entries: BTreeMap<ClientId, Interval>,
+}
+
+impl LeaseTrack {
+    /// Creates an empty tracker charging state to `server`.
+    pub fn new(server: ServerId) -> LeaseTrack {
+        LeaseTrack {
+            server,
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Grants or renews `client`'s lease until `expire`.
+    ///
+    /// If the previous lease already lapsed, its record is closed (its
+    /// lifetime charged) and a fresh record starts at `now`.
+    pub fn grant(&mut self, client: ClientId, now: Timestamp, expire: Timestamp, m: &mut Metrics) {
+        match self.entries.get_mut(&client) {
+            Some(iv) if iv.expire > now => {
+                // Continuous renewal: same record, longer life.
+                iv.expire = iv.expire.max(expire);
+            }
+            Some(iv) => {
+                // Gap: old record was discarded at its expiry.
+                m.state_held(
+                    self.server,
+                    LEASE_RECORD_BYTES,
+                    iv.expire.saturating_sub(iv.start),
+                );
+                *iv = Interval { start: now, expire };
+            }
+            None => {
+                self.entries.insert(client, Interval { start: now, expire });
+            }
+        }
+    }
+
+    /// Returns `true` if `client` holds a lease valid strictly after `now`.
+    pub fn is_valid(&self, client: ClientId, now: Timestamp) -> bool {
+        self.entries.get(&client).is_some_and(|iv| iv.expire > now)
+    }
+
+    /// The recorded expiry for `client`, even if past.
+    pub fn expiry_of(&self, client: ClientId) -> Option<Timestamp> {
+        self.entries.get(&client).map(|iv| iv.expire)
+    }
+
+    /// Clients with leases valid strictly after `now`, ascending.
+    pub fn valid_holders(&self, now: Timestamp) -> Vec<ClientId> {
+        self.entries
+            .iter()
+            .filter(|(_, iv)| iv.expire > now)
+            .map(|(&c, _)| c)
+            .collect()
+    }
+
+    /// Number of stored records (valid or lapsed-but-unswept).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Removes `client`'s record at `now`, charging its true lifetime
+    /// (clipped to `now` if revoked while valid — e.g. replaced by a
+    /// queued invalidation). Returns `true` if a *valid* lease was
+    /// revoked.
+    pub fn revoke(&mut self, client: ClientId, now: Timestamp, m: &mut Metrics) -> bool {
+        match self.entries.remove(&client) {
+            None => false,
+            Some(iv) => {
+                let end = iv.expire.min(now.max(iv.start));
+                m.state_held(self.server, LEASE_RECORD_BYTES, end.saturating_sub(iv.start));
+                iv.expire > now
+            }
+        }
+    }
+
+    /// Removes `client`'s record charging its **full** grant-to-expiry
+    /// lifetime, regardless of `now`. Used by the waiting-lease write
+    /// path: the server sends no invalidation, so the record occupies
+    /// memory until it expires on its own. Returns the record's expiry.
+    pub fn close_at_expiry(&mut self, client: ClientId, m: &mut Metrics) -> Option<Timestamp> {
+        self.entries.remove(&client).map(|iv| {
+            m.state_held(
+                self.server,
+                LEASE_RECORD_BYTES,
+                iv.expire.saturating_sub(iv.start),
+            );
+            iv.expire
+        })
+    }
+
+    /// Sweeps lapsed records, charging each its full grant-to-expiry
+    /// lifetime. Servers call this opportunistically to reclaim memory —
+    /// the state advantage leases have over callbacks (§5.2).
+    pub fn sweep_expired(&mut self, now: Timestamp, m: &mut Metrics) {
+        let server = self.server;
+        self.entries.retain(|_, iv| {
+            if iv.expire > now {
+                true
+            } else {
+                m.state_held(server, LEASE_RECORD_BYTES, iv.expire.saturating_sub(iv.start));
+                false
+            }
+        });
+    }
+
+    /// Closes every open record at the end of the simulated span,
+    /// clipping unexpired (or never-expiring callback) records to `end`.
+    pub fn finalize(&mut self, end: Timestamp, m: &mut Metrics) {
+        let server = self.server;
+        for (_, iv) in std::mem::take(&mut self.entries) {
+            let close = iv.expire.min(end).max(iv.start);
+            m.state_held(server, LEASE_RECORD_BYTES, close.saturating_sub(iv.start));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vl_types::Duration;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    fn avg(m: &Metrics, span_s: u64) -> f64 {
+        m.avg_state_bytes(ServerId(0), Duration::from_secs(span_s))
+    }
+
+    #[test]
+    fn single_lease_lifetime_is_exact() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        t.finalize(ts(100), &mut m);
+        assert!((avg(&m, 100) - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_renewal_extends_one_record() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        t.grant(ClientId(1), ts(5), ts(15), &mut m); // still valid: extend
+        t.finalize(ts(100), &mut m);
+        // One record alive 0..15 → 16·15 byte-seconds.
+        assert!((avg(&m, 100) - 16.0 * 15.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn renewal_after_gap_closes_old_record() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        t.grant(ClientId(1), ts(50), ts(60), &mut m); // lapsed at 10
+        t.finalize(ts(100), &mut m);
+        // Two records: 0..10 and 50..60 → 16·20 byte-seconds.
+        assert!((avg(&m, 100) - 16.0 * 20.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn revoke_clips_at_revocation() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(100), &mut m);
+        assert!(t.revoke(ClientId(1), ts(30), &mut m)); // valid → true
+        t.finalize(ts(100), &mut m);
+        assert!((avg(&m, 100) - 16.0 * 30.0 / 100.0).abs() < 1e-9);
+        assert!(!t.revoke(ClientId(1), ts(40), &mut m)); // gone
+    }
+
+    #[test]
+    fn revoke_lapsed_record_charges_to_expiry_only() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        assert!(!t.revoke(ClientId(1), ts(50), &mut m)); // lapsed → false
+        assert!((avg(&m, 100) - 16.0 * 10.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn callback_records_clip_to_span_end() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(20), Timestamp::MAX, &mut m);
+        t.finalize(ts(100), &mut m);
+        assert!((avg(&m, 100) - 16.0 * 80.0 / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_charges_and_removes_only_lapsed() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        t.grant(ClientId(2), ts(0), ts(90), &mut m);
+        t.sweep_expired(ts(50), &mut m);
+        assert_eq!(t.len(), 1);
+        assert!(t.is_valid(ClientId(2), ts(50)));
+        t.finalize(ts(100), &mut m);
+        assert!((avg(&m, 100) - 16.0 * (10.0 + 90.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn validity_boundary_is_strict() {
+        let mut t = LeaseTrack::new(ServerId(0));
+        let mut m = Metrics::new();
+        t.grant(ClientId(1), ts(0), ts(10), &mut m);
+        assert!(t.is_valid(ClientId(1), ts(9)));
+        assert!(!t.is_valid(ClientId(1), ts(10)));
+        assert_eq!(t.valid_holders(ts(9)), vec![ClientId(1)]);
+        assert!(t.valid_holders(ts(10)).is_empty());
+        assert_eq!(t.expiry_of(ClientId(1)), Some(ts(10)));
+    }
+}

@@ -1,0 +1,209 @@
+//! Per-kind message counters and staleness accounting.
+
+use serde::Serialize;
+use std::fmt;
+
+/// Every one-way message type exchanged by the protocols in this workspace.
+///
+/// The first group is the request/response traffic of Figures 3–4; the
+/// last entries cover client polling and plain data fetches used by the
+/// baseline algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[allow(missing_docs)] // variants mirror the paper's message names
+pub enum MessageKind {
+    ObjLeaseRequest,
+    ObjLeaseGrant,
+    VolLeaseRequest,
+    VolLeaseGrant,
+    Invalidate,
+    AckInvalidate,
+    MustRenewAll,
+    RenewObjLeases,
+    BatchedInvalRenew,
+    PollRequest,
+    PollReply,
+    DataFetch,
+    DataReply,
+}
+
+impl MessageKind {
+    /// All kinds, in declaration order (for iteration in reports).
+    pub const ALL: [MessageKind; 13] = [
+        MessageKind::ObjLeaseRequest,
+        MessageKind::ObjLeaseGrant,
+        MessageKind::VolLeaseRequest,
+        MessageKind::VolLeaseGrant,
+        MessageKind::Invalidate,
+        MessageKind::AckInvalidate,
+        MessageKind::MustRenewAll,
+        MessageKind::RenewObjLeases,
+        MessageKind::BatchedInvalRenew,
+        MessageKind::PollRequest,
+        MessageKind::PollReply,
+        MessageKind::DataFetch,
+        MessageKind::DataReply,
+    ];
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            MessageKind::ObjLeaseRequest => "REQ_OBJ_LEASE",
+            MessageKind::ObjLeaseGrant => "OBJ_LEASE",
+            MessageKind::VolLeaseRequest => "REQ_VOL_LEASE",
+            MessageKind::VolLeaseGrant => "VOL_LEASE",
+            MessageKind::Invalidate => "INVALIDATE",
+            MessageKind::AckInvalidate => "ACK_INVALIDATE",
+            MessageKind::MustRenewAll => "MUST_RENEW_ALL",
+            MessageKind::RenewObjLeases => "RENEW_OBJ_LEASES",
+            MessageKind::BatchedInvalRenew => "INVALIDATE+RENEW",
+            MessageKind::PollRequest => "POLL_REQ",
+            MessageKind::PollReply => "POLL_REPLY",
+            MessageKind::DataFetch => "GET",
+            MessageKind::DataReply => "DATA",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Counts and byte totals per [`MessageKind`].
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct MessageCounters {
+    counts: [u64; MessageKind::ALL.len()],
+    bytes: [u64; MessageKind::ALL.len()],
+}
+
+impl MessageCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> MessageCounters {
+        MessageCounters::default()
+    }
+
+    /// Records one message of `kind` carrying `bytes`.
+    pub fn record(&mut self, kind: MessageKind, bytes: u64) {
+        self.counts[kind.index()] += 1;
+        self.bytes[kind.index()] += bytes;
+    }
+
+    /// Number of messages of `kind`.
+    pub fn count(&self, kind: MessageKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Bytes carried by messages of `kind`.
+    pub fn bytes(&self, kind: MessageKind) -> u64 {
+        self.bytes[kind.index()]
+    }
+
+    /// Total messages of all kinds.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Total bytes of all kinds.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Iterates over `(kind, count, bytes)` triples with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (MessageKind, u64, u64)> + '_ {
+        MessageKind::ALL
+            .iter()
+            .map(|&k| (k, self.count(k), self.bytes(k)))
+            .filter(|&(_, c, _)| c > 0)
+    }
+}
+
+/// Read / stale-read accounting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct StalenessCounters {
+    reads: u64,
+    stale: u64,
+}
+
+impl StalenessCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> StalenessCounters {
+        StalenessCounters::default()
+    }
+
+    /// Records one read; `stale` marks whether the returned data was
+    /// outdated at read time.
+    pub fn record_read(&mut self, stale: bool) {
+        self.reads += 1;
+        if stale {
+            self.stale += 1;
+        }
+    }
+
+    /// Total reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Reads that returned stale data.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale
+    }
+
+    /// Fraction of reads that were stale (0.0 when no reads occurred).
+    pub fn stale_fraction(&self) -> f64 {
+        if self.reads == 0 {
+            0.0
+        } else {
+            self.stale as f64 / self.reads as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut c = MessageCounters::new();
+        c.record(MessageKind::Invalidate, 50);
+        c.record(MessageKind::Invalidate, 50);
+        c.record(MessageKind::DataReply, 10_000);
+        assert_eq!(c.count(MessageKind::Invalidate), 2);
+        assert_eq!(c.bytes(MessageKind::DataReply), 10_000);
+        assert_eq!(c.total(), 3);
+        assert_eq!(c.total_bytes(), 10_100);
+    }
+
+    #[test]
+    fn iter_skips_zero_kinds() {
+        let mut c = MessageCounters::new();
+        c.record(MessageKind::PollRequest, 50);
+        let v: Vec<_> = c.iter().collect();
+        assert_eq!(v, vec![(MessageKind::PollRequest, 1, 50)]);
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(MessageKind::MustRenewAll.to_string(), "MUST_RENEW_ALL");
+        assert_eq!(MessageKind::ObjLeaseRequest.to_string(), "REQ_OBJ_LEASE");
+    }
+
+    #[test]
+    fn staleness_zero_reads_is_zero_fraction() {
+        assert_eq!(StalenessCounters::new().stale_fraction(), 0.0);
+    }
+
+    #[test]
+    fn all_kinds_have_distinct_indices() {
+        let mut c = MessageCounters::new();
+        for k in MessageKind::ALL {
+            c.record(k, 1);
+        }
+        for k in MessageKind::ALL {
+            assert_eq!(c.count(k), 1, "{k}");
+        }
+        assert_eq!(c.total(), MessageKind::ALL.len() as u64);
+    }
+}

@@ -1,0 +1,172 @@
+//! Per-second server load tracking for the burst-load figures.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vl_types::{ServerId, Timestamp};
+
+/// Records, for an explicitly tracked set of servers, how many messages
+/// each sent or received during every 1-second period.
+///
+/// Tracking is opt-in because a full-scale trace touches millions of
+/// server-seconds; Figures 8–9 only need the single busiest server, which
+/// the harness discovers with a first (untracked) pass and then re-runs —
+/// simulations are deterministic, so the two passes see identical traffic.
+#[derive(Clone, Debug, Default)]
+pub struct LoadTracker {
+    tracked: BTreeSet<ServerId>,
+    /// (server → second-index → message count); sparse, only touched seconds.
+    counts: BTreeMap<ServerId, BTreeMap<u64, u64>>,
+}
+
+impl LoadTracker {
+    /// Creates a tracker for the given servers.
+    pub fn tracking(servers: impl IntoIterator<Item = ServerId>) -> LoadTracker {
+        LoadTracker {
+            tracked: servers.into_iter().collect(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Returns `true` if `server`'s load is being recorded.
+    pub fn is_tracked(&self, server: ServerId) -> bool {
+        self.tracked.contains(&server)
+    }
+
+    /// Records one message at `server` at time `now`.
+    pub fn record(&mut self, server: ServerId, now: Timestamp) {
+        if self.tracked.contains(&server) {
+            *self
+                .counts
+                .entry(server)
+                .or_default()
+                .entry(now.as_secs())
+                .or_insert(0) += 1;
+        }
+    }
+
+    /// Finalizes the histogram for `server`, or `None` if untracked.
+    pub fn histogram(&self, server: ServerId) -> Option<LoadHistogram> {
+        if !self.tracked.contains(&server) {
+            return None;
+        }
+        let per_second = self.counts.get(&server);
+        let mut sorted: Vec<u64> = per_second
+            .map(|m| m.values().copied().collect())
+            .unwrap_or_default();
+        sorted.sort_unstable();
+        Some(LoadHistogram { sorted })
+    }
+}
+
+/// The cumulative distribution of per-second message load at one server:
+/// answers "in how many 1-second periods was the load at least *x*
+/// messages?" — the y-axis of Figures 8–9.
+///
+/// # Examples
+///
+/// ```
+/// use vl_metrics::{LoadTracker};
+/// use vl_types::{ServerId, Timestamp};
+///
+/// let mut t = LoadTracker::tracking([ServerId(0)]);
+/// for _ in 0..3 {
+///     t.record(ServerId(0), Timestamp::from_secs(1));
+/// }
+/// t.record(ServerId(0), Timestamp::from_secs(2));
+/// let h = t.histogram(ServerId(0)).unwrap();
+/// assert_eq!(h.periods_with_load_at_least(1), 2);
+/// assert_eq!(h.periods_with_load_at_least(2), 1);
+/// assert_eq!(h.periods_with_load_at_least(4), 0);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LoadHistogram {
+    /// Per-second counts for every busy second, ascending.
+    sorted: Vec<u64>,
+}
+
+impl LoadHistogram {
+    /// Number of 1-second periods whose load was ≥ `x` messages.
+    ///
+    /// Periods with zero messages are not stored, so `x = 0` returns the
+    /// number of *busy* periods.
+    pub fn periods_with_load_at_least(&self, x: u64) -> u64 {
+        let idx = self.sorted.partition_point(|&c| c < x);
+        (self.sorted.len() - idx) as u64
+    }
+
+    /// The peak 1-second load.
+    pub fn peak(&self) -> u64 {
+        self.sorted.last().copied().unwrap_or(0)
+    }
+
+    /// Number of busy (non-zero) periods.
+    pub fn busy_periods(&self) -> u64 {
+        self.sorted.len() as u64
+    }
+
+    /// The full cumulative curve as `(load, periods_with_at_least)` pairs
+    /// at each distinct load level, ascending — one row per plotted point.
+    pub fn cumulative_curve(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let n = self.sorted.len();
+        let mut i = 0;
+        while i < n {
+            let load = self.sorted[i];
+            out.push((load, (n - i) as u64));
+            while i < n && self.sorted[i] == load {
+                i += 1;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untracked_servers_record_nothing() {
+        let mut t = LoadTracker::tracking([ServerId(1)]);
+        t.record(ServerId(2), Timestamp::from_secs(0));
+        assert!(t.histogram(ServerId(2)).is_none());
+        assert!(!t.is_tracked(ServerId(2)));
+        assert!(t.is_tracked(ServerId(1)));
+    }
+
+    #[test]
+    fn buckets_are_one_second() {
+        let mut t = LoadTracker::tracking([ServerId(0)]);
+        // 999 ms and 1000 ms land in different buckets.
+        t.record(ServerId(0), Timestamp::from_millis(999));
+        t.record(ServerId(0), Timestamp::from_millis(1000));
+        let h = t.histogram(ServerId(0)).unwrap();
+        assert_eq!(h.busy_periods(), 2);
+        assert_eq!(h.peak(), 1);
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone_nonincreasing() {
+        let mut t = LoadTracker::tracking([ServerId(0)]);
+        let loads = [3u64, 1, 4, 1, 5, 9, 2, 6];
+        for (sec, &n) in loads.iter().enumerate() {
+            for _ in 0..n {
+                t.record(ServerId(0), Timestamp::from_secs(sec as u64));
+            }
+        }
+        let h = t.histogram(ServerId(0)).unwrap();
+        let curve = h.cumulative_curve();
+        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1));
+        assert_eq!(h.periods_with_load_at_least(1), 8);
+        assert_eq!(h.periods_with_load_at_least(9), 1);
+        assert_eq!(h.peak(), 9);
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let t = LoadTracker::tracking([ServerId(0)]);
+        let h = t.histogram(ServerId(0)).unwrap();
+        assert_eq!(h.peak(), 0);
+        assert_eq!(h.periods_with_load_at_least(0), 0);
+        assert!(h.cumulative_curve().is_empty());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the metrics sink: histogram and integral math
+//! checked against naive recomputation.
+
+use proptest::prelude::*;
+use vl_metrics::{LoadTracker, Metrics, MessageKind, StateIntegral};
+use vl_types::{ClientId, Duration, ServerId, Timestamp};
+
+proptest! {
+    /// The cumulative load histogram agrees with a naive O(n²) count for
+    /// every queried level, and the curve is strictly decreasing.
+    #[test]
+    fn load_histogram_matches_naive(
+        times in proptest::collection::vec(0u64..200, 1..300),
+    ) {
+        let server = ServerId(0);
+        let mut tracker = LoadTracker::tracking([server]);
+        for &t in &times {
+            tracker.record(server, Timestamp::from_secs(t));
+        }
+        // Naive per-second counts.
+        let mut counts = std::collections::HashMap::new();
+        for &t in &times {
+            *counts.entry(t).or_insert(0u64) += 1;
+        }
+        let hist = tracker.histogram(server).unwrap();
+        for x in 0..=times.len() as u64 + 1 {
+            let naive = counts.values().filter(|&&c| c >= x).count() as u64;
+            let fast = hist.periods_with_load_at_least(x.max(1));
+            if x >= 1 {
+                prop_assert_eq!(fast, naive, "level {}", x);
+            }
+        }
+        prop_assert_eq!(hist.peak(), counts.values().copied().max().unwrap());
+        prop_assert_eq!(hist.busy_periods(), counts.len() as u64);
+        let curve = hist.cumulative_curve();
+        prop_assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1));
+        // The curve's first point covers all busy periods.
+        prop_assert_eq!(curve[0].1, counts.len() as u64);
+    }
+
+    /// The state integral is additive and linear in bytes and time.
+    #[test]
+    fn state_integral_is_additive(
+        chunks in proptest::collection::vec((1u64..100, 1u64..10_000), 1..50),
+    ) {
+        let server = ServerId(1);
+        let mut integral = StateIntegral::new();
+        let mut expected: u128 = 0;
+        for &(bytes, ms) in &chunks {
+            integral.add(server, bytes, Duration::from_millis(ms));
+            expected += u128::from(bytes) * u128::from(ms);
+        }
+        prop_assert_eq!(integral.raw_byte_ms(server), expected);
+        let span = Duration::from_millis(10_000);
+        let avg = integral.average(server, span);
+        prop_assert!((avg - expected as f64 / 10_000.0).abs() < 1e-6);
+    }
+
+    /// Message totals decompose exactly into per-kind counts, and
+    /// per-server plus per-client views agree with the global totals.
+    #[test]
+    fn message_accounting_balances(
+        msgs in proptest::collection::vec((0usize..13, 0u32..4, 0u32..4, 0u64..2000), 0..200),
+    ) {
+        let mut m = Metrics::new();
+        for &(kind, server, client, bytes) in &msgs {
+            m.count_msg(
+                MessageKind::ALL[kind],
+                ServerId(server),
+                ClientId(client),
+                bytes,
+                Timestamp::ZERO,
+            );
+        }
+        prop_assert_eq!(m.total_messages(), msgs.len() as u64);
+        let per_kind: u64 = MessageKind::ALL
+            .iter()
+            .map(|&k| m.message_counters().count(k))
+            .sum();
+        prop_assert_eq!(per_kind, msgs.len() as u64);
+        let per_server: u64 = (0..4).map(|s| m.server_messages(ServerId(s))).sum();
+        prop_assert_eq!(per_server, msgs.len() as u64);
+        let per_client: u64 = (0..4).map(|c| m.client_messages(ClientId(c))).sum();
+        prop_assert_eq!(per_client, msgs.len() as u64);
+        let bytes: u64 = msgs.iter().map(|&(_, _, _, b)| b).sum();
+        prop_assert_eq!(m.total_bytes(), bytes);
+    }
+}

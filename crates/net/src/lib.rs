@@ -1,0 +1,381 @@
+//! Transport layer for the live volume-lease stack.
+//!
+//! Two interchangeable transports carry the framed messages of
+//! `vl-proto`:
+//!
+//! * [`InMemoryNetwork`] — a process-local router with **fault
+//!   injection**: partitions silently drop traffic between chosen node
+//!   pairs, exactly the failure model leases are designed for (a sender
+//!   cannot tell a slow peer from a dead one).
+//! * [`tcp`] — length-prefixed framing over `std::net::TcpStream`, for
+//!   running the server and clients as real processes.
+//!
+//! # Examples
+//!
+//! ```
+//! use vl_net::{InMemoryNetwork, NodeId};
+//! use vl_types::{ClientId, ServerId};
+//! use bytes::Bytes;
+//!
+//! let net = InMemoryNetwork::new();
+//! let server = net.endpoint(NodeId::Server(ServerId(0)));
+//! let client = net.endpoint(NodeId::Client(ClientId(1)));
+//! client.send(NodeId::Server(ServerId(0)), Bytes::from_static(b"hi"))?;
+//! let (from, bytes) = server.recv_timeout(std::time::Duration::from_secs(1))?;
+//! assert_eq!(from, NodeId::Client(ClientId(1)));
+//! assert_eq!(&bytes[..], b"hi");
+//! # Ok::<(), vl_net::NetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod tcp;
+
+/// A bidirectional message channel with node addressing — the interface
+/// the live server and client stack is written against. Implemented by
+/// the in-memory [`Endpoint`] and by the TCP nodes in [`tcp`].
+pub trait Channel: Send + Sync {
+    /// This node's address.
+    fn id(&self) -> NodeId;
+
+    /// Sends `bytes` to `to`. Like IP, delivery is not guaranteed: a
+    /// partition or dead peer loses the message without an error.
+    ///
+    /// # Errors
+    ///
+    /// Only for *structural* problems (unknown destination, closed
+    /// transport) — never for in-flight loss.
+    fn send(&self, to: NodeId, bytes: bytes::Bytes) -> Result<(), NetError>;
+
+    /// Blocks up to `timeout` for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when nothing arrived,
+    /// [`NetError::Disconnected`] when the transport is gone.
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<(NodeId, bytes::Bytes), NetError>;
+}
+
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+use vl_types::{ClientId, ServerId};
+
+/// Address of a node on the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NodeId {
+    /// A cache client.
+    Client(ClientId),
+    /// An origin server.
+    Server(ServerId),
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeId::Client(c) => write!(f, "{c}"),
+            NodeId::Server(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Transport failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum NetError {
+    /// The destination was never registered on this network.
+    UnknownNode(NodeId),
+    /// No message arrived before the timeout.
+    Timeout,
+    /// The peer endpoint (or the whole network) is gone.
+    Disconnected,
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            NetError::Timeout => f.write_str("receive timed out"),
+            NetError::Disconnected => f.write_str("endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[derive(Default)]
+struct Router {
+    inboxes: HashMap<NodeId, Sender<(NodeId, Bytes)>>,
+    /// Unordered pairs currently partitioned.
+    partitions: HashSet<(NodeId, NodeId)>,
+    delivered: u64,
+    dropped: u64,
+}
+
+fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// A process-local message router with injectable partitions.
+///
+/// Semantics mirror IP: `send` succeeds even when the message will be
+/// dropped by a partition — the sender cannot observe the loss. Handles
+/// are cheaply cloneable.
+#[derive(Clone, Default)]
+pub struct InMemoryNetwork {
+    router: Arc<Mutex<Router>>,
+}
+
+impl InMemoryNetwork {
+    /// Creates an empty network.
+    pub fn new() -> InMemoryNetwork {
+        InMemoryNetwork::default()
+    }
+
+    /// Registers `id` and returns its endpoint. Re-registering replaces
+    /// the inbox (old endpoints start reporting
+    /// [`NetError::Disconnected`]) — this is how a crashed-and-restarted
+    /// process rejoins.
+    pub fn endpoint(&self, id: NodeId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.router.lock().inboxes.insert(id, tx);
+        Endpoint {
+            id,
+            router: Arc::clone(&self.router),
+            rx,
+        }
+    }
+
+    /// Silently drops all traffic between `a` and `b` (both directions)
+    /// until [`heal`](InMemoryNetwork::heal).
+    pub fn partition(&self, a: NodeId, b: NodeId) {
+        self.router.lock().partitions.insert(pair(a, b));
+    }
+
+    /// Removes the partition between `a` and `b`.
+    pub fn heal(&self, a: NodeId, b: NodeId) {
+        self.router.lock().partitions.remove(&pair(a, b));
+    }
+
+    /// Messages delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.router.lock().delivered
+    }
+
+    /// Messages dropped by partitions so far.
+    pub fn dropped(&self) -> u64 {
+        self.router.lock().dropped
+    }
+}
+
+impl fmt::Debug for InMemoryNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let r = self.router.lock();
+        f.debug_struct("InMemoryNetwork")
+            .field("nodes", &r.inboxes.len())
+            .field("partitions", &r.partitions.len())
+            .field("delivered", &r.delivered)
+            .field("dropped", &r.dropped)
+            .finish()
+    }
+}
+
+/// One node's attachment to an [`InMemoryNetwork`].
+pub struct Endpoint {
+    id: NodeId,
+    router: Arc<Mutex<Router>>,
+    rx: Receiver<(NodeId, Bytes)>,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Sends `bytes` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::UnknownNode`] if `to` was never registered. A
+    /// partition does **not** error: the message is silently dropped,
+    /// as on a real network.
+    pub fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
+        let mut r = self.router.lock();
+        if r.partitions.contains(&pair(self.id, to)) {
+            r.dropped += 1;
+            return Ok(());
+        }
+        let tx = r.inboxes.get(&to).ok_or(NetError::UnknownNode(to))?;
+        match tx.send((self.id, bytes)) {
+            Ok(()) => {
+                r.delivered += 1;
+                Ok(())
+            }
+            // Receiver dropped: behaves like a dead host, i.e. loss.
+            Err(_) => {
+                r.dropped += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks up to `timeout` for the next message.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] if nothing arrived;
+    /// [`NetError::Disconnected`] if this endpoint was replaced by a
+    /// re-registration.
+    pub fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the inbox is empty,
+    /// [`NetError::Disconnected`] when replaced.
+    pub fn try_recv(&self) -> Result<(NodeId, Bytes), NetError> {
+        use crossbeam::channel::TryRecvError;
+        self.rx.try_recv().map_err(|e| match e {
+            TryRecvError::Empty => NetError::Timeout,
+            TryRecvError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+impl Channel for Endpoint {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
+        Endpoint::send(self, to, bytes)
+    }
+    fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("id", &self.id)
+            .field("pending", &self.rx.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(n: u32) -> NodeId {
+        NodeId::Client(ClientId(n))
+    }
+    fn s(n: u32) -> NodeId {
+        NodeId::Server(ServerId(n))
+    }
+    const TO: StdDuration = StdDuration::from_millis(200);
+
+    #[test]
+    fn point_to_point_delivery_with_sender_identity() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        let b = net.endpoint(s(0));
+        a.send(s(0), Bytes::from_static(b"x")).unwrap();
+        let (from, bytes) = b.recv_timeout(TO).unwrap();
+        assert_eq!(from, c(1));
+        assert_eq!(&bytes[..], b"x");
+        assert_eq!(net.delivered(), 1);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        assert_eq!(
+            a.send(s(9), Bytes::new()),
+            Err(NetError::UnknownNode(s(9)))
+        );
+    }
+
+    #[test]
+    fn partition_drops_both_directions_silently() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        let b = net.endpoint(s(0));
+        net.partition(c(1), s(0));
+        a.send(s(0), Bytes::from_static(b"lost")).unwrap();
+        b.send(c(1), Bytes::from_static(b"lost")).unwrap();
+        assert_eq!(b.try_recv(), Err(NetError::Timeout));
+        assert_eq!(a.try_recv(), Err(NetError::Timeout));
+        assert_eq!(net.dropped(), 2);
+
+        net.heal(c(1), s(0));
+        a.send(s(0), Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(&b.recv_timeout(TO).unwrap().1[..], b"ok");
+    }
+
+    #[test]
+    fn partition_is_pairwise_not_global() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        let _b = net.endpoint(c(2));
+        let srv = net.endpoint(s(0));
+        net.partition(c(1), s(0));
+        let b = net.endpoint(c(2)); // re-register fine
+        b.send(s(0), Bytes::from_static(b"b")).unwrap();
+        a.send(s(0), Bytes::from_static(b"a")).unwrap();
+        let (from, _) = srv.recv_timeout(TO).unwrap();
+        assert_eq!(from, c(2), "only the partitioned pair is cut");
+        assert_eq!(srv.try_recv(), Err(NetError::Timeout));
+    }
+
+    #[test]
+    fn reregistration_replaces_inbox() {
+        let net = InMemoryNetwork::new();
+        let old = net.endpoint(s(0));
+        let newer = net.endpoint(s(0)); // crash + restart
+        let a = net.endpoint(c(1));
+        a.send(s(0), Bytes::from_static(b"post-restart")).unwrap();
+        assert!(newer.recv_timeout(TO).is_ok());
+        assert_eq!(old.recv_timeout(TO), Err(NetError::Disconnected));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        assert_eq!(
+            a.recv_timeout(StdDuration::from_millis(30)),
+            Err(NetError::Timeout)
+        );
+    }
+
+    #[test]
+    fn send_to_dead_endpoint_counts_as_drop() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        {
+            let _dead = net.endpoint(s(0));
+        } // receiver dropped
+        a.send(s(0), Bytes::from_static(b"x")).unwrap();
+        assert_eq!(net.dropped(), 1);
+    }
+}

@@ -1,0 +1,424 @@
+//! Length-prefixed framing over TCP.
+//!
+//! Frames are `u32` little-endian length + payload, the same payload
+//! bytes the in-memory transport carries, so the protocol stack is
+//! transport-agnostic. A sanity cap rejects absurd lengths from corrupt
+//! or hostile peers before any allocation happens.
+
+use crate::{Channel, NetError, NodeId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration as StdDuration;
+use vl_types::{ClientId, ServerId};
+
+/// Maximum accepted frame payload (64 MiB), matching the codec's field
+/// cap.
+pub const MAX_FRAME_LEN: u32 = 64 << 20;
+
+/// Writes one frame to `w`.
+///
+/// # Errors
+///
+/// Propagates I/O errors; rejects payloads over [`MAX_FRAME_LEN`] with
+/// [`io::ErrorKind::InvalidInput`].
+///
+/// # Examples
+///
+/// ```
+/// use vl_net::tcp::{read_frame, write_frame};
+/// use bytes::Bytes;
+///
+/// let mut buf = Vec::new();
+/// write_frame(&mut buf, &Bytes::from_static(b"ping"))?;
+/// let got = read_frame(&mut buf.as_slice())?;
+/// assert_eq!(&got[..], b"ping");
+/// # Ok::<(), std::io::Error>(())
+/// ```
+pub fn write_frame<W: Write>(w: &mut W, payload: &Bytes) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame exceeds MAX_FRAME_LEN",
+        ));
+    }
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame from `r`, blocking until complete.
+///
+/// # Errors
+///
+/// Propagates I/O errors (including [`io::ErrorKind::UnexpectedEof`] on
+/// a half-frame); rejects lengths over [`MAX_FRAME_LEN`] with
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_le_bytes(len_buf);
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Bytes::from(payload))
+}
+
+fn encode_hello(id: NodeId) -> Bytes {
+    let (kind, raw) = match id {
+        NodeId::Client(c) => (0u8, c.raw()),
+        NodeId::Server(s) => (1u8, s.raw()),
+    };
+    let mut v = Vec::with_capacity(5);
+    v.push(kind);
+    v.extend_from_slice(&raw.to_le_bytes());
+    Bytes::from(v)
+}
+
+fn decode_hello(bytes: &Bytes) -> io::Result<NodeId> {
+    if bytes.len() != 5 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "hello frame must be 5 bytes",
+        ));
+    }
+    let raw = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
+    match bytes[0] {
+        0 => Ok(NodeId::Client(ClientId(raw))),
+        1 => Ok(NodeId::Server(ServerId(raw))),
+        k => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unknown node kind {k}"),
+        )),
+    }
+}
+
+struct TcpShared {
+    inbox_tx: Sender<(NodeId, Bytes)>,
+    peers: Mutex<HashMap<NodeId, TcpStream>>,
+    closed: AtomicBool,
+}
+
+/// A TCP-backed [`Channel`]. One node can both listen for inbound peers
+/// and dial outbound ones; every connection starts with a 5-byte
+/// identity hello, after which frames flow in both directions.
+///
+/// # Examples
+///
+/// ```no_run
+/// use vl_net::tcp::TcpNode;
+/// use vl_net::{Channel, NodeId};
+/// use vl_types::{ClientId, ServerId};
+///
+/// let server = TcpNode::listen(NodeId::Server(ServerId(0)), "127.0.0.1:0")?;
+/// let addr = server.local_addr().expect("listening");
+/// let client = TcpNode::dial(NodeId::Client(ClientId(1)), addr)?;
+/// client.send(NodeId::Server(ServerId(0)), bytes::Bytes::from_static(b"hi"))?;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct TcpNode {
+    id: NodeId,
+    shared: Arc<TcpShared>,
+    inbox: Receiver<(NodeId, Bytes)>,
+    local_addr: Option<SocketAddr>,
+}
+
+impl std::fmt::Debug for TcpNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpNode")
+            .field("id", &self.id)
+            .field("addr", &self.local_addr)
+            .field("peers", &self.shared.peers.lock().len())
+            .finish()
+    }
+}
+
+impl TcpNode {
+    fn new(id: NodeId, local_addr: Option<SocketAddr>) -> (TcpNode, Sender<(NodeId, Bytes)>) {
+        let (tx, rx) = unbounded();
+        let shared = Arc::new(TcpShared {
+            inbox_tx: tx.clone(),
+            peers: Mutex::new(HashMap::new()),
+            closed: AtomicBool::new(false),
+        });
+        (
+            TcpNode {
+                id,
+                shared,
+                inbox: rx,
+                local_addr,
+            },
+            tx,
+        )
+    }
+
+    /// Binds `addr` and accepts peers in the background.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn listen(id: NodeId, addr: &str) -> io::Result<TcpNode> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (node, _tx) = TcpNode::new(id, Some(local));
+        let shared = Arc::clone(&node.shared);
+        std::thread::Builder::new()
+            .name(format!("tcp-accept-{id}"))
+            .spawn(move || {
+                while !shared.closed.load(Ordering::SeqCst) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            let _ = handshake_inbound(id, stream, &shared);
+                        }
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(StdDuration::from_millis(10));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+            .expect("spawn accept thread");
+        Ok(node)
+    }
+
+    /// Connects to a listening node.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect/handshake failures.
+    pub fn dial(id: NodeId, addr: SocketAddr) -> io::Result<TcpNode> {
+        let mut stream = TcpStream::connect(addr)?;
+        write_frame(&mut stream, &encode_hello(id))?;
+        let peer_id = decode_hello(&read_frame(&mut stream)?)?;
+        let (node, _tx) = TcpNode::new(id, None);
+        register_peer(peer_id, stream, &node.shared, id);
+        Ok(node)
+    }
+
+    /// The bound address, when listening.
+    pub fn local_addr(&self) -> Option<SocketAddr> {
+        self.local_addr
+    }
+}
+
+fn handshake_inbound(my_id: NodeId, mut stream: TcpStream, shared: &Arc<TcpShared>) -> io::Result<()> {
+    stream.set_read_timeout(Some(StdDuration::from_secs(5)))?;
+    let peer_id = decode_hello(&read_frame(&mut stream)?)?;
+    write_frame(&mut stream, &encode_hello(my_id))?;
+    register_peer(peer_id, stream, shared, my_id);
+    Ok(())
+}
+
+fn register_peer(peer_id: NodeId, stream: TcpStream, shared: &Arc<TcpShared>, my_id: NodeId) {
+    let reader = match stream.try_clone() {
+        Ok(r) => r,
+        Err(_) => return,
+    };
+    // Readers block on whole frames; Drop unblocks them by shutting the
+    // sockets down. (A per-read timeout could fire mid-frame and
+    // desynchronize the length-prefixed stream.)
+    let _ = reader.set_read_timeout(None);
+    shared.peers.lock().insert(peer_id, stream);
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("tcp-read-{my_id}-from-{peer_id}"))
+        .spawn(move || {
+            let mut reader = reader;
+            loop {
+                if shared.closed.load(Ordering::SeqCst) {
+                    break;
+                }
+                match read_frame(&mut reader) {
+                    Ok(frame) => {
+                        if shared.inbox_tx.send((peer_id, frame)).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e)
+                        if e.kind() == io::ErrorKind::WouldBlock
+                            || e.kind() == io::ErrorKind::TimedOut =>
+                    {
+                        continue;
+                    }
+                    Err(_) => {
+                        shared.peers.lock().remove(&peer_id);
+                        break;
+                    }
+                }
+            }
+        })
+        .expect("spawn reader thread");
+}
+
+impl Channel for TcpNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
+        let mut peers = self.shared.peers.lock();
+        let Some(stream) = peers.get_mut(&to) else {
+            return Err(NetError::UnknownNode(to));
+        };
+        // A broken pipe is message loss, not an error the protocol sees.
+        if write_frame(stream, &bytes).is_err() {
+            peers.remove(&to);
+        }
+        Ok(())
+    }
+
+    fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+}
+
+impl Drop for TcpNode {
+    fn drop(&mut self) {
+        self.shared.closed.store(true, Ordering::SeqCst);
+        // Unblock reader threads parked in read_frame.
+        for (_, stream) in self.shared.peers.lock().drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn roundtrip_through_a_buffer() {
+        let frames: Vec<Bytes> = vec![
+            Bytes::new(),
+            Bytes::from_static(b"a"),
+            Bytes::from(vec![0xAB; 100_000]),
+        ];
+        let mut buf = Vec::new();
+        for f in &frames {
+            write_frame(&mut buf, f).unwrap();
+        }
+        let mut r = buf.as_slice();
+        for f in &frames {
+            assert_eq!(read_frame(&mut r).unwrap(), *f);
+        }
+    }
+
+    #[test]
+    fn half_frame_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &Bytes::from_static(b"hello")).unwrap();
+        buf.truncate(buf.len() - 2);
+        let err = read_frame(&mut buf.as_slice())
+            .and_then(|_| read_frame(&mut [].as_slice()))
+            .unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn absurd_length_rejected_before_allocation() {
+        let buf = u32::MAX.to_le_bytes();
+        let err = read_frame(&mut buf.as_slice()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn loopback_tcp_roundtrip() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let frame = read_frame(&mut stream).unwrap();
+            write_frame(&mut stream, &frame).unwrap(); // echo
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        write_frame(&mut client, &Bytes::from_static(b"echo me")).unwrap();
+        let back = read_frame(&mut client).unwrap();
+        assert_eq!(&back[..], b"echo me");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn tcp_nodes_exchange_frames_with_identity() {
+        let server = TcpNode::listen(
+            NodeId::Server(ServerId(0)),
+            "127.0.0.1:0",
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let client = TcpNode::dial(NodeId::Client(ClientId(7)), addr).unwrap();
+        assert_eq!(client.id(), NodeId::Client(ClientId(7)));
+
+        client
+            .send(NodeId::Server(ServerId(0)), Bytes::from_static(b"ping"))
+            .unwrap();
+        let (from, frame) = server.recv_timeout(StdDuration::from_secs(2)).unwrap();
+        assert_eq!(from, NodeId::Client(ClientId(7)));
+        assert_eq!(&frame[..], b"ping");
+
+        server
+            .send(NodeId::Client(ClientId(7)), Bytes::from_static(b"pong"))
+            .unwrap();
+        let (from, frame) = client.recv_timeout(StdDuration::from_secs(2)).unwrap();
+        assert_eq!(from, NodeId::Server(ServerId(0)));
+        assert_eq!(&frame[..], b"pong");
+    }
+
+    #[test]
+    fn tcp_send_to_unknown_peer_errors() {
+        let node = TcpNode::listen(NodeId::Server(ServerId(1)), "127.0.0.1:0").unwrap();
+        assert_eq!(
+            node.send(NodeId::Client(ClientId(9)), Bytes::new()),
+            Err(NetError::UnknownNode(NodeId::Client(ClientId(9))))
+        );
+    }
+
+    #[test]
+    fn hello_roundtrip_and_rejects() {
+        for id in [
+            NodeId::Client(ClientId(0)),
+            NodeId::Client(ClientId(u32::MAX)),
+            NodeId::Server(ServerId(3)),
+        ] {
+            assert_eq!(decode_hello(&encode_hello(id)).unwrap(), id);
+        }
+        assert!(decode_hello(&Bytes::from_static(b"xx")).is_err());
+        assert!(decode_hello(&Bytes::from_static(&[9, 0, 0, 0, 0])).is_err());
+    }
+
+    #[test]
+    fn many_frames_interleave_correctly_over_tcp() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            for _ in 0..50 {
+                let f = read_frame(&mut stream).unwrap();
+                write_frame(&mut stream, &f).unwrap();
+            }
+        });
+        let mut client = TcpStream::connect(addr).unwrap();
+        for i in 0..50u32 {
+            let payload = Bytes::from(i.to_le_bytes().to_vec());
+            write_frame(&mut client, &payload).unwrap();
+            assert_eq!(read_frame(&mut client).unwrap(), payload);
+        }
+        server.join().unwrap();
+    }
+}

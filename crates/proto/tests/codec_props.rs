@@ -1,0 +1,98 @@
+//! Property tests: every generatable message round-trips, and arbitrary
+//! byte soup never panics the decoders.
+
+use bytes::Bytes;
+use proptest::prelude::*;
+use vl_proto::{codec, ClientMsg, ServerMsg};
+use vl_types::{Epoch, ObjectId, Timestamp, Version, VolumeId};
+
+fn arb_client() -> impl Strategy<Value = ClientMsg> {
+    prop_oneof![
+        (any::<u64>(), any::<u64>()).prop_map(|(o, v)| ClientMsg::ReqObjLease {
+            object: ObjectId(o),
+            version: Version(v),
+        }),
+        (any::<u32>(), any::<u64>()).prop_map(|(v, e)| ClientMsg::ReqVolLease {
+            volume: VolumeId(v),
+            epoch: Epoch(e),
+        }),
+        (
+            any::<u32>(),
+            proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32)
+        )
+            .prop_map(|(v, ls)| ClientMsg::RenewObjLeases {
+                volume: VolumeId(v),
+                leases: ls
+                    .into_iter()
+                    .map(|(o, ver)| (ObjectId(o), Version(ver)))
+                    .collect(),
+            }),
+        any::<u64>().prop_map(|o| ClientMsg::AckInvalidate { object: ObjectId(o) }),
+        any::<u32>().prop_map(|v| ClientMsg::AckVolBatch { volume: VolumeId(v) }),
+    ]
+}
+
+fn arb_server() -> impl Strategy<Value = ServerMsg> {
+    prop_oneof![
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256))
+        )
+            .prop_map(|(o, v, e, d)| ServerMsg::ObjLease {
+                object: ObjectId(o),
+                version: Version(v),
+                expire: Timestamp::from_millis(e),
+                data: d.map(Bytes::from),
+            }),
+        (
+            any::<u32>(),
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..32)
+        )
+            .prop_map(|(v, ex, ep, inv)| ServerMsg::VolLease {
+                volume: VolumeId(v),
+                expire: Timestamp::from_millis(ex),
+                epoch: Epoch(ep),
+                invalidate: inv.into_iter().map(ObjectId).collect(),
+            }),
+        any::<u64>().prop_map(|o| ServerMsg::Invalidate { object: ObjectId(o) }),
+        any::<u32>().prop_map(|v| ServerMsg::MustRenewAll { volume: VolumeId(v) }),
+        (
+            any::<u32>(),
+            proptest::collection::vec(any::<u64>(), 0..16),
+            proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16)
+        )
+            .prop_map(|(v, inv, ren)| ServerMsg::InvalRenew {
+                volume: VolumeId(v),
+                invalidate: inv.into_iter().map(ObjectId).collect(),
+                renew: ren
+                    .into_iter()
+                    .map(|(o, ver, e)| (ObjectId(o), Version(ver), Timestamp::from_millis(e)))
+                    .collect(),
+            }),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn client_roundtrip(msg in arb_client()) {
+        let bytes = codec::encode_client(&msg);
+        prop_assert_eq!(codec::decode_client(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn server_roundtrip(msg in arb_server()) {
+        let bytes = codec::encode_server(&msg);
+        prop_assert_eq!(codec::decode_server(&bytes).unwrap(), msg);
+    }
+
+    /// Decoders must reject or accept arbitrary bytes without panicking.
+    #[test]
+    fn fuzz_no_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = codec::decode_client(&bytes);
+        let _ = codec::decode_server(&bytes);
+    }
+}

@@ -1,0 +1,86 @@
+//! Wall-clock time as protocol timestamps.
+
+use std::time::{Duration as StdDuration, Instant};
+use vl_types::{Duration, Timestamp};
+
+/// A monotonic wall clock mapping real time onto protocol
+/// [`Timestamp`]s (milliseconds since the clock's creation).
+///
+/// Every node of one deployment shares a `WallClock` (it is `Copy`), so
+/// lease expiries computed at the server compare directly against "now"
+/// at clients. Real WAN deployments would instead carry lease
+/// *durations* and pad for clock skew, as Gray & Cheriton discuss; the
+/// shared clock keeps the protocol logic exact and testable.
+///
+/// # Examples
+///
+/// ```
+/// use vl_server::WallClock;
+///
+/// let clock = WallClock::new();
+/// let a = clock.now();
+/// let b = clock.now();
+/// assert!(b >= a);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// Creates a clock whose zero is "now".
+    pub fn new() -> WallClock {
+        WallClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Current protocol time.
+    pub fn now(&self) -> Timestamp {
+        Timestamp::from_millis(self.origin.elapsed().as_millis() as u64)
+    }
+
+    /// Converts a protocol duration to a std duration (for sleeps).
+    pub fn to_std(d: Duration) -> StdDuration {
+        StdDuration::from_millis(d.as_millis())
+    }
+
+    /// Converts a std duration to a protocol duration.
+    pub fn from_std(d: StdDuration) -> Duration {
+        Duration::from_millis(d.as_millis() as u64)
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotone_and_copyable() {
+        let c = WallClock::new();
+        let c2 = c; // Copy: both views share the origin
+        let a = c.now();
+        std::thread::sleep(StdDuration::from_millis(5));
+        let b = c2.now();
+        assert!(b > a);
+        assert!(b.saturating_sub(a) >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(
+            WallClock::to_std(Duration::from_millis(1500)),
+            StdDuration::from_millis(1500)
+        );
+        assert_eq!(
+            WallClock::from_std(StdDuration::from_millis(250)),
+            Duration::from_millis(250)
+        );
+    }
+}

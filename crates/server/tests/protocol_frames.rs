@@ -1,0 +1,271 @@
+//! Drives the live server with raw protocol frames to pin down message
+//! semantics the client library would otherwise paper over: pending
+//! batches that survive a lost ack, reconnection phase ordering, and
+//! volume-mismatch handling.
+
+use bytes::Bytes;
+use std::time::Duration as StdDuration;
+use vl_net::{InMemoryNetwork, NodeId};
+use vl_proto::{codec, ClientMsg, ServerMsg};
+use vl_server::{LeaseServer, ServerConfig, ServerHandle, WallClock};
+use vl_types::{ClientId, Epoch, ObjectId, ServerId, Version, VolumeId};
+
+const SRV: ServerId = ServerId(0);
+const VOL: VolumeId = VolumeId(0);
+const OBJ: ObjectId = ObjectId(1);
+const RECV: StdDuration = StdDuration::from_secs(2);
+
+struct Raw {
+    endpoint: vl_net::Endpoint,
+}
+
+impl Raw {
+    fn send(&self, msg: &ClientMsg) {
+        self.endpoint
+            .send(NodeId::Server(SRV), codec::encode_client(msg))
+            .unwrap();
+    }
+    fn recv(&self) -> ServerMsg {
+        let (_, bytes) = self.endpoint.recv_timeout(RECV).expect("server reply");
+        codec::decode_server(&bytes).expect("valid frame")
+    }
+    fn try_recv(&self) -> Option<ServerMsg> {
+        self.endpoint
+            .recv_timeout(StdDuration::from_millis(150))
+            .ok()
+            .map(|(_, b)| codec::decode_server(&b).expect("valid frame"))
+    }
+}
+
+fn setup(volume_lease_ms: u64) -> (InMemoryNetwork, ServerHandle, Raw) {
+    let net = InMemoryNetwork::new();
+    let clock = WallClock::new();
+    let server = LeaseServer::spawn(
+        ServerConfig {
+            volume_lease: StdDuration::from_millis(volume_lease_ms),
+            ..ServerConfig::new(SRV)
+        },
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
+    server.create_object(OBJ, Bytes::from_static(b"v1"));
+    let raw = Raw {
+        endpoint: net.endpoint(NodeId::Client(ClientId(1))),
+    };
+    (net, server, raw)
+}
+
+/// Acquire volume + object leases for the raw client.
+fn acquire_leases(raw: &Raw) {
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(0),
+    });
+    assert!(matches!(raw.recv(), ServerMsg::VolLease { .. }));
+    raw.send(&ClientMsg::ReqObjLease {
+        object: OBJ,
+        version: Version::NONE,
+    });
+    assert!(matches!(raw.recv(), ServerMsg::ObjLease { .. }));
+}
+
+#[test]
+fn pending_batch_redelivered_until_acked() {
+    let (_net, server, raw) = setup(300);
+    acquire_leases(&raw);
+    // Let the volume lease lapse, then write: the invalidation is queued.
+    std::thread::sleep(StdDuration::from_millis(400));
+    let out = server.write(OBJ, Bytes::from_static(b"v2"));
+    assert_eq!(out.queued, 1);
+    assert_eq!(out.invalidations_sent, 0);
+
+    // First renewal delivers the batch — but we "lose" the ack.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(0),
+    });
+    match raw.recv() {
+        ServerMsg::VolLease { invalidate, .. } => assert_eq!(invalidate, vec![OBJ]),
+        other => panic!("expected VolLease, got {other:?}"),
+    }
+    assert_eq!(server.stats().inactive, 1, "no ack: queue retained");
+
+    // A second renewal redelivers the same batch (idempotent for the
+    // client). Acking it clears the queue.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(0),
+    });
+    match raw.recv() {
+        ServerMsg::VolLease { invalidate, .. } => assert_eq!(invalidate, vec![OBJ]),
+        other => panic!("expected redelivery, got {other:?}"),
+    }
+    raw.send(&ClientMsg::AckVolBatch { volume: VOL });
+    // Give the loop a tick to process the ack.
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert_eq!(server.stats().inactive, 0, "acked: queue discarded");
+    server.shutdown();
+}
+
+#[test]
+fn reconnection_requires_lease_set_before_verdict() {
+    let (_net, server, raw) = setup(300);
+    // A stale epoch immediately routes into the reconnection protocol.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(7),
+    });
+    assert!(matches!(raw.recv(), ServerMsg::MustRenewAll { volume } if volume == VOL));
+
+    // An out-of-order batch ack must NOT complete the reconnection.
+    raw.send(&ClientMsg::AckVolBatch { volume: VOL });
+    assert!(raw.try_recv().is_none(), "no verdict before the lease set");
+
+    // The proper sequence: lease set → verdict → ack → volume lease.
+    raw.send(&ClientMsg::RenewObjLeases {
+        volume: VOL,
+        leases: vec![(OBJ, Version::FIRST)],
+    });
+    match raw.recv() {
+        ServerMsg::InvalRenew {
+            invalidate, renew, ..
+        } => {
+            assert!(invalidate.is_empty(), "copy is current");
+            assert_eq!(renew.len(), 1);
+            assert_eq!(renew[0].0, OBJ);
+        }
+        other => panic!("expected InvalRenew, got {other:?}"),
+    }
+    raw.send(&ClientMsg::AckVolBatch { volume: VOL });
+    match raw.recv() {
+        ServerMsg::VolLease {
+            epoch, invalidate, ..
+        } => {
+            assert_eq!(epoch, Epoch(0));
+            assert!(invalidate.is_empty());
+        }
+        other => panic!("expected VolLease, got {other:?}"),
+    }
+    assert_eq!(server.stats().reconnections, 1);
+    server.shutdown();
+}
+
+#[test]
+fn stale_copy_invalidated_during_reconnection() {
+    let (_net, server, raw) = setup(300);
+    acquire_leases(&raw);
+    std::thread::sleep(StdDuration::from_millis(400));
+    server.write(OBJ, Bytes::from_static(b"v2")); // queued
+    // Force the unreachable path with a stale epoch.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(99),
+    });
+    assert!(matches!(raw.recv(), ServerMsg::MustRenewAll { .. }));
+    raw.send(&ClientMsg::RenewObjLeases {
+        volume: VOL,
+        leases: vec![(OBJ, Version::FIRST)], // we cached v1; server has v2
+    });
+    match raw.recv() {
+        ServerMsg::InvalRenew {
+            invalidate, renew, ..
+        } => {
+            assert_eq!(invalidate, vec![OBJ], "stale copy must be invalidated");
+            assert!(renew.is_empty());
+        }
+        other => panic!("expected InvalRenew, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+/// Regression test for a linearizability race the concurrency soak test
+/// found: a lease request for the object of an in-progress blocking
+/// write must not be granted against the pre-write data (the writer
+/// would never invalidate that holder). The server defers such requests
+/// until the write commits.
+#[test]
+fn lease_requests_mid_write_are_deferred_until_commit() {
+    let (net, server, holder) = setup(5_000);
+    acquire_leases(&holder);
+    let reader = Raw {
+        endpoint: net.endpoint(NodeId::Client(ClientId(2))),
+    };
+
+    // The write blocks on the holder's ack (which we withhold).
+    let server = std::sync::Arc::new(server);
+    let write_thread = {
+        let server = std::sync::Arc::clone(&server);
+        std::thread::spawn(move || server.write(OBJ, Bytes::from_static(b"v2")))
+    };
+    // The holder sees the INVALIDATE but does not ack yet.
+    assert!(matches!(holder.recv(), ServerMsg::Invalidate { object } if object == OBJ));
+
+    // A second client asks for a lease on the object mid-write: the
+    // reply must be withheld…
+    reader.send(&ClientMsg::ReqObjLease {
+        object: OBJ,
+        version: Version::NONE,
+    });
+    assert!(
+        reader.try_recv().is_none(),
+        "mid-write lease grant would be stale the moment the write commits"
+    );
+
+    // …until the holder acks and the write commits, at which point the
+    // deferred request is answered with the committed version.
+    holder.send(&ClientMsg::AckInvalidate { object: OBJ });
+    let outcome = write_thread.join().unwrap();
+    assert_eq!(outcome.version, Version(2));
+    match reader.recv() {
+        ServerMsg::ObjLease { version, data, .. } => {
+            assert_eq!(version, Version(2));
+            assert_eq!(data.as_deref(), Some(b"v2".as_slice()));
+        }
+        other => panic!("expected deferred ObjLease, got {other:?}"),
+    }
+    std::sync::Arc::into_inner(server).unwrap().shutdown();
+}
+
+#[test]
+fn wrong_volume_requests_are_ignored() {
+    let (_net, server, raw) = setup(300);
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VolumeId(42),
+        epoch: Epoch(0),
+    });
+    assert!(raw.try_recv().is_none(), "foreign volume gets no reply");
+    // The server is still healthy.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(0),
+    });
+    assert!(matches!(raw.recv(), ServerMsg::VolLease { .. }));
+    server.shutdown();
+}
+
+#[test]
+fn unknown_object_request_counted_and_dropped() {
+    let (_net, server, raw) = setup(300);
+    raw.send(&ClientMsg::ReqObjLease {
+        object: ObjectId(999),
+        version: Version::NONE,
+    });
+    assert!(raw.try_recv().is_none());
+    assert_eq!(server.stats().unknown_objects, 1);
+    server.shutdown();
+}
+
+#[test]
+fn corrupt_frames_are_dropped_like_packet_loss() {
+    let (_net, server, raw) = setup(300);
+    raw.endpoint
+        .send(NodeId::Server(SRV), Bytes::from_static(&[0xFF, 0x00, 0x01]))
+        .unwrap();
+    // The server survives and still answers well-formed requests.
+    raw.send(&ClientMsg::ReqVolLease {
+        volume: VOL,
+        epoch: Epoch(0),
+    });
+    assert!(matches!(raw.recv(), ServerMsg::VolLease { .. }));
+    server.shutdown();
+}

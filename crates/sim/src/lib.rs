@@ -1,0 +1,38 @@
+//! Deterministic discrete-event simulation kernel.
+//!
+//! This crate provides the substrate on which the paper's trace-driven
+//! evaluation runs: a virtual [`clock`], a stable [`queue::EventQueue`]
+//! (ties broken in scheduling order, so runs are exactly reproducible), a
+//! seeded [`rng::SimRng`], and a small [`runner::Simulator`] driver that
+//! pumps events through a handler.
+//!
+//! The trace-driven consistency experiments (crate `vl-core`) follow the
+//! paper's simulator in processing each trace event to completion before
+//! the next one; they use the queue directly. The richer driver exists for
+//! tests that interleave timers, message delivery, and failures.
+//!
+//! # Examples
+//!
+//! ```
+//! use vl_sim::queue::EventQueue;
+//! use vl_types::Timestamp;
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Timestamp::from_secs(5), "later");
+//! q.schedule(Timestamp::from_secs(1), "sooner");
+//! let (at, ev) = q.pop().unwrap();
+//! assert_eq!((at, ev), (Timestamp::from_secs(1), "sooner"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod clock;
+pub mod queue;
+pub mod rng;
+pub mod runner;
+
+pub use clock::{Clock, VirtualClock};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use runner::{EventHandler, Simulator};

@@ -1,0 +1,175 @@
+//! A stable priority queue of timestamped events.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+use vl_types::Timestamp;
+
+/// An event scheduled for a particular virtual time.
+struct Scheduled<E> {
+    at: Timestamp,
+    /// Monotone sequence number: events at equal times pop in the order
+    /// they were scheduled, making every run bit-reproducible.
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A min-queue of events ordered by time, ties broken by insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use vl_sim::EventQueue;
+/// use vl_types::Timestamp;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Timestamp::from_secs(2), 'b');
+/// q.schedule(Timestamp::from_secs(2), 'c'); // same time: FIFO
+/// q.schedule(Timestamp::from_secs(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `at`.
+    pub fn schedule(&mut self, at: Timestamp, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Timestamp, E)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<Timestamp> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_at", &self.peek_time())
+            .finish()
+    }
+}
+
+impl<E> Extend<(Timestamp, E)> for EventQueue<E> {
+    fn extend<I: IntoIterator<Item = (Timestamp, E)>>(&mut self, iter: I) {
+        for (at, e) in iter {
+            self.schedule(at, e);
+        }
+    }
+}
+
+impl<E> FromIterator<(Timestamp, E)> for EventQueue<E> {
+    fn from_iter<I: IntoIterator<Item = (Timestamp, E)>>(iter: I) -> Self {
+        let mut q = EventQueue::new();
+        q.extend(iter);
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(s: u64) -> Timestamp {
+        Timestamp::from_secs(s)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(ts(3), 3u32);
+        q.schedule(ts(1), 1);
+        q.schedule(ts(2), 2);
+        assert_eq!(q.pop(), Some((ts(1), 1)));
+        assert_eq!(q.pop(), Some((ts(2), 2)));
+        assert_eq!(q.pop(), Some((ts(3), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(ts(5), i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(ts(9), ());
+        q.schedule(ts(4), ());
+        assert_eq!(q.peek_time(), Some(ts(4)));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let q: EventQueue<u8> = vec![(ts(2), 2u8), (ts(1), 1)].into_iter().collect();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(ts(1)));
+    }
+}

@@ -1,0 +1,221 @@
+//! Strongly-typed identifiers.
+//!
+//! Each identifier is a newtype over an unsigned integer so that, e.g., a
+//! [`ClientId`] can never be passed where an [`ObjectId`] is expected
+//! (C-NEWTYPE). All identifiers are `Copy`, ordered, hashable, and
+//! serializable so they can be used as map keys and wire-message fields.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:expr) => {
+        $(#[$doc])*
+        #[derive(
+            Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
+            Serialize, Deserialize,
+        )]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Returns the raw integer value of this identifier.
+            ///
+            /// # Examples
+            ///
+            /// ```
+            /// # use vl_types::*;
+            #[doc = concat!("assert_eq!(", stringify!($name), "(7).raw(), 7);")]
+            /// ```
+            pub const fn raw(self) -> $repr {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<$repr> for $name {
+            fn from(raw: $repr) -> Self {
+                Self(raw)
+            }
+        }
+
+        impl From<$name> for $repr {
+            fn from(id: $name) -> Self {
+                id.0
+            }
+        }
+    };
+}
+
+define_id! {
+    /// Identifies a cache client (a browser, proxy, or agent).
+    ClientId, u32, "c"
+}
+
+define_id! {
+    /// Identifies an origin server. In the paper's evaluation each server
+    /// hosts exactly one volume, but the types stay distinct.
+    ServerId, u32, "s"
+}
+
+define_id! {
+    /// Identifies a cached object (a file / web page).
+    ObjectId, u64, "o"
+}
+
+define_id! {
+    /// Identifies a volume: a group of related objects on one server whose
+    /// consistency is guarded by a single short lease.
+    VolumeId, u32, "v"
+}
+
+/// Monotonically increasing version number of an object.
+///
+/// Incremented by the server after every write (Figure 3, `o.version ←
+/// o.version + 1`). [`Version::NONE`] denotes "client has no cached copy"
+/// and is what the client sends as `max(o.version, -1)` in Figure 4.
+///
+/// # Examples
+///
+/// ```
+/// use vl_types::Version;
+/// let v = Version::FIRST;
+/// assert!(v.next() > v);
+/// assert!(Version::NONE < Version::FIRST);
+/// ```
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Version(pub u64);
+
+impl Version {
+    /// Sentinel for "no cached copy"; compares below every real version.
+    pub const NONE: Version = Version(0);
+    /// The version assigned to an object when it is first created.
+    pub const FIRST: Version = Version(1);
+
+    /// Returns the next version in sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the version counter would overflow `u64` (never happens in
+    /// practice: one write per nanosecond for ~584 years).
+    #[must_use]
+    pub fn next(self) -> Version {
+        Version(self.0.checked_add(1).expect("version counter overflow"))
+    }
+
+    /// Returns `true` if this version is the [`Version::NONE`] sentinel.
+    pub const fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Version {
+    fn default() -> Self {
+        Version::NONE
+    }
+}
+
+impl fmt::Display for Version {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ver{}", self.0)
+    }
+}
+
+/// A volume epoch number, incremented on every server reboot (§3.1.2).
+///
+/// A client that renews a volume lease presents the last epoch it knows;
+/// if the epoch is stale the server runs the reconnection protocol
+/// (`MUST_RENEW_ALL`) as if the client were in the Unreachable set.
+///
+/// # Examples
+///
+/// ```
+/// use vl_types::Epoch;
+/// let boot0 = Epoch::default();
+/// let boot1 = boot0.next();
+/// assert!(boot1 > boot0);
+/// ```
+#[derive(
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Epoch(pub u64);
+
+impl Epoch {
+    /// Returns the epoch after one more server reboot.
+    ///
+    /// # Panics
+    ///
+    /// Panics on `u64` overflow (would require 2⁶⁴ reboots).
+    #[must_use]
+    pub fn next(self) -> Epoch {
+        Epoch(self.0.checked_add(1).expect("epoch counter overflow"))
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_and_roundtrip_raw() {
+        let c = ClientId::from(3u32);
+        assert_eq!(c.raw(), 3);
+        assert_eq!(u32::from(c), 3);
+        let o = ObjectId::from(9u64);
+        assert_eq!(o.raw(), 9);
+    }
+
+    #[test]
+    fn display_is_prefixed_and_nonempty() {
+        assert_eq!(ClientId(1).to_string(), "c1");
+        assert_eq!(ServerId(2).to_string(), "s2");
+        assert_eq!(ObjectId(3).to_string(), "o3");
+        assert_eq!(VolumeId(4).to_string(), "v4");
+        assert_eq!(Version(5).to_string(), "ver5");
+        assert_eq!(Epoch(6).to_string(), "epoch6");
+    }
+
+    #[test]
+    fn version_ordering_and_sentinel() {
+        assert!(Version::NONE.is_none());
+        assert!(!Version::FIRST.is_none());
+        assert!(Version::NONE < Version::FIRST);
+        assert_eq!(Version::FIRST.next(), Version(2));
+        assert_eq!(Version::default(), Version::NONE);
+    }
+
+    #[test]
+    fn epoch_increments() {
+        let e = Epoch::default();
+        assert_eq!(e.next(), Epoch(1));
+        assert_eq!(e.next().next(), Epoch(2));
+    }
+
+    #[test]
+    fn ids_usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(ObjectId(1));
+        set.insert(ObjectId(1));
+        set.insert(ObjectId(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn ids_order_by_raw_value() {
+        assert!(ClientId(1) < ClientId(2));
+        assert!(ObjectId(10) > ObjectId(9));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for `LeaseSet` invariants.
+
+use proptest::prelude::*;
+use vl_types::{ClientId, LeaseSet, Timestamp, LEASE_RECORD_BYTES};
+
+#[derive(Clone, Debug)]
+enum Op {
+    Grant(u8, u64),
+    Revoke(u8),
+    Sweep(u64),
+    ExtendTo(u8, u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<u8>(), 0u64..10_000).prop_map(|(c, e)| Op::Grant(c, e)),
+        any::<u8>().prop_map(Op::Revoke),
+        (0u64..10_000).prop_map(Op::Sweep),
+        (any::<u8>(), 0u64..10_000).prop_map(|(c, e)| Op::ExtendTo(c, e)),
+    ]
+}
+
+proptest! {
+    /// After any op sequence: the expire bound dominates every entry, state
+    /// bytes equal 16×len, and no lease is valid at/after its expiry.
+    #[test]
+    fn invariants_hold(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+        let mut set = LeaseSet::new();
+        for op in ops {
+            match op {
+                Op::Grant(c, e) => {
+                    set.grant(ClientId(c as u32), Timestamp::from_millis(e));
+                }
+                Op::Revoke(c) => {
+                    set.revoke(ClientId(c as u32));
+                }
+                Op::Sweep(now) => {
+                    set.sweep_expired(Timestamp::from_millis(now));
+                }
+                Op::ExtendTo(c, e) => {
+                    set.extend_to(ClientId(c as u32), Timestamp::from_millis(e));
+                }
+            }
+            for (c, e) in set.iter() {
+                prop_assert!(e <= set.expire_bound());
+                prop_assert!(!set.is_valid_for(c, e), "lease valid at its own expiry");
+                if e > Timestamp::ZERO {
+                    prop_assert!(set.is_valid_for(
+                        c,
+                        Timestamp::from_millis(e.as_millis() - 1)
+                    ));
+                }
+            }
+            prop_assert_eq!(set.state_bytes(), set.len() as u64 * LEASE_RECORD_BYTES);
+        }
+    }
+
+    /// Sweeping at `now` removes exactly the entries with expiry ≤ now and
+    /// leaves valid_count unchanged.
+    #[test]
+    fn sweep_preserves_valid_holders(
+        grants in proptest::collection::vec((any::<u8>(), 1u64..1000), 1..40),
+        now in 0u64..1000,
+    ) {
+        let mut set = LeaseSet::new();
+        for (c, e) in grants {
+            set.grant(ClientId(c as u32), Timestamp::from_millis(e));
+        }
+        let now = Timestamp::from_millis(now);
+        let valid_before = set.valid_count(now);
+        let expired = set.len() - valid_before;
+        prop_assert_eq!(set.sweep_expired(now), expired);
+        prop_assert_eq!(set.valid_count(now), valid_before);
+        prop_assert_eq!(set.len(), valid_before);
+    }
+
+    /// `extend_to` is monotone: the resulting expiry is the max of old and new.
+    #[test]
+    fn extend_to_is_monotone(e1 in 0u64..1000, e2 in 0u64..1000) {
+        let mut set = LeaseSet::new();
+        set.grant(ClientId(1), Timestamp::from_millis(e1));
+        let out = set.extend_to(ClientId(1), Timestamp::from_millis(e2));
+        prop_assert_eq!(out, Timestamp::from_millis(e1.max(e2)));
+    }
+}

@@ -1,0 +1,301 @@
+//! Random-variate samplers used by the workload generator.
+//!
+//! Implemented here (rather than pulling in `rand_distr`) because the
+//! workspace's dependency budget is deliberately small and the generator
+//! needs only four families: Zipf-like popularity, exponential gaps,
+//! Poisson counts, and log-normal sizes. Each sampler is validated against
+//! closed-form moments in its tests.
+
+use rand::Rng;
+
+/// A Zipf-like (power-law) distribution over ranks `0..n`, with exponent
+/// `theta`: `P(rank = k) ∝ 1 / (k+1)^theta`.
+///
+/// Sampling is O(log n) by binary search over the precomputed CDF; the
+/// table is built once (O(n)) and reused for millions of draws.
+///
+/// # Examples
+///
+/// ```
+/// use vl_workload::dist::Zipf;
+/// use rand::SeedableRng;
+///
+/// let zipf = Zipf::new(100, 0.986);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let rank = zipf.sample(&mut rng);
+/// assert!(rank < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the distribution over `n` ranks with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `theta` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            theta.is_finite() && theta >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // Guard against floating-point shortfall at the top end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the distribution has a single rank.
+    pub fn is_empty(&self) -> bool {
+        false // `new` rejects n == 0; kept for clippy's len/is_empty pairing
+    }
+
+    /// Draws a rank in `0..len()`; rank 0 is the most popular.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Probability mass of `rank`.
+    pub fn pmf(&self, rank: usize) -> f64 {
+        if rank >= self.cdf.len() {
+            return 0.0;
+        }
+        if rank == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[rank] - self.cdf[rank - 1]
+        }
+    }
+}
+
+/// Samples an exponential variate with the given mean (in the caller's
+/// unit) via inverse transform.
+///
+/// # Panics
+///
+/// Panics if `mean` is negative or non-finite.
+///
+/// # Examples
+///
+/// ```
+/// use vl_workload::dist::exponential;
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = exponential(&mut rng, 10.0);
+/// assert!(x >= 0.0);
+/// ```
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(
+        mean.is_finite() && mean >= 0.0,
+        "exponential mean must be finite and non-negative"
+    );
+    if mean == 0.0 {
+        return 0.0;
+    }
+    // 1 - U ∈ (0, 1] avoids ln(0).
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// Samples a Poisson count with rate `lambda`.
+///
+/// Uses Knuth's product method for small `lambda` and a normal
+/// approximation (rounded, clamped at zero) for `lambda > 30`, which is
+/// more than accurate enough for write-count synthesis.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(
+        lambda.is_finite() && lambda >= 0.0,
+        "Poisson rate must be finite and non-negative"
+    );
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda > 30.0 {
+        // Normal approximation N(λ, λ).
+        let z = standard_normal(rng);
+        return (lambda + lambda.sqrt() * z).round().max(0.0) as u64;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen_range(0.0..1.0f64);
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+/// Samples a standard normal variate (Box–Muller).
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a log-normal variate parameterized by its **median** and the
+/// log-space standard deviation `sigma`. Used for object sizes (web object
+/// sizes are famously heavy-tailed).
+///
+/// # Panics
+///
+/// Panics if `median` is not positive or `sigma` is negative.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, median: f64, sigma: f64) -> f64 {
+    assert!(median > 0.0, "log-normal median must be positive");
+    assert!(sigma >= 0.0, "log-normal sigma must be non-negative");
+    (median.ln() + sigma * standard_normal(rng)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(1000, 0.986);
+        let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..1000 {
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf not decreasing at {k}");
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf_for_top_rank() {
+        let z = Zipf::new(100, 1.0);
+        let mut r = rng();
+        let n = 200_000;
+        let hits = (0..n).filter(|_| z.sample(&mut r) == 0).count();
+        let expected = z.pmf(0);
+        let got = hits as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.01,
+            "rank-0 frequency {got} vs pmf {expected}"
+        );
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zipf_samples_cover_range() {
+        let z = Zipf::new(5, 0.5);
+        let mut r = rng();
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut r)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn exponential_mean_converges() {
+        let mut r = rng();
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| exponential(&mut r, 25.0)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 25.0).abs() < 0.5, "mean {mean}");
+    }
+
+    #[test]
+    fn exponential_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(exponential(&mut r, 0.0), 0.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean_and_variance() {
+        let mut r = rng();
+        let lambda = 2.5;
+        let n = 100_000;
+        let samples: Vec<u64> = (0..n).map(|_| poisson(&mut r, lambda)).collect();
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - lambda).abs() < 0.05, "mean {mean}");
+        assert!((var - lambda).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_uses_normal_path() {
+        let mut r = rng();
+        let lambda = 400.0;
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut r, lambda)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - lambda).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_rate_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn log_normal_median_converges() {
+        let mut r = rng();
+        let n = 100_001;
+        let mut samples: Vec<f64> = (0..n).map(|_| log_normal(&mut r, 3000.0, 1.2)).collect();
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[n / 2];
+        assert!(
+            (median / 3000.0 - 1.0).abs() < 0.05,
+            "median {median} not near 3000"
+        );
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

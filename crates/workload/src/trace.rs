@@ -1,0 +1,281 @@
+//! Timestamped read/write traces.
+
+use crate::Universe;
+use serde::{Deserialize, Serialize};
+use vl_types::{ClientId, Duration, ObjectId, ServerId, Timestamp};
+
+/// One trace record: a client read or a server-side write.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// `client` reads `object` at `at`.
+    Read {
+        /// Event time.
+        at: Timestamp,
+        /// The reading client.
+        client: ClientId,
+        /// The object read.
+        object: ObjectId,
+    },
+    /// The origin server modifies `object` at `at`.
+    Write {
+        /// Event time.
+        at: Timestamp,
+        /// The object written.
+        object: ObjectId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's time.
+    pub fn at(&self) -> Timestamp {
+        match *self {
+            TraceEvent::Read { at, .. } | TraceEvent::Write { at, .. } => at,
+        }
+    }
+
+    /// The object touched by the event.
+    pub fn object(&self) -> ObjectId {
+        match *self {
+            TraceEvent::Read { object, .. } | TraceEvent::Write { object, .. } => object,
+        }
+    }
+
+    /// Returns `true` for read events.
+    pub fn is_read(&self) -> bool {
+        matches!(self, TraceEvent::Read { .. })
+    }
+}
+
+/// A time-ordered event sequence bound to the [`Universe`] it references.
+///
+/// Construction sorts events (stably, so same-instant ordering is the
+/// producer's ordering) and validates that every referenced object exists.
+///
+/// # Examples
+///
+/// ```
+/// use vl_workload::{Trace, TraceEvent, UniverseBuilder};
+/// use vl_types::{ClientId, ServerId, Timestamp};
+///
+/// let mut b = UniverseBuilder::new();
+/// let v = b.add_volume(ServerId(0));
+/// let o = b.add_object(v, 100);
+/// let trace = Trace::new(
+///     b.build(),
+///     vec![
+///         TraceEvent::Write { at: Timestamp::from_secs(5), object: o },
+///         TraceEvent::Read { at: Timestamp::from_secs(1), client: ClientId(0), object: o },
+///     ],
+/// );
+/// assert!(trace.events()[0].is_read()); // sorted by time
+/// assert_eq!(trace.read_count(), 1);
+/// ```
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    universe: Universe,
+    events: Vec<TraceEvent>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Trace {
+    /// Builds a trace, sorting `events` by time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event references an object outside `universe`.
+    pub fn new(universe: Universe, mut events: Vec<TraceEvent>) -> Trace {
+        for e in &events {
+            assert!(
+                (e.object().raw() as usize) < universe.object_count(),
+                "trace event references unknown {}",
+                e.object()
+            );
+        }
+        events.sort_by_key(TraceEvent::at);
+        let reads = events.iter().filter(|e| e.is_read()).count() as u64;
+        let writes = events.len() as u64 - reads;
+        Trace {
+            universe,
+            events,
+            reads,
+            writes,
+        }
+    }
+
+    /// The topology this trace runs against.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// The time-ordered events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of read events.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Number of write events.
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Time of the last event, or zero for an empty trace.
+    pub fn end_time(&self) -> Timestamp {
+        self.events.last().map_or(Timestamp::ZERO, TraceEvent::at)
+    }
+
+    /// The simulated span: from time zero to the last event.
+    pub fn span(&self) -> Duration {
+        self.end_time().saturating_sub(Timestamp::ZERO)
+    }
+
+    /// Read counts per server, indexed by raw [`ServerId`] — used to pick
+    /// the paper's "most popular" and "10th most popular" servers.
+    pub fn reads_per_server(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.universe.server_count()];
+        for e in &self.events {
+            if e.is_read() {
+                counts[self.universe.server_of(e.object()).raw() as usize] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Servers ranked by read traffic, busiest first.
+    pub fn servers_by_popularity(&self) -> Vec<(ServerId, u64)> {
+        let mut v: Vec<(ServerId, u64)> = self
+            .reads_per_server()
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| (ServerId(i as u32), n))
+            .filter(|&(_, n)| n > 0)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The same events replayed against a universe whose volumes are
+    /// sharded `volumes_per_server`-ways (see [`Universe::reshard`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `volumes_per_server` is zero.
+    pub fn with_resharded_volumes(&self, volumes_per_server: u32) -> Trace {
+        Trace {
+            universe: self.universe.reshard(volumes_per_server),
+            events: self.events.clone(),
+            reads: self.reads,
+            writes: self.writes,
+        }
+    }
+
+    /// Distinct objects that are read at least once.
+    pub fn distinct_objects_read(&self) -> u64 {
+        let mut seen = vec![false; self.universe.object_count()];
+        let mut n = 0;
+        for e in &self.events {
+            if e.is_read() {
+                let i = e.object().raw() as usize;
+                if !seen[i] {
+                    seen[i] = true;
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::UniverseBuilder;
+
+    fn tiny_universe() -> (Universe, Vec<ObjectId>) {
+        let mut b = UniverseBuilder::new();
+        let v0 = b.add_volume(ServerId(0));
+        let v1 = b.add_volume(ServerId(1));
+        let objs = vec![
+            b.add_object(v0, 10),
+            b.add_object(v0, 20),
+            b.add_object(v1, 30),
+        ];
+        (b.build(), objs)
+    }
+
+    #[test]
+    fn sorts_events_and_counts() {
+        let (u, o) = tiny_universe();
+        let t = Trace::new(
+            u,
+            vec![
+                TraceEvent::Write {
+                    at: Timestamp::from_secs(9),
+                    object: o[0],
+                },
+                TraceEvent::Read {
+                    at: Timestamp::from_secs(1),
+                    client: ClientId(0),
+                    object: o[1],
+                },
+                TraceEvent::Read {
+                    at: Timestamp::from_secs(4),
+                    client: ClientId(1),
+                    object: o[2],
+                },
+            ],
+        );
+        assert_eq!(t.read_count(), 2);
+        assert_eq!(t.write_count(), 1);
+        assert_eq!(t.end_time(), Timestamp::from_secs(9));
+        assert_eq!(t.span(), Duration::from_secs(9));
+        let times: Vec<u64> = t.events().iter().map(|e| e.at().as_secs()).collect();
+        assert_eq!(times, vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn popularity_ranking() {
+        let (u, o) = tiny_universe();
+        let mk_read = |s, obj| TraceEvent::Read {
+            at: Timestamp::from_secs(s),
+            client: ClientId(0),
+            object: obj,
+        };
+        let t = Trace::new(
+            u,
+            vec![mk_read(1, o[2]), mk_read(2, o[2]), mk_read(3, o[0])],
+        );
+        assert_eq!(
+            t.servers_by_popularity(),
+            vec![(ServerId(1), 2), (ServerId(0), 1)]
+        );
+        assert_eq!(t.distinct_objects_read(), 2);
+        assert_eq!(t.reads_per_server(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown")]
+    fn rejects_unknown_objects() {
+        let (u, _) = tiny_universe();
+        Trace::new(
+            u,
+            vec![TraceEvent::Write {
+                at: Timestamp::ZERO,
+                object: ObjectId(99),
+            }],
+        );
+    }
+
+    #[test]
+    fn empty_trace() {
+        let (u, _) = tiny_universe();
+        let t = Trace::new(u, vec![]);
+        assert_eq!(t.read_count(), 0);
+        assert_eq!(t.end_time(), Timestamp::ZERO);
+        assert!(t.servers_by_popularity().is_empty());
+    }
+}

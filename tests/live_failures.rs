@@ -1,0 +1,184 @@
+//! Failure-mode integration tests for the live stack: the properties
+//! that motivated volume leases (§1, §3) — bounded write delay under
+//! partitions, delayed invalidations for inactive clients, and the
+//! best-effort write mode.
+
+use bytes::Bytes;
+use std::time::Duration as StdDuration;
+use vl_client::{CacheClient, ClientConfig, ReadError};
+use vl_net::{InMemoryNetwork, NodeId};
+use vl_server::{LeaseServer, ServerConfig, ServerHandle, WallClock, WriteMode};
+use vl_types::{ClientId, ObjectId, ServerId};
+
+const OBJ: ObjectId = ObjectId(1);
+const SRV: ServerId = ServerId(0);
+
+fn fast_config() -> ServerConfig {
+    ServerConfig {
+        object_lease: StdDuration::from_secs(10),
+        volume_lease: StdDuration::from_millis(500),
+        ..ServerConfig::new(SRV)
+    }
+}
+
+fn setup(cfg: ServerConfig) -> (InMemoryNetwork, WallClock, ServerHandle) {
+    let net = InMemoryNetwork::new();
+    let clock = WallClock::new();
+    let server = LeaseServer::spawn(cfg, net.endpoint(NodeId::Server(SRV)), clock);
+    server.create_object(OBJ, Bytes::from_static(b"v1"));
+    (net, clock, server)
+}
+
+fn client(net: &InMemoryNetwork, clock: WallClock, id: u32) -> CacheClient {
+    CacheClient::spawn(
+        ClientConfig::new(ClientId(id), SRV),
+        net.endpoint(NodeId::Client(ClientId(id))),
+        clock,
+    )
+}
+
+#[test]
+fn invalidation_keeps_two_clients_consistent() {
+    let (net, clock, server) = setup(fast_config());
+    let c1 = client(&net, clock, 1);
+    let c2 = client(&net, clock, 2);
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
+    assert_eq!(&c2.read(OBJ).unwrap()[..], b"v1");
+
+    let out = server.write(OBJ, Bytes::from_static(b"v2"));
+    assert_eq!(out.invalidations_sent, 2, "both hold leases");
+    assert_eq!(out.waited_out, 0, "both acked promptly");
+    assert!(
+        out.delay < vl_types::Duration::from_millis(400),
+        "acked write should be fast, took {}",
+        out.delay
+    );
+
+    // Reads after the write observe the new version immediately.
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v2");
+    assert_eq!(&c2.read(OBJ).unwrap()[..], b"v2");
+    assert_eq!(c1.stats().invalidations, 1);
+    c1.shutdown();
+    c2.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn partitioned_client_delays_write_at_most_min_lease() {
+    let (net, clock, server) = setup(fast_config());
+    let c1 = client(&net, clock, 1);
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
+
+    // Cut the client off; its volume lease (500 ms) now fences it.
+    net.partition(NodeId::Client(ClientId(1)), NodeId::Server(SRV));
+    let out = server.write(OBJ, Bytes::from_static(b"v2"));
+    assert_eq!(out.waited_out, 1, "client never acked");
+    assert!(
+        out.delay <= vl_types::Duration::from_millis(900),
+        "write must be bounded by t_v (+scheduling slack), took {}",
+        out.delay
+    );
+    let stats = server.stats();
+    assert_eq!(stats.unreachable, 1, "client joined the Unreachable set");
+
+    // While partitioned, the client's own leases have expired: a strong
+    // read refuses to return the (stale) cached copy.
+    std::thread::sleep(StdDuration::from_millis(100));
+    assert!(matches!(
+        c1.read(OBJ),
+        Err(ReadError::Unavailable { .. })
+    ));
+    // …but the suspect API still hands out the old bytes, flagged.
+    assert_eq!(&c1.read_suspect(OBJ).unwrap()[..], b"v1");
+
+    // Heal: the client reconnects via MUST_RENEW_ALL and sees v2.
+    net.heal(NodeId::Client(ClientId(1)), NodeId::Server(SRV));
+    let data = c1.read(OBJ).expect("reconnection must succeed");
+    assert_eq!(&data[..], b"v2", "never a stale strong read");
+    assert_eq!(c1.stats().reconnections, 1);
+    assert_eq!(server.stats().reconnections, 1);
+    assert_eq!(server.stats().unreachable, 0);
+    c1.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn inactive_client_gets_delayed_invalidations_batched() {
+    let (net, clock, server) = setup(fast_config());
+    let c1 = client(&net, clock, 1);
+    let second = ObjectId(2);
+    server.create_object(second, Bytes::from_static(b"b1"));
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
+    assert_eq!(&c1.read(second).unwrap()[..], b"b1");
+
+    // Let the volume lease lapse (client goes quiet, not partitioned).
+    std::thread::sleep(StdDuration::from_millis(700));
+
+    // Both writes are queued, not sent: the client is inactive.
+    let w1 = server.write(OBJ, Bytes::from_static(b"v2"));
+    let w2 = server.write(second, Bytes::from_static(b"b2"));
+    assert_eq!(w1.invalidations_sent + w2.invalidations_sent, 0);
+    assert_eq!(w1.queued + w2.queued, 2);
+    assert!(w1.delay < vl_types::Duration::from_millis(200));
+    assert_eq!(server.stats().inactive, 1);
+
+    // The client returns: one volume renewal delivers both
+    // invalidations; the reads then fetch fresh data.
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v2");
+    assert_eq!(&c1.read(second).unwrap()[..], b"b2");
+    assert_eq!(c1.stats().batched_invalidations, 2);
+    assert_eq!(c1.stats().invalidations, 0, "nothing was sent eagerly");
+    assert_eq!(server.stats().inactive, 0, "queue acked and cleared");
+    c1.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn best_effort_write_never_blocks_on_partition() {
+    let cfg = ServerConfig {
+        write_mode: WriteMode::BestEffort,
+        ..fast_config()
+    };
+    let (net, clock, server) = setup(cfg);
+    let c1 = client(&net, clock, 1);
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
+    net.partition(NodeId::Client(ClientId(1)), NodeId::Server(SRV));
+    let out = server.write(OBJ, Bytes::from_static(b"v2"));
+    assert!(
+        out.delay < vl_types::Duration::from_millis(200),
+        "best-effort writes do not wait for acks: {}",
+        out.delay
+    );
+    assert_eq!(out.invalidations_sent, 1, "the attempt was made");
+    c1.shutdown();
+    server.shutdown();
+}
+
+#[test]
+fn demotion_discards_queue_and_forces_reconnection() {
+    let cfg = ServerConfig {
+        inactive_discard: Some(StdDuration::from_millis(600)),
+        ..fast_config()
+    };
+    let (net, clock, server) = setup(cfg);
+    let c1 = client(&net, clock, 1);
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
+
+    // Volume lapses; a write queues an invalidation for the client.
+    std::thread::sleep(StdDuration::from_millis(700));
+    let w = server.write(OBJ, Bytes::from_static(b"v2"));
+    assert_eq!(w.queued, 1);
+
+    // After d the server demotes the client and discards the queue.
+    std::thread::sleep(StdDuration::from_millis(900));
+    let stats = server.stats();
+    assert_eq!(stats.demotions, 1);
+    assert_eq!(stats.inactive, 0);
+    assert_eq!(stats.unreachable, 1);
+
+    // The returning client reconnects and still sees only fresh data.
+    assert_eq!(&c1.read(OBJ).unwrap()[..], b"v2");
+    assert_eq!(c1.stats().reconnections, 1);
+    c1.shutdown();
+    server.shutdown();
+}

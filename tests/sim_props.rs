@@ -1,0 +1,178 @@
+//! Property-based tests over random small traces: the invariants the
+//! paper's algorithms promise, checked on arbitrary interleavings.
+
+use proptest::prelude::*;
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_types::{ClientId, Duration, ObjectId, ServerId, Timestamp};
+use vl_workload::{Trace, TraceEvent, UniverseBuilder};
+
+/// A compact generated workload: topology sizes plus event list.
+#[derive(Clone, Debug)]
+struct RandomTrace {
+    volumes: u32,
+    objects_per_volume: u64,
+    events: Vec<TraceEvent>,
+}
+
+fn arb_trace() -> impl Strategy<Value = RandomTrace> {
+    (2u32..5, 1u64..4).prop_flat_map(|(volumes, objects_per_volume)| {
+        let n_objects = u64::from(volumes) * objects_per_volume;
+        let event = (0u64..50_000, 0u32..4, 0..n_objects, any::<bool>()).prop_map(
+            move |(at, client, object, is_read)| {
+                let at = Timestamp::from_millis(at * 100);
+                if is_read {
+                    TraceEvent::Read {
+                        at,
+                        client: ClientId(client),
+                        object: ObjectId(object),
+                    }
+                } else {
+                    TraceEvent::Write {
+                        at,
+                        object: ObjectId(object),
+                    }
+                }
+            },
+        );
+        proptest::collection::vec(event, 1..200).prop_map(move |events| RandomTrace {
+            volumes,
+            objects_per_volume,
+            events,
+        })
+    })
+}
+
+fn build(rt: &RandomTrace) -> Trace {
+    let mut b = UniverseBuilder::new();
+    for v in 0..rt.volumes {
+        let vol = b.add_volume(ServerId(v));
+        for _ in 0..rt.objects_per_volume {
+            b.add_object(vol, 500);
+        }
+    }
+    Trace::new(b.build(), rt.events.clone())
+}
+
+fn strong_kinds() -> Vec<ProtocolKind> {
+    vec![
+        ProtocolKind::PollEachRead,
+        ProtocolKind::Callback,
+        ProtocolKind::Lease {
+            timeout: Duration::from_secs(120),
+        },
+        ProtocolKind::WaitingLease {
+            timeout: Duration::from_secs(120),
+        },
+        ProtocolKind::VolumeLease {
+            volume_timeout: Duration::from_secs(15),
+            object_timeout: Duration::from_secs(500),
+        },
+        ProtocolKind::DelayedInvalidation {
+            volume_timeout: Duration::from_secs(15),
+            object_timeout: Duration::from_secs(500),
+            inactive_discard: Duration::MAX,
+        },
+        ProtocolKind::DelayedInvalidation {
+            volume_timeout: Duration::from_secs(15),
+            object_timeout: Duration::from_secs(500),
+            inactive_discard: Duration::from_secs(60),
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No strongly consistent algorithm ever serves a stale read, on any
+    /// interleaving of reads and writes. (The engine also asserts this
+    /// internally; the property test drives it across random traces.)
+    #[test]
+    fn strong_protocols_never_stale(rt in arb_trace()) {
+        let trace = build(&rt);
+        for kind in strong_kinds() {
+            let report = SimulationBuilder::new(kind).run(&trace);
+            prop_assert_eq!(report.summary.stale_reads, 0, "{}", kind);
+            prop_assert_eq!(report.summary.reads, trace.read_count());
+        }
+    }
+
+    /// Delayed invalidations never send more messages than basic volume
+    /// leases at identical parameters (§3.2's construction: messages are
+    /// only removed, deferred, or batched).
+    #[test]
+    fn delay_never_beats_volume_on_messages(rt in arb_trace()) {
+        let trace = build(&rt);
+        let tv = Duration::from_secs(15);
+        let t = Duration::from_secs(500);
+        let volume = SimulationBuilder::new(ProtocolKind::VolumeLease {
+            volume_timeout: tv,
+            object_timeout: t,
+        })
+        .run(&trace);
+        let delay = SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
+            volume_timeout: tv,
+            object_timeout: t,
+            inactive_discard: Duration::MAX,
+        })
+        .run(&trace);
+        prop_assert!(delay.summary.messages <= volume.summary.messages);
+    }
+
+    /// Simulations are pure functions of the trace.
+    #[test]
+    fn simulation_is_deterministic(rt in arb_trace()) {
+        let trace = build(&rt);
+        let kind = ProtocolKind::DelayedInvalidation {
+            volume_timeout: Duration::from_secs(15),
+            object_timeout: Duration::from_secs(500),
+            inactive_discard: Duration::from_secs(60),
+        };
+        let a = SimulationBuilder::new(kind).run(&trace);
+        let b = SimulationBuilder::new(kind).run(&trace);
+        prop_assert_eq!(a.summary, b.summary);
+        prop_assert_eq!(a.metrics.total_bytes(), b.metrics.total_bytes());
+    }
+
+    /// Poll(0) is PollEachRead (the paper's degenerate case), and
+    /// Poll's staleness is bounded: stale reads only happen within the
+    /// trust window after a write.
+    #[test]
+    fn poll_degenerates_and_bounds(rt in arb_trace()) {
+        let trace = build(&rt);
+        let per = SimulationBuilder::new(ProtocolKind::PollEachRead).run(&trace);
+        let p0 = SimulationBuilder::new(ProtocolKind::Poll {
+            timeout: Duration::ZERO,
+        })
+        .run(&trace);
+        prop_assert_eq!(per.summary.messages, p0.summary.messages);
+        prop_assert_eq!(p0.summary.stale_reads, 0);
+    }
+
+    /// Waiting leases never send more messages than invalidating leases
+    /// at equal t (they only remove invalidation traffic), and they are
+    /// the only strong algorithm whose writes block without failures.
+    #[test]
+    fn waiting_lease_only_removes_messages(rt in arb_trace()) {
+        let trace = build(&rt);
+        let t = Duration::from_secs(120);
+        let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: t }).run(&trace);
+        let wait =
+            SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: t }).run(&trace);
+        prop_assert!(wait.summary.messages <= lease.summary.messages);
+        prop_assert_eq!(lease.summary.max_write_delay_secs, 0.0);
+        prop_assert!(wait.summary.max_write_delay_secs <= t.as_secs_f64());
+    }
+
+    /// Lease(∞-ish) has the same steady-state message behaviour as
+    /// Callback: with leases outlasting the trace nothing ever expires.
+    #[test]
+    fn infinite_lease_is_callback(rt in arb_trace()) {
+        let trace = build(&rt);
+        let lease = SimulationBuilder::new(ProtocolKind::Lease {
+            timeout: Duration::from_secs(1_000_000_000),
+        })
+        .run(&trace);
+        let callback = SimulationBuilder::new(ProtocolKind::Callback).run(&trace);
+        prop_assert_eq!(lease.summary.messages, callback.summary.messages);
+    }
+}

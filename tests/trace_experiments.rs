@@ -1,0 +1,202 @@
+//! Cross-crate integration: the qualitative claims of §5 checked
+//! end-to-end on the smoke workload, plus the BU-parser → write-model →
+//! simulation pipeline.
+
+use vl_bench_shim::*;
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_types::Duration;
+use vl_workload::{bu, TraceGenerator, WorkloadConfig, WriteModel, WriteModelConfig};
+
+/// Re-exported experiment helpers (the bench crate is not a dependency
+/// of the facade, so the relevant pieces are inlined here).
+mod vl_bench_shim {
+    use vl_core::{ProtocolKind, SimulationBuilder};
+    use vl_types::Duration;
+    use vl_workload::Trace;
+
+    pub fn messages(trace: &Trace, kind: ProtocolKind) -> u64 {
+        SimulationBuilder::new(kind).run(trace).summary.messages
+    }
+
+    pub fn secs(s: u64) -> Duration {
+        Duration::from_secs(s)
+    }
+}
+
+fn smoke() -> vl_workload::Trace {
+    TraceGenerator::new(WorkloadConfig::smoke()).generate()
+}
+
+/// §5.1's headline: with the write-delay bound fixed at t_v, the volume
+/// algorithms beat the object-lease algorithm that must set t = t_v.
+#[test]
+fn volume_algorithms_beat_bounded_lease() {
+    let trace = smoke();
+    let bound = 10;
+    let lease = messages(
+        &trace,
+        ProtocolKind::Lease {
+            timeout: secs(bound),
+        },
+    );
+    // The volume algorithms may stretch the object lease arbitrarily.
+    let volume = (2..=6)
+        .map(|p| {
+            messages(
+                &trace,
+                ProtocolKind::VolumeLease {
+                    volume_timeout: secs(bound),
+                    object_timeout: secs(10u64.pow(p)),
+                },
+            )
+        })
+        .min()
+        .unwrap();
+    let delay = (2..=6)
+        .map(|p| {
+            messages(
+                &trace,
+                ProtocolKind::DelayedInvalidation {
+                    volume_timeout: secs(bound),
+                    object_timeout: secs(10u64.pow(p)),
+                    inactive_discard: Duration::MAX,
+                },
+            )
+        })
+        .min()
+        .unwrap();
+    assert!(
+        volume < lease,
+        "Volume({bound}, best t) = {volume} must beat Lease({bound}) = {lease}"
+    );
+    assert!(
+        delay <= volume,
+        "Delay must beat basic volume leases: {delay} vs {volume}"
+    );
+    let savings = 1.0 - delay as f64 / lease as f64;
+    assert!(
+        savings > 0.15,
+        "paper reports ≈39% message savings; got {:.0}%",
+        savings * 100.0
+    );
+}
+
+/// The Lease/Volume curves dip with growing t, then invalidations push
+/// back (the U-ish shape of Figure 5); Delay declines monotonically-ish.
+#[test]
+fn figure5_shape_holds() {
+    let trace = smoke();
+    let sweep = [10u64, 1_000, 100_000];
+    let lease: Vec<u64> = sweep
+        .iter()
+        .map(|&t| messages(&trace, ProtocolKind::Lease { timeout: secs(t) }))
+        .collect();
+    assert!(lease[0] > lease[1], "renewals dominate at small t: {lease:?}");
+
+    let delay: Vec<u64> = sweep
+        .iter()
+        .map(|&t| {
+            messages(
+                &trace,
+                ProtocolKind::DelayedInvalidation {
+                    volume_timeout: secs(10),
+                    object_timeout: secs(t),
+                    inactive_discard: Duration::MAX,
+                },
+            )
+        })
+        .collect();
+    assert!(
+        delay.windows(2).all(|w| w[0] >= w[1]),
+        "Delay sends strictly fewer messages as t grows (§5.1): {delay:?}"
+    );
+}
+
+/// Poll trades staleness for traffic: longer windows mean fewer messages
+/// and more stale reads (the 1%-at-10⁵ / 5%-at-10⁶ effect, in miniature).
+#[test]
+fn poll_staleness_grows_with_window() {
+    let trace = smoke();
+    let run = |t: u64| {
+        let r = SimulationBuilder::new(ProtocolKind::Poll { timeout: secs(t) }).run(&trace);
+        (r.summary.messages, r.summary.stale_fraction)
+    };
+    let (m_short, s_short) = run(100);
+    let (m_long, s_long) = run(100_000);
+    assert!(m_long < m_short);
+    assert!(s_long > s_short);
+    assert!(s_long > 0.0, "a day-plus window across writes must go stale");
+}
+
+/// BU-format text parses into a trace that runs through the write model
+/// and every protocol.
+#[test]
+fn bu_pipeline_end_to_end() {
+    // A synthetic log in the BU format: 3 machines, 2 servers, 5 URLs.
+    let mut log = String::new();
+    for i in 0..200 {
+        let machine = ["cs20", "cs21", "cs22"][i % 3];
+        let host = ["http://a.edu", "http://b.edu"][i % 2];
+        let page = i % 5;
+        let ts = 800_000_000.0 + i as f64 * 37.5;
+        log.push_str(&format!(
+            "{machine} {ts} {i} \"{host}/page{page}.html\" {} 0.2\n",
+            1000 + i
+        ));
+    }
+    let parsed = bu::parse_reader(log.as_bytes()).expect("parses");
+    assert_eq!(parsed.trace.read_count(), 200);
+    assert_eq!(parsed.skipped_lines, 0);
+
+    // Synthesize writes over the parsed universe, as §4.2 does for the
+    // real traces (high rates so the short span actually gets writes).
+    let mut rank: Vec<vl_types::ObjectId> = (0..parsed.trace.universe().object_count() as u64)
+        .map(vl_types::ObjectId)
+        .collect();
+    rank.sort();
+    let mut rng = {
+        use rand::SeedableRng;
+        rand::rngs::StdRng::seed_from_u64(5)
+    };
+    let model = WriteModel::assign(
+        &rank,
+        WriteModelConfig {
+            rates_per_day: [200.0, 400.0, 300.0, 250.0],
+            ..WriteModelConfig::paper()
+        },
+        &mut rng,
+    );
+    let days = parsed.trace.span().as_secs_f64() / 86_400.0;
+    let writes = model.generate(parsed.trace.universe(), days.max(0.01), &mut rng);
+    assert!(!writes.is_empty(), "write synthesis produced nothing");
+    let mut events = parsed.trace.events().to_vec();
+    events.extend(writes);
+    let trace = vl_workload::Trace::new(parsed.trace.universe().clone(), events);
+
+    for kind in [
+        ProtocolKind::Callback,
+        ProtocolKind::VolumeLease {
+            volume_timeout: secs(10),
+            object_timeout: secs(10_000),
+        },
+    ] {
+        let report = SimulationBuilder::new(kind).run(&trace);
+        assert_eq!(report.summary.stale_reads, 0);
+        assert!(report.summary.messages > 0);
+    }
+}
+
+/// Server state ordering at short timeouts: Lease < Callback (§5.2).
+#[test]
+fn short_leases_save_server_memory() {
+    let trace = smoke();
+    let top = trace.servers_by_popularity()[0].0;
+    let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: secs(10) }).run(&trace);
+    let callback = SimulationBuilder::new(ProtocolKind::Callback).run(&trace);
+    assert!(
+        lease.avg_state_bytes(top) < callback.avg_state_bytes(top),
+        "lease {} vs callback {}",
+        lease.avg_state_bytes(top),
+        callback.avg_state_bytes(top)
+    );
+}
