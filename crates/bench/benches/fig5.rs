@@ -1,14 +1,16 @@
-//! Criterion bench + regeneration for Figure 5 (messages vs timeout).
+//! Bench + regeneration for Figure 5 (messages vs timeout): prints the
+//! smoke-preset figure once, then times representative full-trace runs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vl_bench::fig5;
+use vl_bench::stopwatch::bench_fn;
+use vl_bench::{fig5, par};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_types::Duration;
 use vl_workload::{TraceGenerator, WorkloadConfig};
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let threads = par::thread_count(None);
     let cfg = WorkloadConfig::smoke();
-    let rows = fig5::run(&cfg);
+    let (rows, stats) = fig5::run(&cfg, threads);
     println!("\n# Figure 5 (smoke preset) — messages vs object timeout");
     println!("{}", fig5::table(&rows, "messages").render());
     for bound in [10u64, 100] {
@@ -20,42 +22,28 @@ fn bench(c: &mut Criterion) {
             );
         }
     }
+    println!("{}", stats.summary());
 
     let trace = TraceGenerator::new(cfg).generate();
-    let mut g = c.benchmark_group("fig5");
-    g.bench_function("volume_lease_full_trace", |b| {
-        b.iter(|| {
-            SimulationBuilder::new(ProtocolKind::VolumeLease {
-                volume_timeout: Duration::from_secs(10),
-                object_timeout: Duration::from_secs(100_000),
-            })
-            .run(&trace)
+    bench_fn("fig5/volume_lease_full_trace", 10, || {
+        SimulationBuilder::new(ProtocolKind::VolumeLease {
+            volume_timeout: Duration::from_secs(10),
+            object_timeout: Duration::from_secs(100_000),
         })
+        .run(&trace)
     });
-    g.bench_function("delayed_invalidation_full_trace", |b| {
-        b.iter(|| {
-            SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
-                volume_timeout: Duration::from_secs(10),
-                object_timeout: Duration::from_secs(100_000),
-                inactive_discard: Duration::MAX,
-            })
-            .run(&trace)
+    bench_fn("fig5/delayed_invalidation_full_trace", 10, || {
+        SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
+            volume_timeout: Duration::from_secs(10),
+            object_timeout: Duration::from_secs(100_000),
+            inactive_discard: Duration::MAX,
         })
+        .run(&trace)
     });
-    g.bench_function("lease_full_trace", |b| {
-        b.iter(|| {
-            SimulationBuilder::new(ProtocolKind::Lease {
-                timeout: Duration::from_secs(100_000),
-            })
-            .run(&trace)
+    bench_fn("fig5/lease_full_trace", 10, || {
+        SimulationBuilder::new(ProtocolKind::Lease {
+            timeout: Duration::from_secs(100_000),
         })
+        .run(&trace)
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

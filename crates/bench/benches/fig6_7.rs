@@ -1,26 +1,21 @@
-//! Criterion bench + regeneration for Figures 6–7 (server state vs t).
+//! Bench + regeneration for Figures 6–7 (server state vs t).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vl_bench::fig67;
+use vl_bench::stopwatch::bench_fn;
+use vl_bench::{fig67, par};
 use vl_workload::{TraceGenerator, WorkloadConfig};
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let threads = par::thread_count(None);
     let cfg = WorkloadConfig::smoke();
     for (fig, rank) in [("Figure 6", 1usize), ("Figure 7", 10)] {
-        let rows = fig67::run(&cfg, rank);
+        let (rows, stats) = fig67::run(&cfg, rank, threads);
         println!("\n# {fig} (smoke preset) — avg state at popularity rank {rank}");
         println!("{}", fig67::table(&rows).render());
+        println!("{}", stats.summary());
     }
 
     let trace = TraceGenerator::new(cfg).generate();
-    c.bench_function("fig6_7/state_sweep_one_timeout", |b| {
-        b.iter(|| fig67::run_on(&trace, 1, &[10_000]))
+    bench_fn("fig6_7/state_sweep_one_timeout", 10, || {
+        fig67::run_on(&trace, 1, &[10_000], 1)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -1,27 +1,25 @@
-//! Criterion bench + regeneration for Figures 8–9 (load bursts).
+//! Bench + regeneration for Figures 8–9 (load bursts).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vl_bench::fig89;
+use vl_bench::stopwatch::bench_fn;
+use vl_bench::{fig89, par};
 use vl_workload::WorkloadConfig;
 
-fn bench(c: &mut Criterion) {
+fn main() {
+    let threads = par::thread_count(None);
     let cfg = WorkloadConfig::smoke();
-    for (fig, bursty) in [("Figure 8 (default writes)", false), ("Figure 9 (bursty writes)", true)] {
-        let curves = fig89::run(&cfg, bursty);
+    for (fig, bursty) in [
+        ("Figure 8 (default writes)", false),
+        ("Figure 9 (bursty writes)", true),
+    ] {
+        let (curves, stats) = fig89::run(&cfg, bursty, threads);
         println!("\n# {fig} (smoke preset) — peak 1-second loads at busiest server");
         for curve in &curves {
             println!("peak {:>6} msg/s  {}", curve.peak, curve.line);
         }
+        println!("{}", stats.summary());
     }
 
-    c.bench_function("fig8_9/burst_histogram_default", |b| {
-        b.iter(|| fig89::run(&cfg, false))
+    bench_fn("fig8_9/burst_histogram_default", 10, || {
+        fig89::run(&cfg, false, 1)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

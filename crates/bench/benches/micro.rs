@@ -1,55 +1,117 @@
-//! Microbenchmarks for the hot-path data structures.
+//! Microbenchmarks for the hot-path data structures and the dense
+//! per-event protocol state (`Poll::on_read`, `DelayedInvalidation::on_read`).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use vl_types::{ClientId, Duration, LeaseSet, Timestamp};
+use vl_bench::stopwatch::{bench_fn, black_box};
+use vl_core::{Ctx, DelayedInvalidation, Poll, Protocol};
+use vl_metrics::Metrics;
+use vl_types::{ClientId, Duration, LeaseSet, ObjectId, ServerId, Timestamp, Version};
 use vl_workload::dist::Zipf;
+use vl_workload::{Universe, UniverseBuilder};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("micro");
+/// A small dense universe: 4 servers × 4 volumes × 16 objects.
+fn dense_universe() -> Universe {
+    let mut b = UniverseBuilder::new();
+    for s in 0..4u32 {
+        for _ in 0..4 {
+            let v = b.add_volume(ServerId(s));
+            for _ in 0..16 {
+                b.add_object(v, 1_000);
+            }
+        }
+    }
+    b.build()
+}
 
-    g.bench_function("lease_set_grant_check_revoke", |b| {
-        let now = Timestamp::from_secs(100);
-        b.iter(|| {
-            let mut set = LeaseSet::new();
-            for i in 0..64u32 {
-                set.grant(ClientId(i), now + Duration::from_secs(u64::from(i)));
-            }
-            let valid = set.valid_count(now + Duration::from_secs(32));
-            for i in 0..64u32 {
-                set.revoke(ClientId(i));
-            }
-            black_box(valid)
+/// A deterministic dense read stream: every (client, object) pair in a
+/// strided order, with timestamps advancing one second per event. This
+/// exercises slot growth, the hit path, and the renewal path.
+fn dense_reads(clients: u32, objects: u64, events: usize) -> Vec<(Timestamp, ClientId, ObjectId)> {
+    (0..events)
+        .map(|i| {
+            let i = i as u32;
+            (
+                Timestamp::from_secs(u64::from(i)),
+                ClientId(i * 7 % clients),
+                ObjectId(u64::from(i) * 13 % objects),
+            )
         })
+        .collect()
+}
+
+fn main() {
+    let now = Timestamp::from_secs(100);
+    bench_fn("micro/lease_set_grant_check_revoke", 20, || {
+        let mut set = LeaseSet::new();
+        for i in 0..64u32 {
+            set.grant(ClientId(i), now + Duration::from_secs(u64::from(i)));
+        }
+        let valid = set.valid_count(now + Duration::from_secs(32));
+        for i in 0..64u32 {
+            set.revoke(ClientId(i));
+        }
+        black_box(valid)
     });
 
-    g.bench_function("zipf_sample_68k_ranks", |b| {
+    bench_fn("micro/zipf_sample_68k_ranks_x1000", 20, || {
         use rand::SeedableRng;
         let zipf = Zipf::new(68_665, 0.986);
         let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-        b.iter(|| black_box(zipf.sample(&mut rng)))
+        let mut sum = 0usize;
+        for _ in 0..1000 {
+            sum += zipf.sample(&mut rng);
+        }
+        black_box(sum)
     });
 
-    g.bench_function("event_queue_schedule_pop_1k", |b| {
+    bench_fn("micro/event_queue_schedule_pop_1k", 20, || {
         use vl_sim::EventQueue;
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..1000u64 {
-                q.schedule(Timestamp::from_millis(i * 7919 % 1000), i);
-            }
-            let mut sum = 0u64;
-            while let Some((_, e)) = q.pop() {
-                sum += e;
-            }
-            black_box(sum)
-        })
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.schedule(Timestamp::from_millis(i * 7919 % 1000), i);
+        }
+        let mut sum = 0u64;
+        while let Some((_, e)) = q.pop() {
+            sum += e;
+        }
+        black_box(sum)
     });
 
-    g.finish();
-}
+    // The dense-state hot paths: drive on_read directly, no engine.
+    let universe = dense_universe();
+    let objects = universe.objects().len() as u64;
+    let versions = vec![Version::FIRST; objects as usize];
+    let reads = dense_reads(32, objects, 4_096);
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench
+    bench_fn("micro/poll_on_read_dense_4k_events", 20, || {
+        let mut proto = Poll::new(Duration::from_secs(50), &universe);
+        let mut metrics = Metrics::new();
+        let mut ctx = Ctx {
+            universe: &universe,
+            versions: &versions,
+            metrics: &mut metrics,
+        };
+        for &(at, client, object) in &reads {
+            proto.on_read(at, client, object, &mut ctx);
+        }
+        black_box(metrics.total_messages())
+    });
+
+    bench_fn("micro/delay_on_read_dense_4k_events", 20, || {
+        let mut proto = DelayedInvalidation::new(
+            Duration::from_secs(10),
+            Duration::from_secs(100_000),
+            Duration::MAX,
+            &universe,
+        );
+        let mut metrics = Metrics::new();
+        let mut ctx = Ctx {
+            universe: &universe,
+            versions: &versions,
+            metrics: &mut metrics,
+        };
+        for &(at, client, object) in &reads {
+            proto.on_read(at, client, object, &mut ctx);
+        }
+        black_box(metrics.total_messages())
+    });
 }
-criterion_main!(benches);

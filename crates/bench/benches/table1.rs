@@ -1,23 +1,17 @@
-//! Criterion bench + regeneration for Table 1 (analytic validation).
+//! Bench + regeneration for Table 1 (analytic validation).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use vl_bench::table1;
+use vl_bench::stopwatch::bench_fn;
+use vl_bench::{par, table1};
 
-fn bench(c: &mut Criterion) {
-    // Print the paper-style validation table once.
-    let rows = table1::run(&table1::default_config());
+fn main() {
+    let threads = par::thread_count(None);
+    let (rows, stats) = table1::run(&table1::default_config(), threads);
     println!("\n# Table 1 validation (uniform workload)");
     println!("{}", table1::table(&rows).render());
+    println!("{}", stats.summary());
 
     let cfg = table1::default_config();
-    c.bench_function("table1/uniform_validation_all_algorithms", |b| {
-        b.iter(|| table1::run(&cfg))
+    bench_fn("table1/uniform_validation_all_algorithms", 10, || {
+        table1::run(&cfg, 1)
     });
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench
-}
-criterion_main!(benches);

@@ -8,7 +8,8 @@
 //!   this out without quantifying it; this experiment does).
 
 use crate::output::Table;
-use crate::secs;
+use crate::{par, secs, SweepStats};
+use std::time::Instant;
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_metrics::MessageKind;
 use vl_types::{Duration, ServerId};
@@ -27,29 +28,42 @@ pub struct TvRow {
     pub write_delay_bound_secs: u64,
 }
 
-/// Sweeps `t_v` at fixed object lease `t`.
-pub fn volume_timeout_sweep(cfg: &WorkloadConfig, t_secs: u64, tvs: &[u64]) -> Vec<TvRow> {
+/// Sweeps `t_v` at fixed object lease `t` on up to `threads` workers.
+/// The `Lease(t)` baseline runs first (serially); the per-`t_v` points
+/// then fan out over the shared trace.
+pub fn volume_timeout_sweep(
+    cfg: &WorkloadConfig,
+    t_secs: u64,
+    tvs: &[u64],
+    threads: usize,
+) -> (Vec<TvRow>, SweepStats) {
     let trace = TraceGenerator::new(cfg.clone()).generate();
+    let started = Instant::now();
     let lease = SimulationBuilder::new(ProtocolKind::Lease {
         timeout: secs(t_secs),
     })
     .run(&trace);
     let base = lease.summary.messages as f64;
-    tvs.iter()
-        .map(|&tv| {
-            let report = SimulationBuilder::new(ProtocolKind::VolumeLease {
-                volume_timeout: secs(tv),
-                object_timeout: secs(t_secs),
-            })
-            .run(&trace);
-            TvRow {
-                tv_secs: tv,
-                messages: report.summary.messages,
-                overhead_vs_lease: report.summary.messages as f64 / base - 1.0,
-                write_delay_bound_secs: tv.min(t_secs),
-            }
+    let rows = par::map(tvs, threads, |&tv| {
+        let report = SimulationBuilder::new(ProtocolKind::VolumeLease {
+            volume_timeout: secs(tv),
+            object_timeout: secs(t_secs),
         })
-        .collect()
+        .run(&trace);
+        TvRow {
+            tv_secs: tv,
+            messages: report.summary.messages,
+            overhead_vs_lease: report.summary.messages as f64 / base - 1.0,
+            write_delay_bound_secs: tv.min(t_secs),
+        }
+    });
+    let stats = SweepStats {
+        simulations: rows.len() + 1,
+        events_processed: trace.events().len() as u64 * (rows.len() as u64 + 1),
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// One point of the `d` sweep.
@@ -65,34 +79,41 @@ pub struct DRow {
     pub avg_state_bytes: f64,
 }
 
-/// Sweeps `d` for `Delay(t_v, t, d)`.
+/// Sweeps `d` for `Delay(t_v, t, d)` on up to `threads` workers.
 pub fn inactive_discard_sweep(
     cfg: &WorkloadConfig,
     tv_secs: u64,
     t_secs: u64,
     ds: &[Option<u64>],
-) -> Vec<DRow> {
+    threads: usize,
+) -> (Vec<DRow>, SweepStats) {
     let trace = TraceGenerator::new(cfg.clone()).generate();
     let busiest: ServerId = trace.servers_by_popularity()[0].0;
-    ds.iter()
-        .map(|&d| {
-            let report = SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
-                volume_timeout: secs(tv_secs),
-                object_timeout: secs(t_secs),
-                inactive_discard: d.map_or(Duration::MAX, secs),
-            })
-            .run(&trace);
-            DRow {
-                d_secs: d.unwrap_or(u64::MAX),
-                messages: report.summary.messages,
-                reconnections: report
-                    .metrics
-                    .message_counters()
-                    .count(MessageKind::MustRenewAll),
-                avg_state_bytes: report.avg_state_bytes(busiest),
-            }
+    let started = Instant::now();
+    let rows = par::map(ds, threads, |&d| {
+        let report = SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
+            volume_timeout: secs(tv_secs),
+            object_timeout: secs(t_secs),
+            inactive_discard: d.map_or(Duration::MAX, secs),
         })
-        .collect()
+        .run(&trace);
+        DRow {
+            d_secs: d.unwrap_or(u64::MAX),
+            messages: report.summary.messages,
+            reconnections: report
+                .metrics
+                .message_counters()
+                .count(MessageKind::MustRenewAll),
+            avg_state_bytes: report.avg_state_bytes(busiest),
+        }
+    });
+    let stats = SweepStats {
+        simulations: rows.len(),
+        events_processed: trace.events().len() as u64 * rows.len() as u64,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// One point of the volume-grouping sweep.
@@ -110,31 +131,44 @@ pub struct GroupingRow {
 /// the "more sophisticated grouping" the paper leaves as future work
 /// (§4.2). Finer volumes weaken renewal amortization (a burst may span
 /// shards), so message counts rise with `volumes_per_server`.
-pub fn grouping_sweep(cfg: &WorkloadConfig, tv_secs: u64, t_secs: u64, vps: &[u32]) -> Vec<GroupingRow> {
+pub fn grouping_sweep(
+    cfg: &WorkloadConfig,
+    tv_secs: u64,
+    t_secs: u64,
+    vps: &[u32],
+    threads: usize,
+) -> (Vec<GroupingRow>, SweepStats) {
     // One fixed trace; only the object→volume mapping varies, so the
-    // sweep isolates the grouping policy.
+    // sweep isolates the grouping policy. Each worker reshards its own
+    // copy (resharding is cheap next to the two simulations it feeds).
     let base = TraceGenerator::new(cfg.clone()).generate();
-    vps.iter()
-        .map(|&v| {
-            let trace = base.with_resharded_volumes(v);
-            let volume = SimulationBuilder::new(ProtocolKind::VolumeLease {
-                volume_timeout: secs(tv_secs),
-                object_timeout: secs(t_secs),
-            })
-            .run(&trace);
-            let delay = SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
-                volume_timeout: secs(tv_secs),
-                object_timeout: secs(t_secs),
-                inactive_discard: Duration::MAX,
-            })
-            .run(&trace);
-            GroupingRow {
-                volumes_per_server: v,
-                volume_messages: volume.summary.messages,
-                delay_messages: delay.summary.messages,
-            }
+    let started = Instant::now();
+    let rows = par::map(vps, threads, |&v| {
+        let trace = base.with_resharded_volumes(v);
+        let volume = SimulationBuilder::new(ProtocolKind::VolumeLease {
+            volume_timeout: secs(tv_secs),
+            object_timeout: secs(t_secs),
         })
-        .collect()
+        .run(&trace);
+        let delay = SimulationBuilder::new(ProtocolKind::DelayedInvalidation {
+            volume_timeout: secs(tv_secs),
+            object_timeout: secs(t_secs),
+            inactive_discard: Duration::MAX,
+        })
+        .run(&trace);
+        GroupingRow {
+            volumes_per_server: v,
+            volume_messages: volume.summary.messages,
+            delay_messages: delay.summary.messages,
+        }
+    });
+    let stats = SweepStats {
+        simulations: rows.len() * 2,
+        events_processed: base.events().len() as u64 * rows.len() as u64 * 2,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// Formats the grouping sweep.
@@ -166,23 +200,31 @@ pub struct WaitRow {
 
 /// Compares invalidating leases against §2.4's "wait out the leases"
 /// option across object-lease lengths.
-pub fn waiting_lease_sweep(cfg: &WorkloadConfig, ts: &[u64]) -> Vec<WaitRow> {
+pub fn waiting_lease_sweep(
+    cfg: &WorkloadConfig,
+    ts: &[u64],
+    threads: usize,
+) -> (Vec<WaitRow>, SweepStats) {
     let trace = TraceGenerator::new(cfg.clone()).generate();
-    ts.iter()
-        .map(|&t| {
-            let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: secs(t) })
-                .run(&trace);
-            let wait =
-                SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: secs(t) })
-                    .run(&trace);
-            WaitRow {
-                t_secs: t,
-                lease_messages: lease.summary.messages,
-                wait_messages: wait.summary.messages,
-                wait_max_delay_secs: wait.summary.max_write_delay_secs,
-            }
-        })
-        .collect()
+    let started = Instant::now();
+    let rows = par::map(ts, threads, |&t| {
+        let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: secs(t) }).run(&trace);
+        let wait =
+            SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: secs(t) }).run(&trace);
+        WaitRow {
+            t_secs: t,
+            lease_messages: lease.summary.messages,
+            wait_messages: wait.summary.messages,
+            wait_max_delay_secs: wait.summary.max_write_delay_secs,
+        }
+    });
+    let stats = SweepStats {
+        simulations: rows.len() * 2,
+        events_processed: trace.events().len() as u64 * rows.len() as u64 * 2,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// Formats the waiting-lease comparison.
@@ -239,7 +281,7 @@ mod tests {
     #[test]
     fn longer_tv_means_less_overhead_but_longer_write_bound() {
         let rows =
-            volume_timeout_sweep(&WorkloadConfig::smoke(), 100_000, &[1, 10, 100, 1000, 10_000]);
+            volume_timeout_sweep(&WorkloadConfig::smoke(), 100_000, &[1, 10, 100, 1000, 10_000], 2).0;
         assert_eq!(rows.len(), 5);
         assert!(
             rows.first().unwrap().messages >= rows.last().unwrap().messages,
@@ -257,7 +299,9 @@ mod tests {
             10,
             100_000,
             &[Some(600), Some(86_400), None],
-        );
+            2,
+        )
+        .0;
         assert_eq!(rows.len(), 3);
         let small = &rows[0];
         let inf = &rows[2];
@@ -281,7 +325,7 @@ mod tests {
 
     #[test]
     fn waiting_lease_trades_messages_for_write_delay() {
-        let rows = waiting_lease_sweep(&WorkloadConfig::smoke(), &[100, 10_000]);
+        let rows = waiting_lease_sweep(&WorkloadConfig::smoke(), &[100, 10_000], 2).0;
         for r in &rows {
             assert!(
                 r.wait_messages <= r.lease_messages,
@@ -297,7 +341,7 @@ mod tests {
 
     #[test]
     fn finer_volumes_cost_more_messages() {
-        let rows = grouping_sweep(&WorkloadConfig::smoke(), 10, 100_000, &[1, 8]);
+        let rows = grouping_sweep(&WorkloadConfig::smoke(), 10, 100_000, &[1, 8], 2).0;
         assert!(
             rows[1].volume_messages > rows[0].volume_messages,
             "sharding a server into 8 volumes must weaken amortization: {rows:?}"
@@ -306,9 +350,9 @@ mod tests {
 
     #[test]
     fn tables_render() {
-        let tv_rows = volume_timeout_sweep(&WorkloadConfig::smoke(), 10_000, &[10, 100]);
+        let tv_rows = volume_timeout_sweep(&WorkloadConfig::smoke(), 10_000, &[10, 100], 2).0;
         assert!(tv_table(&tv_rows).render().contains("overhead_vs_lease"));
-        let d_rows = inactive_discard_sweep(&WorkloadConfig::smoke(), 10, 10_000, &[None]);
+        let d_rows = inactive_discard_sweep(&WorkloadConfig::smoke(), 10, 10_000, &[None], 2).0;
         assert!(d_table(&d_rows).render().contains("inf"));
     }
 }

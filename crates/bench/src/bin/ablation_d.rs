@@ -5,15 +5,17 @@ use vl_bench::{ablation, cli};
 
 fn main() {
     let args = cli::parse("ablation_d", "");
-    let rows = ablation::inactive_discard_sweep(
+    let (rows, stats) = ablation::inactive_discard_sweep(
         &args.config,
         10,
         100_000,
         &[Some(600), Some(3_600), Some(86_400), None],
+        args.threads,
     );
     cli::emit(
         "Ablation — Delay(10, 1e5, d): discard parameter d",
         &ablation::d_table(&rows),
         args.csv.as_ref(),
     );
+    println!("{}", stats.summary());
 }

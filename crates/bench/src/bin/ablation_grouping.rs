@@ -5,10 +5,11 @@ use vl_bench::{ablation, cli};
 
 fn main() {
     let args = cli::parse("ablation_grouping", "");
-    let rows = ablation::grouping_sweep(&args.config, 10, 100_000, &[1, 2, 4, 8, 16]);
+    let (rows, stats) = ablation::grouping_sweep(&args.config, 10, 100_000, &[1, 2, 4, 8, 16], args.threads);
     cli::emit(
         "Ablation — volume shards per server (t_v=10, t=1e5)",
         &ablation::grouping_table(&rows),
         args.csv.as_ref(),
     );
+    println!("{}", stats.summary());
 }

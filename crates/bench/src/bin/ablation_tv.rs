@@ -5,14 +5,16 @@ use vl_bench::{ablation, cli};
 
 fn main() {
     let args = cli::parse("ablation_tv", "");
-    let rows = ablation::volume_timeout_sweep(
+    let (rows, stats) = ablation::volume_timeout_sweep(
         &args.config,
         100_000,
         &[1, 10, 100, 1_000, 10_000],
+        args.threads,
     );
     cli::emit(
         "Ablation — volume lease length t_v (object lease fixed at 1e5 s)",
         &ablation::tv_table(&rows),
         args.csv.as_ref(),
     );
+    println!("{}", stats.summary());
 }

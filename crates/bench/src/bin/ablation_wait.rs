@@ -5,10 +5,11 @@ use vl_bench::{ablation, cli};
 
 fn main() {
     let args = cli::parse("ablation_wait", "");
-    let rows = ablation::waiting_lease_sweep(&args.config, &[10, 100, 1_000, 10_000, 100_000]);
+    let (rows, stats) = ablation::waiting_lease_sweep(&args.config, &[10, 100, 1_000, 10_000, 100_000], args.threads);
     cli::emit(
         "Ablation — Lease(t) vs WaitLease(t): messages vs write blocking",
         &ablation::wait_table(&rows),
         args.csv.as_ref(),
     );
+    println!("{}", stats.summary());
 }

@@ -14,7 +14,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "messages".to_owned());
 
-    let rows = fig5::run(&args.config);
+    let (rows, stats) = fig5::run(&args.config, args.threads);
     cli::emit(
         &format!("Figure 5 — total {metric} vs object timeout t"),
         &fig5::table(&rows, &metric),
@@ -31,4 +31,5 @@ fn main() {
         }
     }
     println!("(paper: 10s bound → 32% / 39%; 100s bound → 30% / 40%)");
+    println!("{}", stats.summary());
 }

@@ -5,10 +5,11 @@ use vl_bench::{cli, fig67};
 
 fn main() {
     let args = cli::parse("fig7", "");
-    let rows = fig67::run(&args.config, 10);
+    let (rows, stats) = fig67::run(&args.config, 10, args.threads);
     cli::emit(
         "Figure 7 — avg state (bytes) at the 10th most popular server vs t",
         &fig67::table(&rows),
         args.csv.as_ref(),
     );
+    println!("{}", stats.summary());
 }

@@ -5,7 +5,7 @@ use vl_bench::{cli, fig89};
 
 fn main() {
     let args = cli::parse("fig9", "");
-    let curves = fig89::run(&args.config, true);
+    let (curves, stats) = fig89::run(&args.config, true, args.threads);
     cli::emit(
         "Figure 9 — periods of heavy server load (bursty-write workload)",
         &fig89::table(&curves),
@@ -14,4 +14,5 @@ fn main() {
     for c in &curves {
         println!("peak {:>6} msg/s  {}", c.peak, c.line);
     }
+    println!("{}", stats.summary());
 }

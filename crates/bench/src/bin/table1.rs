@@ -5,7 +5,7 @@ use vl_bench::{cli, table1};
 
 fn main() {
     let args = cli::parse("table1", "");
-    let rows = table1::run(&table1::default_config());
+    let (rows, stats) = table1::run(&table1::default_config(), args.threads);
     cli::emit(
         "Table 1 validation — analytic vs simulated read cost",
         &table1::table(&rows),
@@ -17,4 +17,5 @@ fn main() {
         .map(|r| r.relative_error)
         .fold(0.0f64, f64::max);
     println!("worst relative error (excl. Callback start-up): {worst:.4}");
+    println!("{}", stats.summary());
 }

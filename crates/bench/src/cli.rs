@@ -6,6 +6,8 @@
 //! --preset smoke|medium|paper   workload scale (default: medium)
 //! --seed N                      override the workload seed
 //! --csv PATH                    also write the rows as CSV
+//! --threads N                   sweep worker threads (default: all
+//!                               cores; VL_THREADS overrides the default)
 //! ```
 
 use std::path::PathBuf;
@@ -19,6 +21,9 @@ pub struct CommonArgs {
     pub config: WorkloadConfig,
     /// Optional CSV output path.
     pub csv: Option<PathBuf>,
+    /// Worker threads for parameter sweeps (resolved: `--threads`, then
+    /// `VL_THREADS`, then the machine's available parallelism).
+    pub threads: usize,
     /// Remaining unrecognized arguments (binary-specific flags).
     pub rest: Vec<String>,
 }
@@ -29,6 +34,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
     let mut preset = WorkloadPreset::Medium;
     let mut seed: Option<u64> = None;
     let mut csv: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
     let mut rest = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -36,7 +42,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH]{extra_help}"
+                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH] [--threads N]{extra_help}"
                 );
                 exit(0);
             }
@@ -66,6 +72,13 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
                     exit(2);
                 }
             },
+            "--threads" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => threads = Some(n),
+                _ => {
+                    eprintln!("--threads needs a positive integer");
+                    exit(2);
+                }
+            },
             other => rest.push(other.to_owned()),
         }
     }
@@ -73,7 +86,12 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
     if let Some(s) = seed {
         config.seed = s;
     }
-    CommonArgs { config, csv, rest }
+    CommonArgs {
+        config,
+        csv,
+        threads: crate::par::thread_count(threads),
+        rest,
+    }
 }
 
 /// Prints a table and optionally writes the CSV, with a standard banner.

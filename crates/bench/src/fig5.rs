@@ -8,7 +8,7 @@
 //! `Poll` falls monotonically but trades staleness for it.
 
 use crate::output::Table;
-use crate::{secs, TIMEOUT_SWEEP_SECS};
+use crate::{par, secs, SweepStats, TIMEOUT_SWEEP_SECS};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_types::Duration;
 use vl_workload::{Trace, TraceGenerator, WorkloadConfig};
@@ -73,28 +73,42 @@ pub fn lines() -> Vec<Line> {
     ]
 }
 
-/// Runs the full sweep over `trace`.
-pub fn run_on(trace: &Trace, timeouts: &[u64]) -> Vec<Row> {
-    let mut rows = Vec::new();
-    for (name, kind_of) in lines() {
-        for &t in timeouts {
-            let report = SimulationBuilder::new(kind_of(secs(t))).run(trace);
-            rows.push(Row {
-                line: name.to_owned(),
-                t_secs: t,
-                messages: report.summary.messages,
-                bytes: report.summary.bytes,
-                stale_fraction: report.summary.stale_fraction,
-            });
+/// Runs the full sweep over `trace` on up to `threads` workers.
+///
+/// Each (line, timeout) grid point is one independent simulation; the
+/// grid is fanned out through [`par::map`] over the shared trace and
+/// results come back in grid order, so the rows are identical for any
+/// thread count.
+pub fn run_on(trace: &Trace, timeouts: &[u64], threads: usize) -> Vec<Row> {
+    let grid: Vec<(&'static str, u64, ProtocolKind)> = lines()
+        .iter()
+        .flat_map(|(name, kind_of)| timeouts.iter().map(|&t| (*name, t, kind_of(secs(t)))))
+        .collect();
+    par::map(&grid, threads, |&(name, t, kind)| {
+        let report = SimulationBuilder::new(kind).run(trace);
+        Row {
+            line: name.to_owned(),
+            t_secs: t,
+            messages: report.summary.messages,
+            bytes: report.summary.bytes,
+            stale_fraction: report.summary.stale_fraction,
         }
-    }
-    rows
+    })
 }
 
-/// Generates the trace for `cfg` and runs the standard sweep.
-pub fn run(cfg: &WorkloadConfig) -> Vec<Row> {
+/// Generates the trace for `cfg` and runs the standard sweep, reporting
+/// aggregate throughput alongside the rows.
+pub fn run(cfg: &WorkloadConfig, threads: usize) -> (Vec<Row>, SweepStats) {
     let trace = TraceGenerator::new(cfg.clone()).generate();
-    run_on(&trace, &TIMEOUT_SWEEP_SECS)
+    let started = std::time::Instant::now();
+    let rows = run_on(&trace, &TIMEOUT_SWEEP_SECS, threads);
+    let stats = SweepStats {
+        simulations: rows.len(),
+        events_processed: trace.events().len() as u64 * rows.len() as u64,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// Formats rows as the printed figure table. `metric` orders the y
@@ -155,7 +169,7 @@ mod tests {
 
     fn smoke_rows() -> Vec<Row> {
         let trace = TraceGenerator::new(WorkloadConfig::smoke()).generate();
-        run_on(&trace, &[10, 1000, 100_000])
+        run_on(&trace, &[10, 1000, 100_000], 2)
     }
 
     #[test]

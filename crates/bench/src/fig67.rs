@@ -7,7 +7,7 @@
 //! state than everything else).
 
 use crate::output::Table;
-use crate::{secs, TIMEOUT_SWEEP_SECS};
+use crate::{par, secs, SweepStats, TIMEOUT_SWEEP_SECS};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_types::{Duration, ServerId};
 use vl_workload::{Trace, TraceGenerator, WorkloadConfig};
@@ -70,7 +70,7 @@ pub fn lines() -> Vec<Line> {
 /// # Panics
 ///
 /// Panics if the trace has fewer than `rank` active servers.
-pub fn run_on(trace: &Trace, rank: usize, timeouts: &[u64]) -> Vec<Row> {
+pub fn run_on(trace: &Trace, rank: usize, timeouts: &[u64], threads: usize) -> Vec<Row> {
     let ranked = trace.servers_by_popularity();
     assert!(
         ranked.len() >= rank && rank >= 1,
@@ -78,26 +78,35 @@ pub fn run_on(trace: &Trace, rank: usize, timeouts: &[u64]) -> Vec<Row> {
         ranked.len()
     );
     let server = ranked[rank - 1].0;
-    let mut rows = Vec::new();
-    for (name, kind_of) in lines() {
-        for &t in timeouts {
-            let report = SimulationBuilder::new(kind_of(secs(t))).run(trace);
-            rows.push(Row {
-                line: name.to_owned(),
-                t_secs: t,
-                server_rank: rank,
-                server,
-                avg_state_bytes: report.avg_state_bytes(server),
-            });
+    let grid: Vec<(&'static str, u64, ProtocolKind)> = lines()
+        .iter()
+        .flat_map(|(name, kind_of)| timeouts.iter().map(|&t| (*name, t, kind_of(secs(t)))))
+        .collect();
+    par::map(&grid, threads, |&(name, t, kind)| {
+        let report = SimulationBuilder::new(kind).run(trace);
+        Row {
+            line: name.to_owned(),
+            t_secs: t,
+            server_rank: rank,
+            server,
+            avg_state_bytes: report.avg_state_bytes(server),
         }
-    }
-    rows
+    })
 }
 
-/// Generates the trace and runs the standard sweep for the given rank.
-pub fn run(cfg: &WorkloadConfig, rank: usize) -> Vec<Row> {
+/// Generates the trace and runs the standard sweep for the given rank,
+/// reporting aggregate throughput alongside the rows.
+pub fn run(cfg: &WorkloadConfig, rank: usize, threads: usize) -> (Vec<Row>, SweepStats) {
     let trace = TraceGenerator::new(cfg.clone()).generate();
-    run_on(&trace, rank, &TIMEOUT_SWEEP_SECS)
+    let started = std::time::Instant::now();
+    let rows = run_on(&trace, rank, &TIMEOUT_SWEEP_SECS, threads);
+    let stats = SweepStats {
+        simulations: rows.len(),
+        events_processed: trace.events().len() as u64 * rows.len() as u64,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// Formats rows for printing.
@@ -120,7 +129,7 @@ mod tests {
 
     fn smoke_rows(rank: usize) -> Vec<Row> {
         let trace = TraceGenerator::new(WorkloadConfig::smoke()).generate();
-        run_on(&trace, rank, &[10, 1000, 100_000])
+        run_on(&trace, rank, &[10, 1000, 100_000], 2)
     }
 
     #[test]

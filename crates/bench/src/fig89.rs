@@ -13,7 +13,7 @@
 //! defers them).
 
 use crate::output::Table;
-use crate::secs;
+use crate::{par, secs, SweepStats};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_metrics::LoadHistogram;
 use vl_types::{Duration, ServerId};
@@ -71,9 +71,10 @@ pub fn lines() -> Vec<(&'static str, ProtocolKind)> {
     ]
 }
 
-/// Runs the experiment. With `bursty` set, writes use the Figure 9
-/// co-write model; otherwise the default model (Figure 8).
-pub fn run(cfg: &WorkloadConfig, bursty: bool) -> Vec<Curve> {
+/// Runs the experiment on up to `threads` workers. With `bursty` set,
+/// writes use the Figure 9 co-write model; otherwise the default model
+/// (Figure 8). One worker per algorithm line, sharing the trace.
+pub fn run(cfg: &WorkloadConfig, bursty: bool, threads: usize) -> (Vec<Curve>, SweepStats) {
     let mut cfg = cfg.clone();
     cfg.writes = if bursty {
         WriteModelConfig {
@@ -88,24 +89,30 @@ pub fn run(cfg: &WorkloadConfig, bursty: bool) -> Vec<Curve> {
     };
     let trace = TraceGenerator::new(cfg).generate();
     let busiest = trace.servers_by_popularity()[0].0;
-    lines()
-        .into_iter()
-        .map(|(name, kind)| {
-            let report = SimulationBuilder::new(kind)
-                .track_load([busiest])
-                .run(&trace);
-            let hist: LoadHistogram = report
-                .metrics
-                .load_histogram(busiest)
-                .expect("busiest server is tracked");
-            Curve {
-                line: name.to_owned(),
-                server: busiest,
-                peak: hist.peak(),
-                points: hist.cumulative_curve(),
-            }
-        })
-        .collect()
+    let grid = lines();
+    let started = std::time::Instant::now();
+    let curves = par::map(&grid, threads, |&(name, kind)| {
+        let report = SimulationBuilder::new(kind)
+            .track_load([busiest])
+            .run(&trace);
+        let hist: LoadHistogram = report
+            .metrics
+            .load_histogram(busiest)
+            .expect("busiest server is tracked");
+        Curve {
+            line: name.to_owned(),
+            server: busiest,
+            peak: hist.peak(),
+            points: hist.cumulative_curve(),
+        }
+    });
+    let stats = SweepStats {
+        simulations: curves.len(),
+        events_processed: trace.events().len() as u64 * curves.len() as u64,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (curves, stats)
 }
 
 /// Formats the curves row-per-point for printing/CSV.
@@ -129,7 +136,7 @@ mod tests {
     use super::*;
 
     fn smoke_curves(bursty: bool) -> Vec<Curve> {
-        run(&WorkloadConfig::smoke(), bursty)
+        run(&WorkloadConfig::smoke(), bursty, 2).0
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub mod fig5;
 pub mod fig67;
 pub mod fig89;
 pub mod output;
+pub mod par;
+pub mod stopwatch;
 pub mod table1;
 pub mod uniform;
 
@@ -33,4 +35,45 @@ pub const TIMEOUT_SWEEP_SECS: [u64; 7] = [10, 100, 1_000, 10_000, 100_000, 1_000
 /// Shorthand used throughout the harness.
 pub fn secs(s: u64) -> Duration {
     Duration::from_secs(s)
+}
+
+/// Aggregate throughput of one sweep: how many simulations ran, the
+/// trace events they processed in total (the sum of every run's
+/// [`vl_core::Report::events_processed`] — each simulation replays the
+/// whole trace), and the sweep's wall-clock. The binaries print this so
+/// parallel speedups are visible in every run.
+#[derive(Clone, Debug)]
+pub struct SweepStats {
+    /// Simulations executed.
+    pub simulations: usize,
+    /// Total trace events processed across all simulations.
+    pub events_processed: u64,
+    /// Wall-clock time for the whole sweep (trace generation excluded).
+    pub elapsed: std::time::Duration,
+    /// Worker threads the sweep fanned out over.
+    pub threads: usize,
+}
+
+impl SweepStats {
+    /// Aggregate events per wall-clock second across the sweep.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// One printable summary line.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} simulations · {} events · {:.3}s wall · {:.0} events/s · {} thread(s)",
+            self.simulations,
+            self.events_processed,
+            self.elapsed.as_secs_f64(),
+            self.events_per_sec(),
+            self.threads
+        )
+    }
 }

@@ -1,0 +1,73 @@
+//! Minimal timing harness for the `benches/` targets.
+//!
+//! The benches are plain `fn main()` binaries (`harness = false`) so the
+//! workspace stays `std`-only; this module gives them a common
+//! warm-up/measure loop and a stable one-line output format:
+//!
+//! ```text
+//! bench fig5/volume_lease_full_trace      best 12.345 ms   mean 13.012 ms   (10 iters)
+//! ```
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Times `f` for `iters` iterations after one untimed warm-up call and
+/// prints the best and mean per-iteration wall-clock. Returns
+/// `(best, mean)` so callers can assert on or aggregate the numbers.
+pub fn bench_fn<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> (Duration, Duration) {
+    assert!(iters > 0, "need at least one iteration");
+    black_box(f());
+    let mut best = Duration::MAX;
+    let mut total = Duration::ZERO;
+    for _ in 0..iters {
+        let started = Instant::now();
+        black_box(f());
+        let took = started.elapsed();
+        total += took;
+        best = best.min(took);
+    }
+    let mean = total / iters;
+    println!(
+        "bench {name:<44} best {:>10}   mean {:>10}   ({iters} iters)",
+        fmt(best),
+        fmt(mean)
+    );
+    (best, mean)
+}
+
+/// Renders a duration at a human scale (ns/µs/ms/s).
+fn fmt(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 10_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn best_is_at_most_mean() {
+        let (best, mean) = bench_fn("stopwatch/self_test", 5, || {
+            black_box((0..1000u64).sum::<u64>())
+        });
+        assert!(best <= mean);
+        assert!(mean > Duration::ZERO);
+    }
+
+    #[test]
+    fn formats_scale() {
+        assert!(fmt(Duration::from_nanos(5)).ends_with("ns"));
+        assert!(fmt(Duration::from_micros(50)).ends_with("µs"));
+        assert!(fmt(Duration::from_millis(50)).ends_with("ms"));
+        assert!(fmt(Duration::from_secs(50)).ends_with(" s"));
+    }
+}

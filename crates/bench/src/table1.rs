@@ -2,7 +2,9 @@
 //! workloads (the paper's §4.1 validation methodology).
 
 use crate::output::Table;
+use crate::par;
 use crate::uniform::{uniform_trace, UniformConfig};
+use crate::SweepStats;
 use vl_analytic::{Algorithm, CostParams};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_types::Duration;
@@ -66,9 +68,10 @@ fn kind_for(alg: Algorithm) -> ProtocolKind {
     }
 }
 
-/// Runs every algorithm over the uniform workload and compares each
-/// against its Table 1 row (plus the waiting-lease extension).
-pub fn run(cfg: &UniformConfig) -> Vec<Row> {
+/// Runs every algorithm over the uniform workload on up to `threads`
+/// workers and compares each against its Table 1 row (plus the
+/// waiting-lease extension).
+pub fn run(cfg: &UniformConfig, threads: usize) -> (Vec<Row>, SweepStats) {
     let trace = uniform_trace(cfg);
     let params = CostParams {
         object_timeout_secs: T_SECS,
@@ -81,9 +84,9 @@ pub fn run(cfg: &UniformConfig) -> Vec<Row> {
         clients_with_volume_lease: u64::from(cfg.clients),
         clients_recently_inactive: 0,
     };
-    Algorithm::ALL
-        .iter()
-        .map(|&alg| {
+    let started = std::time::Instant::now();
+    let rows = par::map(&Algorithm::ALL, threads, |&alg| {
+        {
             let costs = alg.costs(&params);
             let report = SimulationBuilder::new(kind_for(alg)).run(&trace);
             let simulated = report.messages_per_read();
@@ -103,8 +106,15 @@ pub fn run(cfg: &UniformConfig) -> Vec<Row> {
                 stale_fraction: report.summary.stale_fraction,
                 expected_stale_secs: costs.expected_stale_secs,
             }
-        })
-        .collect()
+        }
+    });
+    let stats = SweepStats {
+        simulations: rows.len(),
+        events_processed: trace.events().len() as u64 * rows.len() as u64,
+        elapsed: started.elapsed(),
+        threads,
+    };
+    (rows, stats)
 }
 
 /// Formats the validation rows.
@@ -134,7 +144,7 @@ mod tests {
 
     #[test]
     fn simulator_agrees_with_analytic_model() {
-        let rows = run(&default_config());
+        let rows = run(&default_config(), 2).0;
         assert_eq!(rows.len(), 7);
         for r in &rows {
             if r.algorithm == "Callback" {
@@ -159,13 +169,13 @@ mod tests {
 
     #[test]
     fn read_only_workload_is_never_stale() {
-        let rows = run(&default_config());
+        let rows = run(&default_config(), 2).0;
         assert!(rows.iter().all(|r| r.stale_fraction == 0.0));
     }
 
     #[test]
     fn table_renders_all_algorithms() {
-        let rows = run(&default_config());
+        let rows = run(&default_config(), 2).0;
         let rendered = table(&rows).render();
         for name in ["Poll Each Read", "Callback", "Volume Leases", "Vol. Delay Inval"] {
             assert!(rendered.contains(name), "{name} missing");

@@ -7,9 +7,26 @@
 
 use crate::protocols::new_protocol;
 use crate::{Ctx, ProtocolKind};
+use std::time::Instant;
 use vl_metrics::{Metrics, Summary};
 use vl_types::{Duration, ServerId, Version};
-use vl_workload::{Trace, TraceEvent};
+use vl_workload::{Trace, TraceEvent, Universe};
+
+/// Builds the per-event [`Ctx`] once and hands it to `f` — the single
+/// construction point for the engine's event loop and finalization.
+fn with_ctx<R>(
+    universe: &Universe,
+    versions: &[Version],
+    metrics: &mut Metrics,
+    f: impl FnOnce(&mut Ctx<'_>) -> R,
+) -> R {
+    let mut ctx = Ctx {
+        universe,
+        versions,
+        metrics,
+    };
+    f(&mut ctx)
+}
 
 /// Configures and runs one simulation.
 ///
@@ -63,39 +80,28 @@ impl SimulationBuilder {
         let mut versions: Vec<Version> = vec![Version::FIRST; universe.object_count()];
         let mut protocol = new_protocol(self.kind, universe);
 
+        let started = Instant::now();
         for event in trace.events() {
             match *event {
                 TraceEvent::Read { at, client, object } => {
-                    let mut ctx = Ctx {
-                        universe,
-                        versions: &versions,
-                        metrics: &mut metrics,
-                    };
-                    protocol.on_read(at, client, object, &mut ctx);
+                    with_ctx(universe, &versions, &mut metrics, |ctx| {
+                        protocol.on_read(at, client, object, ctx)
+                    });
                 }
                 TraceEvent::Write { at, object } => {
-                    {
-                        let mut ctx = Ctx {
-                            universe,
-                            versions: &versions,
-                            metrics: &mut metrics,
-                        };
-                        protocol.on_write(at, object, &mut ctx);
-                    }
+                    with_ctx(universe, &versions, &mut metrics, |ctx| {
+                        protocol.on_write(at, object, ctx)
+                    });
                     let slot = &mut versions[object.raw() as usize];
                     *slot = slot.next();
                 }
             }
         }
         let end = trace.end_time();
-        {
-            let mut ctx = Ctx {
-                universe,
-                versions: &versions,
-                metrics: &mut metrics,
-            };
-            protocol.finalize(end, &mut ctx);
-        }
+        with_ctx(universe, &versions, &mut metrics, |ctx| {
+            protocol.finalize(end, ctx)
+        });
+        let elapsed = started.elapsed();
 
         let span = trace.span();
         let summary = metrics.summary(span);
@@ -111,6 +117,8 @@ impl SimulationBuilder {
             summary,
             span,
             metrics,
+            events_processed: trace.events().len() as u64,
+            elapsed,
         }
     }
 }
@@ -127,9 +135,24 @@ pub struct Report {
     /// The full metrics sink (per-server counters, state integrals, load
     /// histograms).
     pub metrics: Metrics,
+    /// Trace events driven through the protocol.
+    pub events_processed: u64,
+    /// Wall-clock time the event loop took (not part of the simulated
+    /// results — two runs of the same trace differ here and nowhere else).
+    pub elapsed: std::time::Duration,
 }
 
 impl Report {
+    /// Simulation throughput in trace events per wall-clock second.
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
     /// Average consistency state at `server`, in bytes (Figures 6–7).
     pub fn avg_state_bytes(&self, server: ServerId) -> f64 {
         self.metrics.avg_state_bytes(server, self.span)

@@ -1,6 +1,5 @@
 //! Protocol selection and parameters.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use vl_types::Duration;
 
@@ -24,7 +23,7 @@ use vl_types::Duration;
 /// assert_eq!(kind.to_string(), "Delay(10, 100000, ∞)");
 /// assert!(kind.is_strongly_consistent());
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtocolKind {
     /// Validate at the server on every read (§2.1).
     PollEachRead,

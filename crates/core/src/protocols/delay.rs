@@ -21,7 +21,7 @@ use super::Protocol;
 use crate::cache::ClientCaches;
 use crate::track::LeaseTrack;
 use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use vl_metrics::MessageKind;
 use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId, LEASE_RECORD_BYTES};
 use vl_workload::Universe;
@@ -42,13 +42,56 @@ struct InactiveRec {
 }
 
 /// Per-volume bookkeeping beyond the lease tables.
+///
+/// All three sets are indexed densely by client id (grown on demand):
+/// the engine consults them on every read and write of the volume, and
+/// the client id space is small and bounded by the trace, so flat slots
+/// beat tree lookups on the hot path. Only the per-client holdings keep
+/// an inner `BTreeSet` — demotion iterates it, and the deterministic
+/// ascending order matters for byte-identical reports.
 #[derive(Clone, Debug, Default)]
 struct VolumeState {
-    inactive: BTreeMap<ClientId, InactiveRec>,
-    unreachable: BTreeSet<ClientId>,
+    inactive: Vec<Option<InactiveRec>>,
+    unreachable: Vec<bool>,
     /// Which objects each client holds leases on — consulted when a
     /// demotion must discard a client's lease records wholesale.
-    holdings: BTreeMap<ClientId, BTreeSet<ObjectId>>,
+    holdings: Vec<BTreeSet<ObjectId>>,
+}
+
+fn slot<T: Default + Clone>(v: &mut Vec<T>, client: ClientId) -> &mut T {
+    let i = client.raw() as usize;
+    if v.len() <= i {
+        v.resize(i + 1, T::default());
+    }
+    &mut v[i]
+}
+
+impl VolumeState {
+    fn inactive_of(&self, client: ClientId) -> Option<&InactiveRec> {
+        self.inactive.get(client.raw() as usize)?.as_ref()
+    }
+
+    fn take_inactive(&mut self, client: ClientId) -> Option<InactiveRec> {
+        self.inactive.get_mut(client.raw() as usize)?.take()
+    }
+
+    fn is_unreachable(&self, client: ClientId) -> bool {
+        self.unreachable
+            .get(client.raw() as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    fn set_unreachable(&mut self, client: ClientId, value: bool) {
+        *slot(&mut self.unreachable, client) = value;
+    }
+
+    fn take_holdings(&mut self, client: ClientId) -> BTreeSet<ObjectId> {
+        self.holdings
+            .get_mut(client.raw() as usize)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
 }
 
 /// The `Delay(t_v, t, d)` algorithm.
@@ -93,15 +136,14 @@ impl DelayedInvalidation {
 
     /// True if `client` currently sits in `volume`'s Unreachable set.
     pub fn is_unreachable(&self, client: ClientId, volume: VolumeId) -> bool {
-        self.vols[volume.raw() as usize].unreachable.contains(&client)
+        self.vols[volume.raw() as usize].is_unreachable(client)
     }
 
     /// Pending queued invalidations for `client` in `volume` (for tests
     /// and diagnostics).
     pub fn pending_count(&self, client: ClientId, volume: VolumeId) -> usize {
         self.vols[volume.raw() as usize]
-            .inactive
-            .get(&client)
+            .inactive_of(client)
             .map_or(0, |r| r.pending.len())
     }
 
@@ -119,11 +161,7 @@ impl DelayedInvalidation {
             now.saturating_add(self.object_timeout),
             ctx.metrics,
         );
-        self.vols[volume.raw() as usize]
-            .holdings
-            .entry(client)
-            .or_default()
-            .insert(object);
+        slot(&mut self.vols[volume.raw() as usize].holdings, client).insert(object);
         self.caches.put(client, object, volume, ctx.version(object));
     }
 
@@ -136,7 +174,10 @@ impl DelayedInvalidation {
         ctx: &mut Ctx<'_>,
     ) {
         self.obj_leases[object.raw() as usize].revoke(client, at, ctx.metrics);
-        if let Some(set) = self.vols[volume.raw() as usize].holdings.get_mut(&client) {
+        if let Some(set) = self.vols[volume.raw() as usize]
+            .holdings
+            .get_mut(client.raw() as usize)
+        {
             set.remove(&object);
         }
     }
@@ -150,14 +191,12 @@ impl DelayedInvalidation {
         }
         let vi = volume.raw() as usize;
         let due = self.vols[vi]
-            .inactive
-            .get(&client)
+            .inactive_of(client)
             .map(|rec| rec.since.saturating_add(self.inactive_discard))
             .filter(|&cutoff| now >= cutoff);
         let Some(cutoff) = due else { return };
         let rec = self.vols[vi]
-            .inactive
-            .remove(&client)
+            .take_inactive(client)
             .expect("checked above");
         let server = ctx.universe.volume(volume).server;
         for p in rec.pending {
@@ -167,15 +206,11 @@ impl DelayedInvalidation {
                 cutoff.saturating_sub(p.enqueued),
             );
         }
-        let held: Vec<ObjectId> = self.vols[vi]
-            .holdings
-            .remove(&client)
-            .map(|s| s.into_iter().collect())
-            .unwrap_or_default();
+        let held: Vec<ObjectId> = self.vols[vi].take_holdings(client).into_iter().collect();
         for object in held {
             self.obj_leases[object.raw() as usize].revoke(client, cutoff, ctx.metrics);
         }
-        self.vols[vi].unreachable.insert(client);
+        self.vols[vi].set_unreachable(client, true);
     }
 
     /// The §3.1.1 reconnection exchange for an unreachable client.
@@ -212,7 +247,7 @@ impl DelayedInvalidation {
                 self.caches.drop_copy(client, object, volume);
             }
         }
-        self.vols[vi].unreachable.remove(&client);
+        self.vols[vi].set_unreachable(client, false);
         self.vol_leases[vi].grant(
             client,
             now,
@@ -236,7 +271,7 @@ impl Protocol for DelayedInvalidation {
         let vi = volume.raw() as usize;
         self.demote_if_due(now, client, volume, ctx);
 
-        if self.vols[vi].unreachable.contains(&client) {
+        if self.vols[vi].is_unreachable(client) {
             self.reconnect(now, client, volume, ctx);
             // Fall through: the read itself still needs a valid object
             // lease (reconnection renewed it only if the copy was fresh).
@@ -266,8 +301,7 @@ impl Protocol for DelayedInvalidation {
                 // batched into the grant, and renews the object lease in
                 // the same round trip when needed.
                 let pending = self.vols[vi]
-                    .inactive
-                    .remove(&client)
+                    .take_inactive(client)
                     .map(|r| r.pending)
                     .unwrap_or_default();
                 let server = ctx.universe.volume(volume).server;
@@ -327,7 +361,7 @@ impl Protocol for DelayedInvalidation {
         let vi = volume.raw() as usize;
         for client in self.obj_leases[object.raw() as usize].valid_holders(now) {
             self.demote_if_due(now, client, volume, ctx);
-            if self.vols[vi].unreachable.contains(&client) {
+            if self.vols[vi].is_unreachable(client) {
                 // Its lease records were discarded at demotion; if the
                 // demotion just happened this holder no longer exists.
                 continue;
@@ -342,10 +376,8 @@ impl Protocol for DelayedInvalidation {
                 // Volume lapsed: queue the invalidation instead.
                 let since = self.vol_leases[vi].expiry_of(client).unwrap_or(now);
                 self.revoke_object(now, client, object, volume, ctx);
-                self.vols[vi]
-                    .inactive
-                    .entry(client)
-                    .or_insert_with(|| InactiveRec {
+                slot(&mut self.vols[vi].inactive, client)
+                    .get_or_insert_with(|| InactiveRec {
                         since,
                         pending: Vec::new(),
                     })
@@ -366,7 +398,9 @@ impl Protocol for DelayedInvalidation {
         }
         for (vi, vol) in self.vols.iter_mut().enumerate() {
             let server = ctx.universe.volume(VolumeId(vi as u32)).server;
-            for rec in vol.inactive.values() {
+            // Slot order is ascending client id — the same iteration
+            // order the sorted-map representation had.
+            for rec in vol.inactive.iter().flatten() {
                 let cutoff = if self.inactive_discard.is_infinite() {
                     end
                 } else {

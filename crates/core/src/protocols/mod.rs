@@ -47,7 +47,7 @@ pub trait Protocol: Debug {
 pub fn new_protocol(kind: ProtocolKind, universe: &Universe) -> Box<dyn Protocol> {
     match kind {
         ProtocolKind::PollEachRead => Box::new(PollEachRead::new()),
-        ProtocolKind::Poll { timeout } => Box::new(Poll::new(timeout)),
+        ProtocolKind::Poll { timeout } => Box::new(Poll::new(timeout, universe)),
         ProtocolKind::Callback => Box::new(Callback::new(universe)),
         ProtocolKind::Lease { timeout } => Box::new(ObjectLease::new(timeout, universe)),
         ProtocolKind::WaitingLease { timeout } => {

@@ -4,9 +4,9 @@
 use crate::cache::ClientCaches;
 use crate::{Ctx, ProtocolKind};
 use super::Protocol;
-use std::collections::HashMap;
 use vl_metrics::MessageKind;
 use vl_types::{ClientId, Duration, ObjectId, Timestamp};
+use vl_workload::Universe;
 
 /// *Poll Each Read*: validate with the server before every cache read.
 ///
@@ -61,19 +61,41 @@ impl Protocol for PollEachRead {
 pub struct Poll {
     timeout: Duration,
     caches: ClientCaches,
-    /// (client, object) → last validation instant.
-    validated: HashMap<(u32, u64), Timestamp>,
+    /// Objects in the universe; sizes each client's validation row.
+    objects: usize,
+    /// Last validation instant, client-major: `validated[client][object]`.
+    ///
+    /// Dense because every (client, object) pair a trace touches gets
+    /// validated at least once, so the hot-path lookup on each read is a
+    /// two-index load instead of a hash probe. `Timestamp::ZERO` doubles
+    /// as "never validated": a slot is only consulted when the client
+    /// holds a cached copy, which implies a validation actually happened.
+    validated: Vec<Vec<Timestamp>>,
 }
 
 impl Poll {
-    /// Creates the protocol with trust window `timeout`. A zero timeout
-    /// degenerates to [`PollEachRead`], as in the paper.
-    pub fn new(timeout: Duration) -> Poll {
+    /// Creates the protocol with trust window `timeout`, sized for
+    /// `universe`. A zero timeout degenerates to [`PollEachRead`], as in
+    /// the paper.
+    pub fn new(timeout: Duration, universe: &Universe) -> Poll {
         Poll {
             timeout,
             caches: ClientCaches::new(),
-            validated: HashMap::new(),
+            objects: universe.object_count(),
+            validated: Vec::new(),
         }
+    }
+
+    fn validated_slot(&mut self, client: ClientId, object: ObjectId) -> &mut Timestamp {
+        let c = client.raw() as usize;
+        if self.validated.len() <= c {
+            self.validated.resize(c + 1, Vec::new());
+        }
+        let row = &mut self.validated[c];
+        if row.is_empty() {
+            row.resize(self.objects, Timestamp::ZERO);
+        }
+        &mut row[object.raw() as usize]
     }
 }
 
@@ -85,14 +107,13 @@ impl Protocol for Poll {
     }
 
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let key = (client.raw(), object.raw());
         let current = ctx.version(object);
         let cached = self.caches.version_of(client, object);
+        // `cached.is_some()` guarantees the slot was genuinely written
+        // (caches and validations are updated together), so the ZERO
+        // default can never masquerade as a real validation here.
         let fresh_enough = cached.is_some()
-            && self
-                .validated
-                .get(&key)
-                .is_some_and(|&v| now < v.saturating_add(self.timeout));
+            && now < self.validated_slot(client, object).saturating_add(self.timeout);
         if fresh_enough {
             // Serve from cache without contacting the server; this is
             // where staleness sneaks in.
@@ -108,7 +129,7 @@ impl Protocol for Poll {
         ctx.send(MessageKind::PollReply, object, client, data, now);
         self.caches
             .put(client, object, ctx.universe.volume_of(object), current);
-        self.validated.insert(key, now);
+        *self.validated_slot(client, object) = now;
         ctx.metrics.record_read(false);
     }
 
@@ -184,7 +205,7 @@ mod tests {
         let u = two_volume_universe();
         let vers = versions(3);
         let mut m = Metrics::new();
-        let mut p = Poll::new(Duration::from_secs(10));
+        let mut p = Poll::new(Duration::from_secs(10), &u);
         for s in [0u64, 3, 6, 9] {
             let mut ctx = Ctx {
                 universe: &u,
@@ -209,7 +230,7 @@ mod tests {
         let u = two_volume_universe();
         let mut vers = versions(3);
         let mut m = Metrics::new();
-        let mut p = Poll::new(Duration::from_secs(100));
+        let mut p = Poll::new(Duration::from_secs(100), &u);
         let mut ctx = Ctx {
             universe: &u,
             versions: &vers,
@@ -241,7 +262,7 @@ mod tests {
         let u = two_volume_universe();
         let vers = versions(3);
         let mut m = Metrics::new();
-        let mut p = Poll::new(Duration::ZERO);
+        let mut p = Poll::new(Duration::ZERO, &u);
         for s in 0..4 {
             let mut ctx = Ctx {
                 universe: &u,
@@ -259,7 +280,7 @@ mod tests {
         let u = two_volume_universe();
         let vers = versions(3);
         let mut m = Metrics::new();
-        let mut p = Poll::new(Duration::from_secs(10));
+        let mut p = Poll::new(Duration::from_secs(10), &u);
         let mut ctx = Ctx {
             universe: &u,
             versions: &vers,

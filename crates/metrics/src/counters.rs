@@ -1,6 +1,5 @@
 //! Per-kind message counters and staleness accounting.
 
-use serde::Serialize;
 use std::fmt;
 
 /// Every one-way message type exchanged by the protocols in this workspace.
@@ -8,7 +7,7 @@ use std::fmt;
 /// The first group is the request/response traffic of Figures 3–4; the
 /// last entries cover client polling and plain data fetches used by the
 /// baseline algorithms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)] // variants mirror the paper's message names
 pub enum MessageKind {
     ObjLeaseRequest,
@@ -71,7 +70,7 @@ impl fmt::Display for MessageKind {
 }
 
 /// Counts and byte totals per [`MessageKind`].
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MessageCounters {
     counts: [u64; MessageKind::ALL.len()],
     bytes: [u64; MessageKind::ALL.len()],
@@ -119,7 +118,7 @@ impl MessageCounters {
 }
 
 /// Read / stale-read accounting.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StalenessCounters {
     reads: u64,
     stale: u64,

@@ -40,7 +40,6 @@ pub use counters::{MessageCounters, MessageKind, StalenessCounters};
 pub use load::{LoadHistogram, LoadTracker};
 pub use state::StateIntegral;
 
-use serde::Serialize;
 use vl_types::{ClientId, Duration, ServerId, Timestamp};
 
 /// Nominal size in bytes of a control message (headers + ids); data
@@ -220,7 +219,7 @@ impl Metrics {
 }
 
 /// A condensed, serializable run summary.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Summary {
     /// Total one-way messages.
     pub messages: u64,

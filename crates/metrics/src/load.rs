@@ -1,6 +1,5 @@
 //! Per-second server load tracking for the burst-load figures.
 
-use std::collections::{BTreeMap, BTreeSet};
 use vl_types::{ServerId, Timestamp};
 
 /// Records, for an explicitly tracked set of servers, how many messages
@@ -10,48 +9,57 @@ use vl_types::{ServerId, Timestamp};
 /// server-seconds; Figures 8–9 only need the single busiest server, which
 /// the harness discovers with a first (untracked) pass and then re-runs —
 /// simulations are deterministic, so the two passes see identical traffic.
+///
+/// Counts are kept densely, one slot per elapsed second per tracked
+/// server: the key space is bounded by the trace span (a few hundred
+/// thousand seconds for the multi-day paper traces), so a flat `Vec`
+/// beats a per-second tree on the message hot path.
 #[derive(Clone, Debug, Default)]
 pub struct LoadTracker {
-    tracked: BTreeSet<ServerId>,
-    /// (server → second-index → message count); sparse, only touched seconds.
-    counts: BTreeMap<ServerId, BTreeMap<u64, u64>>,
+    /// Tracked servers, sorted ascending; `counts` is parallel to it.
+    tracked: Vec<ServerId>,
+    /// Per tracked server: message count per 1-second slot, grown on
+    /// demand to the highest touched second.
+    counts: Vec<Vec<u64>>,
 }
 
 impl LoadTracker {
     /// Creates a tracker for the given servers.
     pub fn tracking(servers: impl IntoIterator<Item = ServerId>) -> LoadTracker {
-        LoadTracker {
-            tracked: servers.into_iter().collect(),
-            counts: BTreeMap::new(),
-        }
+        let mut tracked: Vec<ServerId> = servers.into_iter().collect();
+        tracked.sort_unstable();
+        tracked.dedup();
+        let counts = vec![Vec::new(); tracked.len()];
+        LoadTracker { tracked, counts }
+    }
+
+    fn index_of(&self, server: ServerId) -> Option<usize> {
+        self.tracked.binary_search(&server).ok()
     }
 
     /// Returns `true` if `server`'s load is being recorded.
     pub fn is_tracked(&self, server: ServerId) -> bool {
-        self.tracked.contains(&server)
+        self.index_of(server).is_some()
     }
 
     /// Records one message at `server` at time `now`.
     pub fn record(&mut self, server: ServerId, now: Timestamp) {
-        if self.tracked.contains(&server) {
-            *self
-                .counts
-                .entry(server)
-                .or_default()
-                .entry(now.as_secs())
-                .or_insert(0) += 1;
+        if let Some(i) = self.index_of(server) {
+            let sec = now.as_secs() as usize;
+            let slots = &mut self.counts[i];
+            if slots.len() <= sec {
+                slots.resize(sec + 1, 0);
+            }
+            slots[sec] += 1;
         }
     }
 
     /// Finalizes the histogram for `server`, or `None` if untracked.
     pub fn histogram(&self, server: ServerId) -> Option<LoadHistogram> {
-        if !self.tracked.contains(&server) {
-            return None;
-        }
-        let per_second = self.counts.get(&server);
-        let mut sorted: Vec<u64> = per_second
-            .map(|m| m.values().copied().collect())
-            .unwrap_or_default();
+        let i = self.index_of(server)?;
+        // Idle seconds are not part of the histogram (they were never
+        // stored in the sparse representation either).
+        let mut sorted: Vec<u64> = self.counts[i].iter().copied().filter(|&c| c > 0).collect();
         sorted.sort_unstable();
         Some(LoadHistogram { sorted })
     }

@@ -1,6 +1,5 @@
 //! Exact time-weighted server-state accounting.
 
-use std::collections::BTreeMap;
 use vl_types::{Duration, ServerId};
 
 /// Accumulates `bytes × lifetime` per server.
@@ -23,10 +22,23 @@ use vl_types::{Duration, ServerId};
 /// s.add(ServerId(0), 16, Duration::from_secs(10));
 /// assert!((s.average(ServerId(0), Duration::from_secs(100)) - 1.6).abs() < 1e-9);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, Eq)]
 pub struct StateIntegral {
-    /// byte·milliseconds per server.
-    byte_ms: BTreeMap<ServerId, u128>,
+    /// byte·milliseconds, indexed densely by server id; servers never
+    /// charged may fall beyond the end (implicitly zero).
+    byte_ms: Vec<u128>,
+}
+
+impl PartialEq for StateIntegral {
+    fn eq(&self, other: &StateIntegral) -> bool {
+        // Trailing zero slots are representation artifacts, not state.
+        let (short, long) = if self.byte_ms.len() <= other.byte_ms.len() {
+            (&self.byte_ms, &other.byte_ms)
+        } else {
+            (&other.byte_ms, &self.byte_ms)
+        };
+        long[..short.len()] == short[..] && long[short.len()..].iter().all(|&v| v == 0)
+    }
 }
 
 impl StateIntegral {
@@ -48,13 +60,19 @@ impl StateIntegral {
             !lifetime.is_infinite(),
             "state lifetime must be clipped to the simulation span"
         );
-        *self.byte_ms.entry(server).or_insert(0) +=
-            u128::from(bytes) * u128::from(lifetime.as_millis());
+        let i = server.raw() as usize;
+        if self.byte_ms.len() <= i {
+            self.byte_ms.resize(i + 1, 0);
+        }
+        self.byte_ms[i] += u128::from(bytes) * u128::from(lifetime.as_millis());
     }
 
     /// The raw integral for `server`, in byte·milliseconds.
     pub fn raw_byte_ms(&self, server: ServerId) -> u128 {
-        self.byte_ms.get(&server).copied().unwrap_or(0)
+        self.byte_ms
+            .get(server.raw() as usize)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Time-weighted average bytes at `server` over a span.
@@ -72,8 +90,9 @@ impl StateIntegral {
         let mut v: Vec<_> = self
             .byte_ms
             .iter()
-            .map(|(&s, &i)| (s, i))
-            .filter(|&(_, i)| i > 0)
+            .enumerate()
+            .filter(|&(_, &i)| i > 0)
+            .map(|(s, &i)| (ServerId(s as u32), i))
             .collect();
         v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         v

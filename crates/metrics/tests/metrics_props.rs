@@ -1,17 +1,20 @@
-//! Property tests for the metrics sink: histogram and integral math
-//! checked against naive recomputation.
+//! Randomized (seeded, deterministic) tests for the metrics sink:
+//! histogram and integral math checked against naive recomputation.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vl_metrics::{LoadTracker, Metrics, MessageKind, StateIntegral};
 use vl_types::{ClientId, Duration, ServerId, Timestamp};
 
-proptest! {
-    /// The cumulative load histogram agrees with a naive O(n²) count for
-    /// every queried level, and the curve is strictly decreasing.
-    #[test]
-    fn load_histogram_matches_naive(
-        times in proptest::collection::vec(0u64..200, 1..300),
-    ) {
+/// The cumulative load histogram agrees with a naive O(n²) count for
+/// every queried level, and the curve is strictly decreasing.
+#[test]
+fn load_histogram_matches_naive() {
+    let mut rng = StdRng::seed_from_u64(0x10ad);
+    for case in 0..128 {
+        let times: Vec<u64> = (0..rng.gen_range(1usize..300))
+            .map(|_| rng.gen_range(0u64..200))
+            .collect();
         let server = ServerId(0);
         let mut tracker = LoadTracker::tracking([server]);
         for &t in &times {
@@ -23,26 +26,28 @@ proptest! {
             *counts.entry(t).or_insert(0u64) += 1;
         }
         let hist = tracker.histogram(server).unwrap();
-        for x in 0..=times.len() as u64 + 1 {
+        for x in 1..=times.len() as u64 + 1 {
             let naive = counts.values().filter(|&&c| c >= x).count() as u64;
-            let fast = hist.periods_with_load_at_least(x.max(1));
-            if x >= 1 {
-                prop_assert_eq!(fast, naive, "level {}", x);
-            }
+            let fast = hist.periods_with_load_at_least(x);
+            assert_eq!(fast, naive, "case {case}, level {x}");
         }
-        prop_assert_eq!(hist.peak(), counts.values().copied().max().unwrap());
-        prop_assert_eq!(hist.busy_periods(), counts.len() as u64);
+        assert_eq!(hist.peak(), counts.values().copied().max().unwrap());
+        assert_eq!(hist.busy_periods(), counts.len() as u64);
         let curve = hist.cumulative_curve();
-        prop_assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1));
+        assert!(curve.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 > w[1].1));
         // The curve's first point covers all busy periods.
-        prop_assert_eq!(curve[0].1, counts.len() as u64);
+        assert_eq!(curve[0].1, counts.len() as u64);
     }
+}
 
-    /// The state integral is additive and linear in bytes and time.
-    #[test]
-    fn state_integral_is_additive(
-        chunks in proptest::collection::vec((1u64..100, 1u64..10_000), 1..50),
-    ) {
+/// The state integral is additive and linear in bytes and time.
+#[test]
+fn state_integral_is_additive() {
+    let mut rng = StdRng::seed_from_u64(0x57a7e);
+    for case in 0..256 {
+        let chunks: Vec<(u64, u64)> = (0..rng.gen_range(1usize..50))
+            .map(|_| (rng.gen_range(1u64..100), rng.gen_range(1u64..10_000)))
+            .collect();
         let server = ServerId(1);
         let mut integral = StateIntegral::new();
         let mut expected: u128 = 0;
@@ -50,18 +55,32 @@ proptest! {
             integral.add(server, bytes, Duration::from_millis(ms));
             expected += u128::from(bytes) * u128::from(ms);
         }
-        prop_assert_eq!(integral.raw_byte_ms(server), expected);
+        assert_eq!(integral.raw_byte_ms(server), expected, "case {case}");
         let span = Duration::from_millis(10_000);
         let avg = integral.average(server, span);
-        prop_assert!((avg - expected as f64 / 10_000.0).abs() < 1e-6);
+        assert!(
+            (avg - expected as f64 / 10_000.0).abs() < 1e-6,
+            "case {case}"
+        );
     }
+}
 
-    /// Message totals decompose exactly into per-kind counts, and
-    /// per-server plus per-client views agree with the global totals.
-    #[test]
-    fn message_accounting_balances(
-        msgs in proptest::collection::vec((0usize..13, 0u32..4, 0u32..4, 0u64..2000), 0..200),
-    ) {
+/// Message totals decompose exactly into per-kind counts, and
+/// per-server plus per-client views agree with the global totals.
+#[test]
+fn message_accounting_balances() {
+    let mut rng = StdRng::seed_from_u64(0xba1a);
+    for case in 0..256 {
+        let msgs: Vec<(usize, u32, u32, u64)> = (0..rng.gen_range(0usize..200))
+            .map(|_| {
+                (
+                    rng.gen_range(0usize..MessageKind::ALL.len()),
+                    rng.gen_range(0u32..4),
+                    rng.gen_range(0u32..4),
+                    rng.gen_range(0u64..2000),
+                )
+            })
+            .collect();
         let mut m = Metrics::new();
         for &(kind, server, client, bytes) in &msgs {
             m.count_msg(
@@ -72,17 +91,17 @@ proptest! {
                 Timestamp::ZERO,
             );
         }
-        prop_assert_eq!(m.total_messages(), msgs.len() as u64);
+        assert_eq!(m.total_messages(), msgs.len() as u64, "case {case}");
         let per_kind: u64 = MessageKind::ALL
             .iter()
             .map(|&k| m.message_counters().count(k))
             .sum();
-        prop_assert_eq!(per_kind, msgs.len() as u64);
+        assert_eq!(per_kind, msgs.len() as u64, "case {case}");
         let per_server: u64 = (0..4).map(|s| m.server_messages(ServerId(s))).sum();
-        prop_assert_eq!(per_server, msgs.len() as u64);
+        assert_eq!(per_server, msgs.len() as u64, "case {case}");
         let per_client: u64 = (0..4).map(|c| m.client_messages(ClientId(c))).sum();
-        prop_assert_eq!(per_client, msgs.len() as u64);
+        assert_eq!(per_client, msgs.len() as u64, "case {case}");
         let bytes: u64 = msgs.iter().map(|&(_, _, _, b)| b).sum();
-        prop_assert_eq!(m.total_bytes(), bytes);
+        assert_eq!(m.total_bytes(), bytes, "case {case}");
     }
 }

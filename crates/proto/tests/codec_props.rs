@@ -1,97 +1,115 @@
-//! Property tests: every generatable message round-trips, and arbitrary
-//! byte soup never panics the decoders.
+//! Randomized (seeded, deterministic) tests: every generatable message
+//! round-trips, and arbitrary byte soup never panics the decoders.
 
 use bytes::Bytes;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
 use vl_proto::{codec, ClientMsg, ServerMsg};
 use vl_types::{Epoch, ObjectId, Timestamp, Version, VolumeId};
 
-fn arb_client() -> impl Strategy<Value = ClientMsg> {
-    prop_oneof![
-        (any::<u64>(), any::<u64>()).prop_map(|(o, v)| ClientMsg::ReqObjLease {
-            object: ObjectId(o),
-            version: Version(v),
-        }),
-        (any::<u32>(), any::<u64>()).prop_map(|(v, e)| ClientMsg::ReqVolLease {
-            volume: VolumeId(v),
-            epoch: Epoch(e),
-        }),
-        (
-            any::<u32>(),
-            proptest::collection::vec((any::<u64>(), any::<u64>()), 0..32)
-        )
-            .prop_map(|(v, ls)| ClientMsg::RenewObjLeases {
-                volume: VolumeId(v),
-                leases: ls
-                    .into_iter()
-                    .map(|(o, ver)| (ObjectId(o), Version(ver)))
-                    .collect(),
-            }),
-        any::<u64>().prop_map(|o| ClientMsg::AckInvalidate { object: ObjectId(o) }),
-        any::<u32>().prop_map(|v| ClientMsg::AckVolBatch { volume: VolumeId(v) }),
-    ]
+fn arb_client(rng: &mut StdRng) -> ClientMsg {
+    match rng.gen_range(0u32..5) {
+        0 => ClientMsg::ReqObjLease {
+            object: ObjectId(rng.gen()),
+            version: Version(rng.gen()),
+        },
+        1 => ClientMsg::ReqVolLease {
+            volume: VolumeId(rng.gen()),
+            epoch: Epoch(rng.gen()),
+        },
+        2 => ClientMsg::RenewObjLeases {
+            volume: VolumeId(rng.gen()),
+            leases: (0..rng.gen_range(0usize..32))
+                .map(|_| (ObjectId(rng.gen()), Version(rng.gen())))
+                .collect(),
+        },
+        3 => ClientMsg::AckInvalidate {
+            object: ObjectId(rng.gen()),
+        },
+        _ => ClientMsg::AckVolBatch {
+            volume: VolumeId(rng.gen()),
+        },
+    }
 }
 
-fn arb_server() -> impl Strategy<Value = ServerMsg> {
-    prop_oneof![
-        (
-            any::<u64>(),
-            any::<u64>(),
-            any::<u64>(),
-            proptest::option::of(proptest::collection::vec(any::<u8>(), 0..256))
-        )
-            .prop_map(|(o, v, e, d)| ServerMsg::ObjLease {
-                object: ObjectId(o),
-                version: Version(v),
-                expire: Timestamp::from_millis(e),
-                data: d.map(Bytes::from),
-            }),
-        (
-            any::<u32>(),
-            any::<u64>(),
-            any::<u64>(),
-            proptest::collection::vec(any::<u64>(), 0..32)
-        )
-            .prop_map(|(v, ex, ep, inv)| ServerMsg::VolLease {
-                volume: VolumeId(v),
-                expire: Timestamp::from_millis(ex),
-                epoch: Epoch(ep),
-                invalidate: inv.into_iter().map(ObjectId).collect(),
-            }),
-        any::<u64>().prop_map(|o| ServerMsg::Invalidate { object: ObjectId(o) }),
-        any::<u32>().prop_map(|v| ServerMsg::MustRenewAll { volume: VolumeId(v) }),
-        (
-            any::<u32>(),
-            proptest::collection::vec(any::<u64>(), 0..16),
-            proptest::collection::vec((any::<u64>(), any::<u64>(), any::<u64>()), 0..16)
-        )
-            .prop_map(|(v, inv, ren)| ServerMsg::InvalRenew {
-                volume: VolumeId(v),
-                invalidate: inv.into_iter().map(ObjectId).collect(),
-                renew: ren
-                    .into_iter()
-                    .map(|(o, ver, e)| (ObjectId(o), Version(ver), Timestamp::from_millis(e)))
-                    .collect(),
-            }),
-    ]
+fn arb_server(rng: &mut StdRng) -> ServerMsg {
+    match rng.gen_range(0u32..5) {
+        0 => ServerMsg::ObjLease {
+            object: ObjectId(rng.gen()),
+            version: Version(rng.gen()),
+            expire: Timestamp::from_millis(rng.gen()),
+            data: if rng.gen_bool(0.5) {
+                let mut payload = vec![0u8; rng.gen_range(0usize..256)];
+                rng.fill_bytes(&mut payload);
+                Some(Bytes::from(payload))
+            } else {
+                None
+            },
+        },
+        1 => ServerMsg::VolLease {
+            volume: VolumeId(rng.gen()),
+            expire: Timestamp::from_millis(rng.gen()),
+            epoch: Epoch(rng.gen()),
+            invalidate: (0..rng.gen_range(0usize..32))
+                .map(|_| ObjectId(rng.gen()))
+                .collect(),
+        },
+        2 => ServerMsg::Invalidate {
+            object: ObjectId(rng.gen()),
+        },
+        3 => ServerMsg::MustRenewAll {
+            volume: VolumeId(rng.gen()),
+        },
+        _ => ServerMsg::InvalRenew {
+            volume: VolumeId(rng.gen()),
+            invalidate: (0..rng.gen_range(0usize..16))
+                .map(|_| ObjectId(rng.gen()))
+                .collect(),
+            renew: (0..rng.gen_range(0usize..16))
+                .map(|_| {
+                    (
+                        ObjectId(rng.gen()),
+                        Version(rng.gen()),
+                        Timestamp::from_millis(rng.gen()),
+                    )
+                })
+                .collect(),
+        },
+    }
 }
 
-proptest! {
-    #[test]
-    fn client_roundtrip(msg in arb_client()) {
+#[test]
+fn client_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0DE);
+    for _ in 0..512 {
+        let msg = arb_client(&mut rng);
         let bytes = codec::encode_client(&msg);
-        prop_assert_eq!(codec::decode_client(&bytes).unwrap(), msg);
+        assert_eq!(codec::decode_client(&bytes).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn server_roundtrip(msg in arb_server()) {
+#[test]
+fn server_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0xC0DF);
+    for _ in 0..512 {
+        let msg = arb_server(&mut rng);
         let bytes = codec::encode_server(&msg);
-        prop_assert_eq!(codec::decode_server(&bytes).unwrap(), msg);
+        assert_eq!(codec::decode_server(&bytes).unwrap(), msg);
     }
+}
 
-    /// Decoders must reject or accept arbitrary bytes without panicking.
-    #[test]
-    fn fuzz_no_panic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+/// Decoders must reject or accept arbitrary bytes without panicking.
+#[test]
+fn fuzz_no_panic() {
+    let mut rng = StdRng::seed_from_u64(0xF422);
+    for _ in 0..2000 {
+        let mut bytes = vec![0u8; rng.gen_range(0usize..512)];
+        rng.fill_bytes(&mut bytes);
+        // Bias the first byte toward real tags so deep decode paths run.
+        if !bytes.is_empty() && rng.gen_bool(0.5) {
+            bytes[0] = [0x01, 0x02, 0x03, 0x04, 0x05, 0x81, 0x82, 0x83, 0x84, 0x85]
+                [rng.gen_range(0usize..10)];
+        }
         let _ = codec::decode_client(&bytes);
         let _ = codec::decode_server(&bytes);
     }

@@ -1,6 +1,5 @@
 //! The server's stable-storage record for crash recovery (§3.1.2).
 
-use serde::{Deserialize, Serialize};
 use std::fs;
 use std::io;
 use std::path::Path;
@@ -30,7 +29,7 @@ use vl_types::{Epoch, Timestamp};
 /// # std::fs::remove_file(&path).ok();
 /// # Ok::<(), std::io::Error>(())
 /// ```
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct StableRecord {
     /// The volume epoch at the last checkpoint.
     pub epoch: Epoch,

@@ -5,16 +5,13 @@
 //! (C-NEWTYPE). All identifiers are `Copy`, ordered, hashable, and
 //! serializable so they can be used as map keys and wire-message fields.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $repr:ty, $prefix:expr) => {
         $(#[$doc])*
         #[derive(
-            Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash,
-            Serialize, Deserialize,
-        )]
+            Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub $repr);
 
         impl $name {
@@ -88,8 +85,7 @@ define_id! {
 /// assert!(Version::NONE < Version::FIRST);
 /// ```
 #[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Version(pub u64);
 
 impl Version {
@@ -142,8 +138,7 @@ impl fmt::Display for Version {
 /// assert!(boot1 > boot0);
 /// ```
 #[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch(pub u64);
 
 impl Epoch {

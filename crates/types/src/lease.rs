@@ -7,7 +7,6 @@
 //! unreachable.
 
 use crate::{ClientId, Duration, Timestamp};
-use serde::{Deserialize, Serialize};
 use std::collections::btree_map::Entry;
 use std::collections::BTreeMap;
 
@@ -40,7 +39,7 @@ pub const LEASE_RECORD_BYTES: u64 = 16;
 /// assert_eq!(set.valid_holders(mid).count(), 1);
 /// assert_eq!(set.expire_bound(), now + Duration::from_secs(20));
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct LeaseSet {
     at: BTreeMap<ClientId, Timestamp>,
     /// Monotone upper bound on every lease ever granted and not yet

@@ -7,7 +7,6 @@
 //! seconds; millisecond resolution lets the live stack reuse the same types
 //! without losing sub-second precision.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
@@ -22,8 +21,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t.saturating_sub(Timestamp::from_secs(4)), Duration::from_secs(6));
 /// ```
 #[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(u64);
 
 /// A span of virtual time, in milliseconds.
@@ -36,8 +34,7 @@ pub struct Timestamp(u64);
 /// assert!(Duration::from_secs(1) < Duration::from_secs(2));
 /// ```
 #[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Duration(u64);
 
 impl Timestamp {

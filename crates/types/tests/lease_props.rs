@@ -1,6 +1,11 @@
-//! Property-based tests for `LeaseSet` invariants.
+//! Randomized (seeded, deterministic) tests for `LeaseSet` invariants.
+//!
+//! These used to be proptest properties; the offline build has no
+//! proptest, so the same invariants are driven by a seeded RNG over many
+//! generated op sequences — every run explores the identical cases.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vl_types::{ClientId, LeaseSet, Timestamp, LEASE_RECORD_BYTES};
 
 #[derive(Clone, Debug)]
@@ -11,23 +16,29 @@ enum Op {
     ExtendTo(u8, u64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<u8>(), 0u64..10_000).prop_map(|(c, e)| Op::Grant(c, e)),
-        any::<u8>().prop_map(Op::Revoke),
-        (0u64..10_000).prop_map(Op::Sweep),
-        (any::<u8>(), 0u64..10_000).prop_map(|(c, e)| Op::ExtendTo(c, e)),
-    ]
+fn random_op(rng: &mut StdRng) -> Op {
+    let client = (rng.gen_range(0u32..256)) as u8;
+    let expiry = rng.gen_range(0u64..10_000);
+    match rng.gen_range(0u32..4) {
+        0 => Op::Grant(client, expiry),
+        1 => Op::Revoke(client),
+        2 => Op::Sweep(expiry),
+        _ => Op::ExtendTo(client, expiry),
+    }
 }
 
-proptest! {
-    /// After any op sequence: the expire bound dominates every entry, state
-    /// bytes equal 16×len, and no lease is valid at/after its expiry.
-    #[test]
-    fn invariants_hold(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+/// After any op sequence: the expire bound dominates every entry, state
+/// bytes equal 16×len, and no lease is valid at/after its expiry.
+#[test]
+fn invariants_hold() {
+    let mut rng = StdRng::seed_from_u64(0x1ea5e);
+    for case in 0..256 {
         let mut set = LeaseSet::new();
-        for op in ops {
-            match op {
+        let ops: Vec<Op> = (0..rng.gen_range(0usize..64))
+            .map(|_| random_op(&mut rng))
+            .collect();
+        for op in &ops {
+            match *op {
                 Op::Grant(c, e) => {
                     set.grant(ClientId(c as u32), Timestamp::from_millis(e));
                 }
@@ -42,44 +53,58 @@ proptest! {
                 }
             }
             for (c, e) in set.iter() {
-                prop_assert!(e <= set.expire_bound());
-                prop_assert!(!set.is_valid_for(c, e), "lease valid at its own expiry");
+                assert!(e <= set.expire_bound(), "case {case}: {ops:?}");
+                assert!(
+                    !set.is_valid_for(c, e),
+                    "case {case}: lease valid at its own expiry ({ops:?})"
+                );
                 if e > Timestamp::ZERO {
-                    prop_assert!(set.is_valid_for(
-                        c,
-                        Timestamp::from_millis(e.as_millis() - 1)
-                    ));
+                    assert!(
+                        set.is_valid_for(c, Timestamp::from_millis(e.as_millis() - 1)),
+                        "case {case}: {ops:?}"
+                    );
                 }
             }
-            prop_assert_eq!(set.state_bytes(), set.len() as u64 * LEASE_RECORD_BYTES);
+            assert_eq!(
+                set.state_bytes(),
+                set.len() as u64 * LEASE_RECORD_BYTES,
+                "case {case}: {ops:?}"
+            );
         }
     }
+}
 
-    /// Sweeping at `now` removes exactly the entries with expiry ≤ now and
-    /// leaves valid_count unchanged.
-    #[test]
-    fn sweep_preserves_valid_holders(
-        grants in proptest::collection::vec((any::<u8>(), 1u64..1000), 1..40),
-        now in 0u64..1000,
-    ) {
+/// Sweeping at `now` removes exactly the entries with expiry ≤ now and
+/// leaves valid_count unchanged.
+#[test]
+fn sweep_preserves_valid_holders() {
+    let mut rng = StdRng::seed_from_u64(0x51ee9);
+    for case in 0..512 {
         let mut set = LeaseSet::new();
-        for (c, e) in grants {
-            set.grant(ClientId(c as u32), Timestamp::from_millis(e));
+        for _ in 0..rng.gen_range(1usize..40) {
+            let c = rng.gen_range(0u32..256);
+            let e = rng.gen_range(1u64..1000);
+            set.grant(ClientId(c), Timestamp::from_millis(e));
         }
-        let now = Timestamp::from_millis(now);
+        let now = Timestamp::from_millis(rng.gen_range(0u64..1000));
         let valid_before = set.valid_count(now);
         let expired = set.len() - valid_before;
-        prop_assert_eq!(set.sweep_expired(now), expired);
-        prop_assert_eq!(set.valid_count(now), valid_before);
-        prop_assert_eq!(set.len(), valid_before);
+        assert_eq!(set.sweep_expired(now), expired, "case {case}");
+        assert_eq!(set.valid_count(now), valid_before, "case {case}");
+        assert_eq!(set.len(), valid_before, "case {case}");
     }
+}
 
-    /// `extend_to` is monotone: the resulting expiry is the max of old and new.
-    #[test]
-    fn extend_to_is_monotone(e1 in 0u64..1000, e2 in 0u64..1000) {
+/// `extend_to` is monotone: the resulting expiry is the max of old and new.
+#[test]
+fn extend_to_is_monotone() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for _ in 0..2000 {
+        let e1 = rng.gen_range(0u64..1000);
+        let e2 = rng.gen_range(0u64..1000);
         let mut set = LeaseSet::new();
         set.grant(ClientId(1), Timestamp::from_millis(e1));
         let out = set.extend_to(ClientId(1), Timestamp::from_millis(e2));
-        prop_assert_eq!(out, Timestamp::from_millis(e1.max(e2)));
+        assert_eq!(out, Timestamp::from_millis(e1.max(e2)));
     }
 }

@@ -9,12 +9,11 @@ use crate::dist::{exponential, log_normal, Zipf};
 use crate::writes::{WriteModel, WriteModelConfig};
 use crate::{Trace, TraceEvent, Universe, UniverseBuilder};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vl_types::{ClientId, ObjectId, ServerId, Timestamp, VolumeId};
 
 /// Scale presets for experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum WorkloadPreset {
     /// Tiny: seconds to simulate; used by unit/integration tests.
     Smoke,
@@ -38,7 +37,7 @@ pub enum WorkloadPreset {
 /// let b = TraceGenerator::new(cfg).generate();
 /// assert_eq!(a.events(), b.events()); // same seed ⇒ same trace
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct WorkloadConfig {
     /// Master seed; every random stream derives from it.
     pub seed: u64,

@@ -1,11 +1,10 @@
 //! Timestamped read/write traces.
 
 use crate::Universe;
-use serde::{Deserialize, Serialize};
 use vl_types::{ClientId, Duration, ObjectId, ServerId, Timestamp};
 
 /// One trace record: a client read or a server-side write.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum TraceEvent {
     /// `client` reads `object` at `at`.
     Read {
@@ -70,7 +69,7 @@ impl TraceEvent {
 /// assert!(trace.events()[0].is_read()); // sorted by time
 /// assert_eq!(trace.read_count(), 1);
 /// ```
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Trace {
     universe: Universe,
     events: Vec<TraceEvent>,

@@ -1,10 +1,9 @@
 //! The static object/volume/server topology a trace runs against.
 
-use serde::{Deserialize, Serialize};
 use vl_types::{ObjectId, ServerId, VolumeId};
 
 /// Immutable description of one object: where it lives and how big it is.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ObjectMeta {
     /// The object's identifier; equal to its index in [`Universe::objects`].
     pub id: ObjectId,
@@ -17,7 +16,7 @@ pub struct ObjectMeta {
 }
 
 /// Immutable description of one volume.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct VolumeMeta {
     /// The volume's identifier; equal to its index in [`Universe::volumes`].
     pub id: VolumeId,
@@ -46,7 +45,7 @@ pub struct VolumeMeta {
 /// assert_eq!(universe.object(o).volume, v);
 /// assert_eq!(universe.volume(v).objects, vec![o]);
 /// ```
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Universe {
     objects: Vec<ObjectMeta>,
     volumes: Vec<VolumeMeta>,

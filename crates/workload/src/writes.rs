@@ -16,11 +16,10 @@
 use crate::dist::{exponential, poisson};
 use crate::{TraceEvent, Universe};
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use vl_types::{ObjectId, Timestamp};
 
 /// An object's write-rate class.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MutabilityClass {
     /// Top-decile by reads: λ = 0.005 writes/day.
     Popular,
@@ -46,7 +45,7 @@ impl MutabilityClass {
 
 /// Tunable parameters of the write model. [`WriteModelConfig::paper`]
 /// gives the values from §4.2.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct WriteModelConfig {
     /// Fraction of files (by read rank) classed [`MutabilityClass::Popular`].
     pub popular_fraction: f64,
@@ -100,15 +99,11 @@ impl Default for WriteModelConfig {
 }
 
 /// Per-object mutability assignment plus write-event generation.
-// `config` is serde-skipped (it is part of the experiment config); the
-// `Default` impl backs deserialization.
-#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct WriteModel {
     classes: Vec<MutabilityClass>,
-    #[serde(skip)]
     config: WriteModelConfig,
 }
-
 
 
 impl WriteModel {

@@ -1,95 +1,100 @@
-//! Property tests for the trace generator and write model: structural
-//! invariants under randomized configurations.
+//! Randomized (seeded, deterministic) tests for the trace generator and
+//! write model: structural invariants under randomized configurations.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vl_workload::{TraceGenerator, WorkloadConfig};
 
-fn arb_config() -> impl Strategy<Value = WorkloadConfig> {
-    (
-        any::<u64>(),        // seed
-        1u32..6,             // clients
-        1u32..12,            // servers
-        1u32..4,             // volumes per server
-        1u64..400,           // objects
-        10u64..2_000,        // target reads
-        0.0f64..1.0,         // revisit prob
-        0.0f64..1.4,         // server zipf
-    )
-        .prop_map(
-            |(seed, clients, servers, vps, objects, reads, revisit, theta)| WorkloadConfig {
-                seed,
-                clients,
-                servers,
-                volumes_per_server: vps,
-                objects,
-                target_reads: reads,
-                days: 2.0,
-                server_zipf_theta: theta,
-                revisit_prob: revisit,
-                ..WorkloadConfig::smoke()
-            },
-        )
+fn arb_config(rng: &mut StdRng) -> WorkloadConfig {
+    WorkloadConfig {
+        seed: rng.gen(),
+        clients: rng.gen_range(1u32..6),
+        servers: rng.gen_range(1u32..12),
+        volumes_per_server: rng.gen_range(1u32..4),
+        objects: rng.gen_range(1u64..400),
+        target_reads: rng.gen_range(10u64..2_000),
+        days: 2.0,
+        server_zipf_theta: rng.gen_range(0.0..1.4),
+        revisit_prob: rng.gen_range(0.0..1.0),
+        ..WorkloadConfig::smoke()
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every generated trace is structurally sound: time-ordered events,
-    /// all object references valid, counts self-consistent, every volume
-    /// non-empty, span within the configured days.
-    #[test]
-    fn generated_traces_are_well_formed(cfg in arb_config()) {
+/// Every generated trace is structurally sound: time-ordered events,
+/// all object references valid, counts self-consistent, every volume
+/// non-empty, span within the configured days.
+#[test]
+fn generated_traces_are_well_formed() {
+    let mut rng = StdRng::seed_from_u64(0x9e4);
+    for case in 0..48 {
+        let cfg = arb_config(&mut rng);
         let trace = TraceGenerator::new(cfg.clone()).generate();
         let u = trace.universe();
-        prop_assert_eq!(u.object_count() as u64, cfg.objects);
-        prop_assert_eq!(
+        assert_eq!(u.object_count() as u64, cfg.objects, "case {case}");
+        assert_eq!(
             u.volume_count() as u64,
-            u64::from(cfg.servers) * u64::from(cfg.volumes_per_server)
+            u64::from(cfg.servers) * u64::from(cfg.volumes_per_server),
+            "case {case}"
         );
-        prop_assert!(trace
-            .events()
-            .windows(2)
-            .all(|w| w[0].at() <= w[1].at()));
+        assert!(
+            trace.events().windows(2).all(|w| w[0].at() <= w[1].at()),
+            "case {case}"
+        );
         for e in trace.events() {
-            prop_assert!((e.object().raw() as usize) < u.object_count());
+            assert!((e.object().raw() as usize) < u.object_count(), "case {case}");
         }
-        prop_assert_eq!(
+        assert_eq!(
             trace.read_count() + trace.write_count(),
-            trace.events().len() as u64
+            trace.events().len() as u64,
+            "case {case}"
         );
         // Every volume is seeded whenever objects suffice; with scarcer
         // objects, empty shards are legal and the generator skips them.
         if cfg.objects >= u64::from(cfg.servers) * u64::from(cfg.volumes_per_server) {
             for v in u.volumes() {
-                prop_assert!(!v.objects.is_empty(), "volume {} empty", v.id);
+                assert!(!v.objects.is_empty(), "case {case}: volume {} empty", v.id);
             }
         }
-        prop_assert!(trace.span().as_secs_f64() <= cfg.days * 86_400.0 + 1.0);
+        assert!(
+            trace.span().as_secs_f64() <= cfg.days * 86_400.0 + 1.0,
+            "case {case}"
+        );
     }
+}
 
-    /// Generation is a pure function of the config.
-    #[test]
-    fn generation_is_deterministic(cfg in arb_config()) {
+/// Generation is a pure function of the config.
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xde7);
+    for _ in 0..16 {
+        let cfg = arb_config(&mut rng);
         let a = TraceGenerator::new(cfg.clone()).generate();
         let b = TraceGenerator::new(cfg).generate();
-        prop_assert_eq!(a.events(), b.events());
+        assert_eq!(a.events(), b.events());
     }
+}
 
-    /// Resharding preserves everything except the volume partition, and
-    /// the resharded trace is still well-formed.
-    #[test]
-    fn reshard_preserves_structure(cfg in arb_config(), k in 1u32..6) {
+/// Resharding preserves everything except the volume partition, and
+/// the resharded trace is still well-formed.
+#[test]
+fn reshard_preserves_structure() {
+    let mut rng = StdRng::seed_from_u64(0x5a4d);
+    for case in 0..32 {
+        let cfg = arb_config(&mut rng);
+        let k = rng.gen_range(1u32..6);
         let trace = TraceGenerator::new(cfg).generate();
         let sharded = trace.with_resharded_volumes(k);
-        prop_assert_eq!(sharded.read_count(), trace.read_count());
-        prop_assert_eq!(sharded.write_count(), trace.write_count());
-        prop_assert_eq!(
+        assert_eq!(sharded.read_count(), trace.read_count(), "case {case}");
+        assert_eq!(sharded.write_count(), trace.write_count(), "case {case}");
+        assert_eq!(
             sharded.universe().object_count(),
-            trace.universe().object_count()
+            trace.universe().object_count(),
+            "case {case}"
         );
-        prop_assert_eq!(
+        assert_eq!(
             sharded.universe().server_count(),
-            trace.universe().server_count()
+            trace.universe().server_count(),
+            "case {case}"
         );
         for (a, b) in trace
             .universe()
@@ -97,22 +102,32 @@ proptest! {
             .iter()
             .zip(sharded.universe().objects())
         {
-            prop_assert_eq!(a.server, b.server);
-            prop_assert_eq!(a.size_bytes, b.size_bytes);
+            assert_eq!(a.server, b.server, "case {case}");
+            assert_eq!(a.size_bytes, b.size_bytes, "case {case}");
             // The shard's volume must live on the same server.
-            prop_assert_eq!(
+            assert_eq!(
                 sharded.universe().volume(b.volume).server,
-                a.server
+                a.server,
+                "case {case}"
             );
         }
     }
+}
 
-    /// Per-server read counts are invariant under resharding (volume
-    /// structure changed, placement did not).
-    #[test]
-    fn reshard_preserves_server_popularity(cfg in arb_config(), k in 1u32..6) {
+/// Per-server read counts are invariant under resharding (volume
+/// structure changed, placement did not).
+#[test]
+fn reshard_preserves_server_popularity() {
+    let mut rng = StdRng::seed_from_u64(0x707);
+    for case in 0..16 {
+        let cfg = arb_config(&mut rng);
+        let k = rng.gen_range(1u32..6);
         let trace = TraceGenerator::new(cfg).generate();
         let sharded = trace.with_resharded_volumes(k);
-        prop_assert_eq!(trace.reads_per_server(), sharded.reads_per_server());
+        assert_eq!(
+            trace.reads_per_server(),
+            sharded.reads_per_server(),
+            "case {case}"
+        );
     }
 }

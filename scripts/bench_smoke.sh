@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Times the smoke-scale Figure 5 sweep serially vs in parallel and
+# records honest wall-clock numbers in BENCH_sweep.json at the repo
+# root. On a single-core machine the "parallel" run will not be faster;
+# the JSON records whatever this machine actually measured.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+THREADS="${1:-$(nproc 2>/dev/null || echo 4)}"
+
+cargo build --release -p vl-bench --bin fig5 >/dev/null
+
+bin=target/release/fig5
+
+run_secs() {
+    local n="$1"
+    local start end
+    start=$(date +%s.%N)
+    "$bin" --preset smoke --threads "$n" >/dev/null
+    end=$(date +%s.%N)
+    echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
+}
+
+echo "timing fig5 --preset smoke with 1 thread..."
+serial=$(run_secs 1)
+echo "  ${serial}s"
+echo "timing fig5 --preset smoke with ${THREADS} thread(s)..."
+parallel=$(run_secs "$THREADS")
+echo "  ${parallel}s"
+
+speedup=$(echo "$serial $parallel" | awk '{printf "%.3f", ($2 > 0) ? $1 / $2 : 0}')
+cores=$(nproc 2>/dev/null || echo unknown)
+
+cat > BENCH_sweep.json <<EOF
+{
+  "benchmark": "fig5 --preset smoke (full sweep, trace generation included)",
+  "machine_cores": "${cores}",
+  "serial_threads": 1,
+  "serial_wall_secs": ${serial},
+  "parallel_threads": ${THREADS},
+  "parallel_wall_secs": ${parallel},
+  "speedup": ${speedup}
+}
+EOF
+
+echo "wrote BENCH_sweep.json (speedup ${speedup}x on ${cores} core(s))"

@@ -1,7 +1,9 @@
-//! Property-based tests over random small traces: the invariants the
-//! paper's algorithms promise, checked on arbitrary interleavings.
+//! Randomized (seeded, deterministic) tests over random small traces:
+//! the invariants the paper's algorithms promise, checked on arbitrary
+//! interleavings of reads and writes.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use vl_core::{ProtocolKind, SimulationBuilder};
 use vl_types::{ClientId, Duration, ObjectId, ServerId, Timestamp};
 use vl_workload::{Trace, TraceEvent, UniverseBuilder};
@@ -14,32 +16,31 @@ struct RandomTrace {
     events: Vec<TraceEvent>,
 }
 
-fn arb_trace() -> impl Strategy<Value = RandomTrace> {
-    (2u32..5, 1u64..4).prop_flat_map(|(volumes, objects_per_volume)| {
-        let n_objects = u64::from(volumes) * objects_per_volume;
-        let event = (0u64..50_000, 0u32..4, 0..n_objects, any::<bool>()).prop_map(
-            move |(at, client, object, is_read)| {
-                let at = Timestamp::from_millis(at * 100);
-                if is_read {
-                    TraceEvent::Read {
-                        at,
-                        client: ClientId(client),
-                        object: ObjectId(object),
-                    }
-                } else {
-                    TraceEvent::Write {
-                        at,
-                        object: ObjectId(object),
-                    }
+fn arb_trace(rng: &mut StdRng) -> RandomTrace {
+    let volumes = rng.gen_range(2u32..5);
+    let objects_per_volume = rng.gen_range(1u64..4);
+    let n_objects = u64::from(volumes) * objects_per_volume;
+    let mut events: Vec<TraceEvent> = (0..rng.gen_range(1usize..200))
+        .map(|_| {
+            let at = Timestamp::from_millis(rng.gen_range(0u64..50_000) * 100);
+            let object = ObjectId(rng.gen_range(0..n_objects));
+            if rng.gen_bool(0.5) {
+                TraceEvent::Read {
+                    at,
+                    client: ClientId(rng.gen_range(0u32..4)),
+                    object,
                 }
-            },
-        );
-        proptest::collection::vec(event, 1..200).prop_map(move |events| RandomTrace {
-            volumes,
-            objects_per_volume,
-            events,
+            } else {
+                TraceEvent::Write { at, object }
+            }
         })
-    })
+        .collect();
+    events.sort_by_key(|e| e.at());
+    RandomTrace {
+        volumes,
+        objects_per_volume,
+        events,
+    }
 }
 
 fn build(rt: &RandomTrace) -> Trace {
@@ -80,28 +81,30 @@ fn strong_kinds() -> Vec<ProtocolKind> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// No strongly consistent algorithm ever serves a stale read, on any
-    /// interleaving of reads and writes. (The engine also asserts this
-    /// internally; the property test drives it across random traces.)
-    #[test]
-    fn strong_protocols_never_stale(rt in arb_trace()) {
-        let trace = build(&rt);
+/// No strongly consistent algorithm ever serves a stale read, on any
+/// interleaving of reads and writes. (The engine also asserts this
+/// internally; the randomized test drives it across random traces.)
+#[test]
+fn strong_protocols_never_stale() {
+    let mut rng = StdRng::seed_from_u64(0x57a1e);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         for kind in strong_kinds() {
             let report = SimulationBuilder::new(kind).run(&trace);
-            prop_assert_eq!(report.summary.stale_reads, 0, "{}", kind);
-            prop_assert_eq!(report.summary.reads, trace.read_count());
+            assert_eq!(report.summary.stale_reads, 0, "case {case}: {kind}");
+            assert_eq!(report.summary.reads, trace.read_count(), "case {case}");
         }
     }
+}
 
-    /// Delayed invalidations never send more messages than basic volume
-    /// leases at identical parameters (§3.2's construction: messages are
-    /// only removed, deferred, or batched).
-    #[test]
-    fn delay_never_beats_volume_on_messages(rt in arb_trace()) {
-        let trace = build(&rt);
+/// Delayed invalidations never send more messages than basic volume
+/// leases at identical parameters (§3.2's construction: messages are
+/// only removed, deferred, or batched).
+#[test]
+fn delay_never_beats_volume_on_messages() {
+    let mut rng = StdRng::seed_from_u64(0xde1a);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         let tv = Duration::from_secs(15);
         let t = Duration::from_secs(500);
         let volume = SimulationBuilder::new(ProtocolKind::VolumeLease {
@@ -115,13 +118,19 @@ proptest! {
             inactive_discard: Duration::MAX,
         })
         .run(&trace);
-        prop_assert!(delay.summary.messages <= volume.summary.messages);
+        assert!(
+            delay.summary.messages <= volume.summary.messages,
+            "case {case}"
+        );
     }
+}
 
-    /// Simulations are pure functions of the trace.
-    #[test]
-    fn simulation_is_deterministic(rt in arb_trace()) {
-        let trace = build(&rt);
+/// Simulations are pure functions of the trace.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xd37);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         let kind = ProtocolKind::DelayedInvalidation {
             volume_timeout: Duration::from_secs(15),
             object_timeout: Duration::from_secs(500),
@@ -129,50 +138,68 @@ proptest! {
         };
         let a = SimulationBuilder::new(kind).run(&trace);
         let b = SimulationBuilder::new(kind).run(&trace);
-        prop_assert_eq!(a.summary, b.summary);
-        prop_assert_eq!(a.metrics.total_bytes(), b.metrics.total_bytes());
+        assert_eq!(a.summary, b.summary, "case {case}");
+        assert_eq!(a.metrics.total_bytes(), b.metrics.total_bytes(), "case {case}");
     }
+}
 
-    /// Poll(0) is PollEachRead (the paper's degenerate case), and
-    /// Poll's staleness is bounded: stale reads only happen within the
-    /// trust window after a write.
-    #[test]
-    fn poll_degenerates_and_bounds(rt in arb_trace()) {
-        let trace = build(&rt);
+/// Poll(0) is PollEachRead (the paper's degenerate case), and
+/// Poll's staleness is bounded: stale reads only happen within the
+/// trust window after a write.
+#[test]
+fn poll_degenerates_and_bounds() {
+    let mut rng = StdRng::seed_from_u64(0x9011);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         let per = SimulationBuilder::new(ProtocolKind::PollEachRead).run(&trace);
         let p0 = SimulationBuilder::new(ProtocolKind::Poll {
             timeout: Duration::ZERO,
         })
         .run(&trace);
-        prop_assert_eq!(per.summary.messages, p0.summary.messages);
-        prop_assert_eq!(p0.summary.stale_reads, 0);
+        assert_eq!(per.summary.messages, p0.summary.messages, "case {case}");
+        assert_eq!(p0.summary.stale_reads, 0, "case {case}");
     }
+}
 
-    /// Waiting leases never send more messages than invalidating leases
-    /// at equal t (they only remove invalidation traffic), and they are
-    /// the only strong algorithm whose writes block without failures.
-    #[test]
-    fn waiting_lease_only_removes_messages(rt in arb_trace()) {
-        let trace = build(&rt);
+/// Waiting leases never send more messages than invalidating leases
+/// at equal t (they only remove invalidation traffic), and they are
+/// the only strong algorithm whose writes block without failures.
+#[test]
+fn waiting_lease_only_removes_messages() {
+    let mut rng = StdRng::seed_from_u64(0x1417);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         let t = Duration::from_secs(120);
         let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: t }).run(&trace);
         let wait =
             SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: t }).run(&trace);
-        prop_assert!(wait.summary.messages <= lease.summary.messages);
-        prop_assert_eq!(lease.summary.max_write_delay_secs, 0.0);
-        prop_assert!(wait.summary.max_write_delay_secs <= t.as_secs_f64());
+        assert!(
+            wait.summary.messages <= lease.summary.messages,
+            "case {case}"
+        );
+        assert_eq!(lease.summary.max_write_delay_secs, 0.0, "case {case}");
+        assert!(
+            wait.summary.max_write_delay_secs <= t.as_secs_f64(),
+            "case {case}"
+        );
     }
+}
 
-    /// Lease(∞-ish) has the same steady-state message behaviour as
-    /// Callback: with leases outlasting the trace nothing ever expires.
-    #[test]
-    fn infinite_lease_is_callback(rt in arb_trace()) {
-        let trace = build(&rt);
+/// Lease(∞-ish) has the same steady-state message behaviour as
+/// Callback: with leases outlasting the trace nothing ever expires.
+#[test]
+fn infinite_lease_is_callback() {
+    let mut rng = StdRng::seed_from_u64(0x1ca);
+    for case in 0..64 {
+        let trace = build(&arb_trace(&mut rng));
         let lease = SimulationBuilder::new(ProtocolKind::Lease {
             timeout: Duration::from_secs(1_000_000_000),
         })
         .run(&trace);
         let callback = SimulationBuilder::new(ProtocolKind::Callback).run(&trace);
-        prop_assert_eq!(lease.summary.messages, callback.summary.messages);
+        assert_eq!(
+            lease.summary.messages, callback.summary.messages,
+            "case {case}"
+        );
     }
 }
