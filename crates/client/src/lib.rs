@@ -1,12 +1,14 @@
 //! Client cache speaking the live volume-lease protocol.
 //!
-//! A [`CacheClient`] mirrors Figure 4 of the paper: it reads a cached
-//! object only while it holds valid leases on **both** the object and
-//! the object's volume, renews lapsed leases at the server, answers
-//! invalidations with acks, and runs the client half of the
-//! reconnection protocol (`MUST_RENEW_ALL` → `RENEW_OBJ_LEASES` → apply
-//! invalidate/renew → ack) after it has been unreachable or the server
-//! has rebooted into a new epoch.
+//! The protocol logic itself — Figure 4 of the paper: read a cached
+//! object only while holding valid leases on **both** the object and
+//! the object's volume, renew lapsed leases, answer invalidations with
+//! acks, and run the client half of the reconnection protocol — lives in
+//! the pure state machine [`vl_core::machine::ClientMachine`].
+//! [`CacheClient`] is the thin live driver around it: it owns the
+//! network endpoint, a receive thread, and a condition variable, feeds
+//! wire messages and read requests into the machine, and executes the
+//! actions it returns.
 //!
 //! If the server cannot be reached, [`CacheClient::read`] fails with
 //! [`ReadError::Unavailable`] rather than returning possibly-stale data —
@@ -51,19 +53,19 @@
 mod multi;
 
 pub use multi::{MultiCache, MultiConfig, ObjectLocation};
+pub use vl_core::machine::ClientStats;
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
+use vl_core::machine::{ClientAction, ClientInput, ClientMachine, ClientMachineConfig};
 use vl_net::{Channel, NetError, NodeId};
-use vl_proto::{codec, ClientMsg, ServerMsg};
-use vl_server::WallClock;
-use vl_types::{ClientId, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_proto::{codec, ClientMsg};
+use vl_types::{ClientId, Clock, ObjectId, ServerId, Version, VolumeId};
 
 /// Client configuration.
 #[derive(Clone, Debug)]
@@ -90,6 +92,14 @@ impl ClientConfig {
             volume: VolumeId(server.raw()),
             request_timeout: StdDuration::from_millis(300),
             max_retries: 3,
+        }
+    }
+
+    fn machine_config(&self) -> ClientMachineConfig {
+        ClientMachineConfig {
+            client: self.client,
+            server: self.server,
+            volume: self.volume,
         }
     }
 }
@@ -120,71 +130,16 @@ impl fmt::Display for ReadError {
 
 impl std::error::Error for ReadError {}
 
-/// Point-in-time client statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ClientStats {
-    /// Reads served purely from cache (both leases valid).
-    pub local_reads: u64,
-    /// Reads that needed at least one server exchange.
-    pub remote_reads: u64,
-    /// Immediate invalidations received.
-    pub invalidations: u64,
-    /// Invalidations delivered in volume-renewal batches.
-    pub batched_invalidations: u64,
-    /// Reconnection exchanges completed (`MUST_RENEW_ALL` handled).
-    pub reconnections: u64,
-    /// Requests resent after a timeout.
-    pub retries: u64,
-    /// Total time spent inside successful `read` calls, milliseconds.
-    pub read_time_total_ms: u64,
-    /// Slowest successful `read`, milliseconds.
-    pub read_time_max_ms: u64,
-}
-
-impl ClientStats {
-    /// Mean latency of successful reads, milliseconds (0 when none).
-    pub fn mean_read_latency_ms(&self) -> f64 {
-        let reads = self.local_reads + self.remote_reads;
-        if reads == 0 {
-            0.0
-        } else {
-            self.read_time_total_ms as f64 / reads as f64
-        }
-    }
-}
-
-#[derive(Default)]
-struct State {
-    epoch: Epoch,
-    vol_expire: Timestamp,
-    cached: HashMap<ObjectId, (Version, Bytes)>,
-    obj_expire: HashMap<ObjectId, Timestamp>,
-    stats: ClientStats,
-    generation: u64,
-}
-
-impl State {
-    fn vol_ok(&self, now: Timestamp) -> bool {
-        self.vol_expire > now
-    }
-
-    fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
-        self.obj_expire.get(&object).is_some_and(|&e| e > now)
-            && self.cached.contains_key(&object)
-    }
-
-    fn drop_copy(&mut self, object: ObjectId) {
-        self.cached.remove(&object);
-        self.obj_expire.remove(&object);
-    }
-}
-
 /// A live cache client (owns a background receive thread).
+///
+/// All protocol state lives in the wrapped [`ClientMachine`]; this type
+/// only adds threads, the condition variable readers block on, and
+/// wall-clock timing for the latency statistics.
 pub struct CacheClient {
     cfg: ClientConfig,
-    clock: WallClock,
+    clock: Arc<dyn Clock + Send + Sync>,
     endpoint: Arc<dyn Channel>,
-    state: Arc<(Mutex<State>, Condvar)>,
+    state: Arc<(Mutex<ClientMachine>, Condvar)>,
     running: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
 }
@@ -203,19 +158,22 @@ impl CacheClient {
     pub fn spawn(
         cfg: ClientConfig,
         endpoint: impl Channel + 'static,
-        clock: WallClock,
+        clock: impl Clock + Send + Sync + 'static,
     ) -> CacheClient {
+        let clock: Arc<dyn Clock + Send + Sync> = Arc::new(clock);
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
-        let state = Arc::new((Mutex::new(State::default()), Condvar::new()));
+        let machine = ClientMachine::new(cfg.machine_config());
+        let state = Arc::new((Mutex::new(machine), Condvar::new()));
         let running = Arc::new(AtomicBool::new(true));
         let thread = {
             let endpoint = Arc::clone(&endpoint);
             let state = Arc::clone(&state);
             let running = Arc::clone(&running);
+            let clock = Arc::clone(&clock);
             let cfg = cfg.clone();
             std::thread::Builder::new()
                 .name(format!("vl-client-{}", cfg.client))
-                .spawn(move || receive_loop(&cfg, &endpoint, &state, &running))
+                .spawn(move || receive_loop(&cfg, &endpoint, &state, &clock, &running))
                 .expect("spawn client thread")
         };
         CacheClient {
@@ -241,62 +199,45 @@ impl CacheClient {
             return Err(ReadError::Shutdown);
         }
         let started = Instant::now();
-        let done = |st: &mut State, data: Bytes, local: bool| {
-            if local {
-                st.stats.local_reads += 1;
-            } else {
-                st.stats.remote_reads += 1;
-            }
+        let done = |m: &mut ClientMachine, data: Bytes| {
             let ms = started.elapsed().as_millis() as u64;
-            st.stats.read_time_total_ms += ms;
-            st.stats.read_time_max_ms = st.stats.read_time_max_ms.max(ms);
+            let stats = m.stats_mut();
+            stats.read_time_total_ms += ms;
+            stats.read_time_max_ms = stats.read_time_max_ms.max(ms);
             Ok(data)
         };
         let (lock, cv) = &*self.state;
-        // Fast path: both leases valid.
-        {
-            let mut st = lock.lock();
-            let now = self.clock.now();
-            if st.vol_ok(now) && st.obj_ok(object, now) {
-                let data = st.cached[&object].1.clone();
-                return done(&mut st, data, true);
-            }
-        }
         for attempt in 0..=self.cfg.max_retries {
-            // (Re)issue whatever is still needed. Like the fourth case of
-            // Figure 4's client, lapsed volume and object leases are
-            // requested together — the grants are independent.
-            {
-                let mut st = lock.lock();
+            // (Re)issue whatever is still needed: the machine either
+            // serves the read locally or tells us which lease requests
+            // to (re)send — the grants are independent (Figure 4).
+            let sends = {
+                let mut m = lock.lock();
                 let now = self.clock.now();
                 if attempt > 0 {
-                    st.stats.retries += 1;
+                    m.stats_mut().retries += 1;
                 }
-                let need_vol = !st.vol_ok(now);
-                let need_obj = !st.obj_ok(object, now);
-                let epoch = st.epoch;
-                let version = st.cached.get(&object).map_or(Version::NONE, |(v, _)| *v);
-                drop(st);
-                if need_vol {
-                    self.send(&ClientMsg::ReqVolLease {
-                        volume: self.cfg.volume,
-                        epoch,
-                    });
+                let mut sends = Vec::new();
+                for action in m.handle(now, ClientInput::Read { object }) {
+                    match action {
+                        ClientAction::DeliverRead { data, .. } => return done(&mut m, data),
+                        ClientAction::Send(msg) => sends.push(msg),
+                    }
                 }
-                if need_obj {
-                    self.send(&ClientMsg::ReqObjLease { object, version });
-                }
+                sends
+            };
+            for msg in &sends {
+                self.send(msg);
             }
             // Wait for the receive loop to make progress.
             let deadline = Instant::now() + self.cfg.request_timeout;
-            let mut st = lock.lock();
+            let mut m = lock.lock();
             loop {
                 let now = self.clock.now();
-                if st.vol_ok(now) && st.obj_ok(object, now) {
-                    let data = st.cached[&object].1.clone();
-                    return done(&mut st, data, false);
+                if let Some(data) = m.complete_read(now, object) {
+                    return done(&mut m, data);
                 }
-                if cv.wait_until(&mut st, deadline).timed_out() {
+                if cv.wait_until(&mut m, deadline).timed_out() {
                     break;
                 }
             }
@@ -308,24 +249,22 @@ impl CacheClient {
     /// "return suspect data with a warning" client policy. `None` if
     /// nothing is cached.
     pub fn read_suspect(&self, object: ObjectId) -> Option<Bytes> {
-        self.state.0.lock().cached.get(&object).map(|(_, b)| b.clone())
+        self.state.0.lock().read_suspect(object)
     }
 
     /// The version this client has cached for `object`.
     pub fn cached_version(&self, object: ObjectId) -> Option<Version> {
-        self.state.0.lock().cached.get(&object).map(|(v, _)| *v)
+        self.state.0.lock().cached_version(object)
     }
 
     /// Whether both leases covering `object` are currently valid.
     pub fn holds_valid_leases(&self, object: ObjectId) -> bool {
-        let st = self.state.0.lock();
-        let now = self.clock.now();
-        st.vol_ok(now) && st.obj_ok(object, now)
+        self.state.0.lock().holds_valid_leases(self.clock.now(), object)
     }
 
     /// Statistics snapshot.
     pub fn stats(&self) -> ClientStats {
-        self.state.0.lock().stats
+        self.state.0.lock().stats()
     }
 
     /// Stops the receive loop and drops the endpoint.
@@ -355,7 +294,8 @@ impl Drop for CacheClient {
 fn receive_loop(
     cfg: &ClientConfig,
     endpoint: &Arc<dyn Channel>,
-    state: &(Mutex<State>, Condvar),
+    state: &(Mutex<ClientMachine>, Condvar),
+    clock: &Arc<dyn Clock + Send + Sync>,
     running: &AtomicBool,
 ) {
     let (lock, cv) = state;
@@ -369,101 +309,16 @@ fn receive_loop(
             Err(NetError::Timeout) => continue,
             Err(_) => return,
         };
-        let mut st = lock.lock();
-        match msg {
-            ServerMsg::Invalidate { object } => {
-                st.drop_copy(object);
-                st.stats.invalidations += 1;
-                drop(st);
-                let _ = endpoint.send(
-                    server,
-                    codec::encode_client(&ClientMsg::AckInvalidate { object }),
-                );
-                st = lock.lock();
-            }
-            ServerMsg::ObjLease {
-                object,
-                version,
-                expire,
-                data,
-            } => {
-                if let Some(bytes) = data {
-                    st.cached.insert(object, (version, bytes));
-                } else if let Some((v, _)) = st.cached.get(&object) {
-                    debug_assert_eq!(*v, version, "no-data grant implies same version");
-                }
-                if st.cached.contains_key(&object) {
-                    st.obj_expire.insert(object, expire);
-                }
-            }
-            ServerMsg::VolLease {
-                volume,
-                expire,
-                epoch,
-                invalidate,
-            } => {
-                if volume == cfg.volume {
-                    let had_batch = !invalidate.is_empty();
-                    for object in invalidate {
-                        st.drop_copy(object);
-                        st.stats.batched_invalidations += 1;
-                    }
-                    st.vol_expire = expire;
-                    st.epoch = epoch;
-                    if had_batch {
-                        drop(st);
-                        let _ = endpoint.send(
-                            server,
-                            codec::encode_client(&ClientMsg::AckVolBatch { volume }),
-                        );
-                        st = lock.lock();
-                    }
-                }
-            }
-            ServerMsg::MustRenewAll { volume } => {
-                if volume == cfg.volume {
-                    // Our volume lease is void; report every cached
-                    // object with its version (Figure 4).
-                    st.vol_expire = Timestamp::ZERO;
-                    let leases: Vec<(ObjectId, Version)> =
-                        st.cached.iter().map(|(&o, (v, _))| (o, *v)).collect();
-                    drop(st);
-                    let _ = endpoint.send(
-                        server,
-                        codec::encode_client(&ClientMsg::RenewObjLeases { volume, leases }),
-                    );
-                    st = lock.lock();
-                }
-            }
-            ServerMsg::InvalRenew {
-                volume,
-                invalidate,
-                renew,
-            } => {
-                if volume == cfg.volume {
-                    for object in invalidate {
-                        st.drop_copy(object);
-                        st.stats.batched_invalidations += 1;
-                    }
-                    for (object, version, expire) in renew {
-                        if let Some((v, _)) = st.cached.get(&object) {
-                            debug_assert_eq!(*v, version);
-                            st.obj_expire.insert(object, expire);
-                        }
-                    }
-                    st.stats.reconnections += 1;
-                    drop(st);
-                    let _ = endpoint.send(
-                        server,
-                        codec::encode_client(&ClientMsg::AckVolBatch { volume }),
-                    );
-                    st = lock.lock();
-                }
+        let actions = {
+            let mut m = lock.lock();
+            m.handle(clock.now(), ClientInput::Msg(msg))
+        };
+        for action in actions {
+            if let ClientAction::Send(msg) = action {
+                let _ = endpoint.send(server, codec::encode_client(&msg));
             }
         }
-        st.generation += 1;
         cv.notify_all();
-        drop(st);
     }
 }
 

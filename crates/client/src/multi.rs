@@ -28,8 +28,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::{codec, ClientMsg, ServerMsg};
-use vl_server::WallClock;
-use vl_types::{ClientId, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_types::{ClientId, Clock, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
 
 /// Where an object lives: the lease-granting server and its volume.
 /// Plays the role a URL's host plays for a browser.
@@ -112,7 +111,7 @@ impl MState {
 /// short volume lease per origin volume and long leases per object.
 pub struct MultiCache {
     cfg: MultiConfig,
-    clock: WallClock,
+    clock: Box<dyn Clock + Send + Sync>,
     endpoint: Arc<dyn Channel>,
     state: Arc<(Mutex<MState>, Condvar)>,
     running: Arc<AtomicBool>,
@@ -130,7 +129,12 @@ impl fmt::Debug for MultiCache {
 
 impl MultiCache {
     /// Starts the receive loop.
-    pub fn spawn(cfg: MultiConfig, endpoint: impl Channel + 'static, clock: WallClock) -> MultiCache {
+    pub fn spawn(
+        cfg: MultiConfig,
+        endpoint: impl Channel + 'static,
+        clock: impl Clock + Send + Sync + 'static,
+    ) -> MultiCache {
+        let clock: Box<dyn Clock + Send + Sync> = Box::new(clock);
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
         let state = Arc::new((Mutex::new(MState::default()), Condvar::new()));
         let running = Arc::new(AtomicBool::new(true));

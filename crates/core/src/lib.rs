@@ -45,6 +45,7 @@ mod cache;
 mod ctx;
 mod engine;
 mod kind;
+pub mod machine;
 mod protocols;
 mod track;
 

@@ -1,0 +1,461 @@
+//! The client half of the protocol as a pure state machine (Figure 4).
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use vl_proto::{ClientMsg, ServerMsg};
+use vl_types::{ClientId, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+
+/// Point-in-time client statistics.
+///
+/// The machine maintains the protocol counters; the timing fields
+/// (`retries`, `read_time_*`) are written by the embedding driver via
+/// [`ClientMachine::stats_mut`] because only the driver observes real
+/// waiting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Reads served purely from cache (both leases valid).
+    pub local_reads: u64,
+    /// Reads that needed at least one server exchange.
+    pub remote_reads: u64,
+    /// Immediate invalidations received.
+    pub invalidations: u64,
+    /// Invalidations delivered in volume-renewal batches.
+    pub batched_invalidations: u64,
+    /// Reconnection exchanges completed (`MUST_RENEW_ALL` handled).
+    pub reconnections: u64,
+    /// Requests resent after a timeout.
+    pub retries: u64,
+    /// Total time spent inside successful `read` calls, milliseconds.
+    pub read_time_total_ms: u64,
+    /// Slowest successful `read`, milliseconds.
+    pub read_time_max_ms: u64,
+}
+
+impl ClientStats {
+    /// Mean latency of successful reads, milliseconds (0 when none).
+    pub fn mean_read_latency_ms(&self) -> f64 {
+        let reads = self.local_reads + self.remote_reads;
+        if reads == 0 {
+            0.0
+        } else {
+            self.read_time_total_ms as f64 / reads as f64
+        }
+    }
+}
+
+/// Identity of one client machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClientMachineConfig {
+    /// This client's identity.
+    pub client: ClientId,
+    /// The origin server.
+    pub server: ServerId,
+    /// The volume this client reads (1:1 with the server by default).
+    pub volume: VolumeId,
+}
+
+impl ClientMachineConfig {
+    /// Defaults: volume id = server id.
+    pub fn new(client: ClientId, server: ServerId) -> ClientMachineConfig {
+        ClientMachineConfig {
+            client,
+            server,
+            volume: VolumeId(server.raw()),
+        }
+    }
+}
+
+/// Everything that can happen *to* the client machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientInput {
+    /// A wire message arrived from the server.
+    Msg(ServerMsg),
+    /// The application asked to read `object`. Reissue this input to
+    /// resend lapsed-lease requests after a timeout.
+    Read {
+        /// The object to read.
+        object: ObjectId,
+    },
+}
+
+/// Everything the client machine can ask its driver to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Encode and transmit `msg` to the configured server.
+    Send(ClientMsg),
+    /// A read completed from valid leases; hand `data` to the reader.
+    DeliverRead {
+        /// The object read.
+        object: ObjectId,
+        /// Its contents.
+        data: Bytes,
+        /// Whether the read was served without any server exchange.
+        local: bool,
+    },
+}
+
+/// The client state machine: Figure 4 — read from cache only under
+/// valid object *and* volume leases, renew what lapsed, ack
+/// invalidations, and run the client half of the reconnection protocol —
+/// with every effect returned as data.
+pub struct ClientMachine {
+    cfg: ClientMachineConfig,
+    epoch: Epoch,
+    vol_expire: Timestamp,
+    // BTreeMaps so iteration (e.g. the RenewObjLeases report) is
+    // deterministic — a requirement for bit-reproducible simulation.
+    cached: BTreeMap<ObjectId, (Version, Bytes)>,
+    obj_expire: BTreeMap<ObjectId, Timestamp>,
+    stats: ClientStats,
+    generation: u64,
+}
+
+impl std::fmt::Debug for ClientMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientMachine")
+            .field("client", &self.cfg.client)
+            .field("epoch", &self.epoch)
+            .field("cached", &self.cached.len())
+            .finish()
+    }
+}
+
+impl ClientMachine {
+    /// Creates an empty cache at epoch 0.
+    pub fn new(cfg: ClientMachineConfig) -> ClientMachine {
+        ClientMachine {
+            cfg,
+            epoch: Epoch::default(),
+            vol_expire: Timestamp::ZERO,
+            cached: BTreeMap::new(),
+            obj_expire: BTreeMap::new(),
+            stats: ClientStats::default(),
+            generation: 0,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &ClientMachineConfig {
+        &self.cfg
+    }
+
+    fn vol_ok(&self, now: Timestamp) -> bool {
+        self.vol_expire > now
+    }
+
+    fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
+        self.obj_expire.get(&object).is_some_and(|&e| e > now)
+            && self.cached.contains_key(&object)
+    }
+
+    fn drop_copy(&mut self, object: ObjectId) {
+        self.cached.remove(&object);
+        self.obj_expire.remove(&object);
+    }
+
+    /// Advances the machine by one input and returns the actions the
+    /// driver must execute, in order.
+    pub fn handle(&mut self, now: Timestamp, input: ClientInput) -> Vec<ClientAction> {
+        let mut actions = Vec::new();
+        match input {
+            ClientInput::Read { object } => {
+                if self.vol_ok(now) && self.obj_ok(object, now) {
+                    self.stats.local_reads += 1;
+                    actions.push(ClientAction::DeliverRead {
+                        object,
+                        data: self.cached[&object].1.clone(),
+                        local: true,
+                    });
+                } else {
+                    // Like the fourth case of Figure 4's client, lapsed
+                    // volume and object leases are requested together —
+                    // the grants are independent.
+                    if !self.vol_ok(now) {
+                        actions.push(ClientAction::Send(ClientMsg::ReqVolLease {
+                            volume: self.cfg.volume,
+                            epoch: self.epoch,
+                        }));
+                    }
+                    if !self.obj_ok(object, now) {
+                        let version = self
+                            .cached
+                            .get(&object)
+                            .map_or(Version::NONE, |(v, _)| *v);
+                        actions.push(ClientAction::Send(ClientMsg::ReqObjLease {
+                            object,
+                            version,
+                        }));
+                    }
+                }
+            }
+            ClientInput::Msg(msg) => self.handle_msg(msg, &mut actions),
+        }
+        actions
+    }
+
+    fn handle_msg(&mut self, msg: ServerMsg, actions: &mut Vec<ClientAction>) {
+        match msg {
+            ServerMsg::Invalidate { object } => {
+                self.drop_copy(object);
+                self.stats.invalidations += 1;
+                actions.push(ClientAction::Send(ClientMsg::AckInvalidate { object }));
+            }
+            ServerMsg::ObjLease {
+                object,
+                version,
+                expire,
+                data,
+            } => {
+                if let Some(bytes) = data {
+                    self.cached.insert(object, (version, bytes));
+                } else if let Some((v, _)) = self.cached.get(&object) {
+                    debug_assert_eq!(*v, version, "no-data grant implies same version");
+                }
+                if self.cached.contains_key(&object) {
+                    self.obj_expire.insert(object, expire);
+                }
+            }
+            ServerMsg::VolLease {
+                volume,
+                expire,
+                epoch,
+                invalidate,
+            } => {
+                if volume == self.cfg.volume {
+                    let had_batch = !invalidate.is_empty();
+                    for object in invalidate {
+                        self.drop_copy(object);
+                        self.stats.batched_invalidations += 1;
+                    }
+                    self.vol_expire = expire;
+                    self.epoch = epoch;
+                    if had_batch {
+                        actions.push(ClientAction::Send(ClientMsg::AckVolBatch { volume }));
+                    }
+                }
+            }
+            ServerMsg::MustRenewAll { volume } => {
+                if volume == self.cfg.volume {
+                    // Our volume lease is void; report every cached
+                    // object with its version (Figure 4).
+                    self.vol_expire = Timestamp::ZERO;
+                    let leases: Vec<(ObjectId, Version)> =
+                        self.cached.iter().map(|(&o, (v, _))| (o, *v)).collect();
+                    actions.push(ClientAction::Send(ClientMsg::RenewObjLeases {
+                        volume,
+                        leases,
+                    }));
+                }
+            }
+            ServerMsg::InvalRenew {
+                volume,
+                invalidate,
+                renew,
+            } => {
+                if volume == self.cfg.volume {
+                    for object in invalidate {
+                        self.drop_copy(object);
+                        self.stats.batched_invalidations += 1;
+                    }
+                    for (object, version, expire) in renew {
+                        if let Some((v, _)) = self.cached.get(&object) {
+                            debug_assert_eq!(*v, version);
+                            self.obj_expire.insert(object, expire);
+                        }
+                    }
+                    self.stats.reconnections += 1;
+                    actions.push(ClientAction::Send(ClientMsg::AckVolBatch { volume }));
+                }
+            }
+        }
+        self.generation += 1;
+    }
+
+    /// The cached copy of `object` if both leases covering it are valid
+    /// at `now` — the pure read-fast-path check. Does not touch stats.
+    pub fn read_ready(&self, now: Timestamp, object: ObjectId) -> Option<Bytes> {
+        (self.vol_ok(now) && self.obj_ok(object, now))
+            .then(|| self.cached[&object].1.clone())
+    }
+
+    /// Completes a pending (non-local) read: if both leases are valid at
+    /// `now`, counts a remote read and returns the data.
+    ///
+    /// Drivers call this after [`ClientMachine::handle`] with
+    /// [`ClientInput::Read`] returned sends and a later message made the
+    /// leases whole.
+    pub fn complete_read(&mut self, now: Timestamp, object: ObjectId) -> Option<Bytes> {
+        let data = self.read_ready(now, object)?;
+        self.stats.remote_reads += 1;
+        Some(data)
+    }
+
+    /// Returns the cached copy *without* lease validation — the
+    /// "return suspect data with a warning" client policy. `None` if
+    /// nothing is cached.
+    pub fn read_suspect(&self, object: ObjectId) -> Option<Bytes> {
+        self.cached.get(&object).map(|(_, b)| b.clone())
+    }
+
+    /// The version this client has cached for `object`.
+    pub fn cached_version(&self, object: ObjectId) -> Option<Version> {
+        self.cached.get(&object).map(|(v, _)| *v)
+    }
+
+    /// Whether both leases covering `object` are currently valid.
+    pub fn holds_valid_leases(&self, now: Timestamp, object: ObjectId) -> bool {
+        self.vol_ok(now) && self.obj_ok(object, now)
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Mutable statistics, for driver-maintained timing counters.
+    pub fn stats_mut(&mut self) -> &mut ClientStats {
+        &mut self.stats
+    }
+
+    /// Bumped on every handled server message; drivers use it to detect
+    /// progress between condvar wakeups.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ClientMachineConfig {
+        ClientMachineConfig::new(ClientId(1), ServerId(0))
+    }
+
+    fn grant_both(m: &mut ClientMachine, object: ObjectId, expire: Timestamp) {
+        m.handle(
+            Timestamp::ZERO,
+            ClientInput::Msg(ServerMsg::VolLease {
+                volume: m.cfg.volume,
+                expire,
+                epoch: Epoch(0),
+                invalidate: Vec::new(),
+            }),
+        );
+        m.handle(
+            Timestamp::ZERO,
+            ClientInput::Msg(ServerMsg::ObjLease {
+                object,
+                version: Version::FIRST,
+                expire,
+                data: Some(Bytes::from_static(b"v1")),
+            }),
+        );
+    }
+
+    #[test]
+    fn cold_read_requests_both_leases() {
+        let mut m = ClientMachine::new(cfg());
+        let actions = m.handle(Timestamp::ZERO, ClientInput::Read { object: ObjectId(1) });
+        assert_eq!(actions.len(), 2);
+        assert!(matches!(
+            actions[0],
+            ClientAction::Send(ClientMsg::ReqVolLease { .. })
+        ));
+        assert!(matches!(
+            actions[1],
+            ClientAction::Send(ClientMsg::ReqObjLease {
+                version: Version::NONE,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn warm_read_is_local_until_a_lease_lapses() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        let actions = m.handle(
+            Timestamp::from_secs(5),
+            ClientInput::Read { object: ObjectId(1) },
+        );
+        assert!(matches!(
+            actions[0],
+            ClientAction::DeliverRead { local: true, .. }
+        ));
+        assert_eq!(m.stats().local_reads, 1);
+        // After the leases expire only the lapsed leases are re-requested.
+        let actions = m.handle(
+            Timestamp::from_secs(10),
+            ClientInput::Read { object: ObjectId(1) },
+        );
+        assert_eq!(actions.len(), 2);
+        // The object request carries the cached version so an unchanged
+        // object is granted without data.
+        assert!(matches!(
+            actions[1],
+            ClientAction::Send(ClientMsg::ReqObjLease {
+                version: Version::FIRST,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn invalidate_drops_copy_and_acks() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        let actions = m.handle(
+            Timestamp::from_secs(1),
+            ClientInput::Msg(ServerMsg::Invalidate { object: ObjectId(1) }),
+        );
+        assert_eq!(
+            actions,
+            vec![ClientAction::Send(ClientMsg::AckInvalidate {
+                object: ObjectId(1)
+            })]
+        );
+        assert!(m.read_suspect(ObjectId(1)).is_none());
+        assert_eq!(m.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn must_renew_all_voids_volume_and_reports_cache() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        let actions = m.handle(
+            Timestamp::from_secs(1),
+            ClientInput::Msg(ServerMsg::MustRenewAll {
+                volume: m.cfg.volume,
+            }),
+        );
+        match &actions[0] {
+            ClientAction::Send(ClientMsg::RenewObjLeases { leases, .. }) => {
+                assert_eq!(leases, &vec![(ObjectId(1), Version::FIRST)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!m.holds_valid_leases(Timestamp::from_secs(1), ObjectId(1)));
+    }
+
+    #[test]
+    fn batched_invalidations_are_acked() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        let actions = m.handle(
+            Timestamp::from_secs(1),
+            ClientInput::Msg(ServerMsg::VolLease {
+                volume: m.cfg.volume,
+                expire: Timestamp::from_secs(12),
+                epoch: Epoch(0),
+                invalidate: vec![ObjectId(1)],
+            }),
+        );
+        assert!(matches!(
+            actions[0],
+            ClientAction::Send(ClientMsg::AckVolBatch { .. })
+        ));
+        assert!(m.read_suspect(ObjectId(1)).is_none());
+        assert_eq!(m.stats().batched_invalidations, 1);
+    }
+}

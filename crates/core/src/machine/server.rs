@@ -1,0 +1,1063 @@
+//! The server half of the protocol as a pure state machine (Figure 3).
+
+use super::{MachineConfig, StableState, WriteMode, WriteOutcome};
+use bytes::Bytes;
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use vl_proto::{ClientMsg, ServerMsg};
+use vl_types::{ClientId, Duration, Epoch, LeaseSet, ObjectId, Timestamp, Version};
+
+/// Point-in-time server statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Messages received / sent.
+    pub msgs_in: u64,
+    /// Messages sent.
+    pub msgs_out: u64,
+    /// Completed writes.
+    pub writes: u64,
+    /// Largest write delay observed.
+    pub max_write_delay: Duration,
+    /// Clients currently in the Unreachable set.
+    pub unreachable: usize,
+    /// Clients currently inactive with pending invalidations.
+    pub inactive: usize,
+    /// Reconnection exchanges completed.
+    pub reconnections: u64,
+    /// Inactive clients demoted after `d`.
+    pub demotions: u64,
+    /// Current volume epoch.
+    pub epoch: Epoch,
+    /// Requests for unknown objects (dropped).
+    pub unknown_objects: u64,
+}
+
+/// Everything that can happen *to* the server machine.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerInput {
+    /// A wire message arrived from `from`.
+    Msg {
+        /// The sending client.
+        from: ClientId,
+        /// The decoded message.
+        msg: ClientMsg,
+    },
+    /// Create (or reset) an object at the given version.
+    ///
+    /// Live drivers pass [`Version::FIRST`]; a recovery driver restoring
+    /// objects from durable storage passes the persisted version so that
+    /// returning clients' version checks stay meaningful across a crash.
+    CreateObject {
+        /// The object to create.
+        object: ObjectId,
+        /// Its initial contents.
+        data: Bytes,
+        /// Its initial version.
+        version: Version,
+    },
+    /// A local write request was enqueued.
+    Write {
+        /// The object to overwrite.
+        object: ObjectId,
+        /// The new contents.
+        data: Bytes,
+    },
+    /// Time passed (a timer fired or the driver's tick elapsed). Carries
+    /// no data: all time-driven work keys off `now`.
+    Tick,
+}
+
+/// A timer class the machine may ask its driver to arm.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimerKind {
+    /// The active (or recovery-gated) write can next make progress.
+    WriteWait,
+    /// The earliest inactive client becomes due for demotion.
+    Demotion,
+}
+
+/// Everything the server machine can ask its driver to do.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServerAction {
+    /// Encode and transmit `msg` to `to`.
+    Send {
+        /// The destination client.
+        to: ClientId,
+        /// The message to deliver.
+        msg: ServerMsg,
+    },
+    /// Wake the machine (with [`ServerInput::Tick`]) no later than `at`.
+    /// Supersedes any earlier timer of the same kind. Drivers that tick
+    /// on a short period may ignore these.
+    SetTimer {
+        /// Which deadline moved.
+        kind: TimerKind,
+        /// The new deadline.
+        at: Timestamp,
+    },
+    /// Write `state` to stable storage (before any later action takes
+    /// effect externally).
+    Persist {
+        /// The record to persist.
+        state: StableState,
+    },
+    /// The oldest enqueued write has committed with `outcome`. Writes
+    /// complete strictly in enqueue order.
+    CompleteWrite {
+        /// The result to hand to the writer.
+        outcome: WriteOutcome,
+    },
+}
+
+struct ObjState {
+    data: Bytes,
+    version: Version,
+    leases: LeaseSet,
+}
+
+struct Inactive {
+    since: Timestamp,
+    pending: BTreeSet<ObjectId>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ReconPhase {
+    /// `MUST_RENEW_ALL` sent; waiting for `RENEW_OBJ_LEASES`.
+    AwaitLeaseSet,
+    /// `INVALIDATE+RENEW` sent; waiting for the batch ack.
+    AwaitAck,
+}
+
+struct ActiveWrite {
+    object: ObjectId,
+    data: Bytes,
+    outstanding: BTreeSet<ClientId>,
+    started: Timestamp,
+    invalidations_sent: usize,
+    queued: usize,
+    waited_out: usize,
+    /// Lease requests touching `object` that arrived mid-write. Granting
+    /// them immediately would hand out a fresh lease on the about-to-be
+    /// overwritten data to a client the writer never contacts — a stale
+    /// lease the moment the write commits. They are replayed after the
+    /// commit instead.
+    deferred: Vec<(ClientId, ClientMsg)>,
+}
+
+/// The server state machine: Figure 3 plus the reconnection protocol
+/// (§3.1.1), epoch-based crash recovery (§3.1.2), and delayed
+/// invalidations (§3.2), with every effect returned as data.
+///
+/// Drivers feed it [`ServerInput`]s tagged with the current time and
+/// execute the returned [`ServerAction`]s; see the module docs for the
+/// contract.
+pub struct ServerMachine {
+    cfg: MachineConfig,
+    epoch: Epoch,
+    recovery_until: Timestamp,
+    objects: HashMap<ObjectId, ObjState>,
+    vol_leases: LeaseSet,
+    // BTreeMap: demotion scans iterate this, and deterministic iteration
+    // keeps simulation runs bit-reproducible.
+    inactive: BTreeMap<ClientId, Inactive>,
+    unreachable: BTreeSet<ClientId>,
+    reconnecting: HashMap<ClientId, ReconPhase>,
+    holdings: HashMap<ClientId, BTreeSet<ObjectId>>,
+    active_write: Option<ActiveWrite>,
+    queued_writes: VecDeque<(ObjectId, Bytes, Timestamp)>,
+    stats: ServerStats,
+    stable_dirty_max: Timestamp,
+    /// Last deadline emitted per [`TimerKind`], to suppress duplicates.
+    last_timer: [Option<Timestamp>; 2],
+}
+
+impl std::fmt::Debug for ServerMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerMachine")
+            .field("server", &self.cfg.server)
+            .field("epoch", &self.epoch)
+            .field("objects", &self.objects.len())
+            .field("active_write", &self.active_write.is_some())
+            .finish()
+    }
+}
+
+impl ServerMachine {
+    /// Creates the machine, recovering from `stable` if a pre-crash
+    /// record exists: the epoch is bumped and writes are delayed until
+    /// every pre-crash volume lease has expired (§3.1.2).
+    ///
+    /// The returned actions (a [`ServerAction::Persist`] of the new
+    /// stable record) must be executed before the machine serves input.
+    pub fn new(cfg: MachineConfig, stable: Option<StableState>) -> (ServerMachine, Vec<ServerAction>) {
+        let (epoch, recovery_until, record) = match stable {
+            Some(rec) => {
+                // Reboot: bump the epoch and wait out pre-crash leases.
+                let epoch = rec.epoch.next();
+                let record = StableState {
+                    epoch,
+                    max_volume_expiry: rec.max_volume_expiry,
+                };
+                (epoch, rec.max_volume_expiry, record)
+            }
+            None => (Epoch::default(), Timestamp::ZERO, StableState::default()),
+        };
+        let machine = ServerMachine {
+            cfg,
+            epoch,
+            recovery_until,
+            objects: HashMap::new(),
+            vol_leases: LeaseSet::new(),
+            inactive: BTreeMap::new(),
+            unreachable: BTreeSet::new(),
+            reconnecting: HashMap::new(),
+            holdings: HashMap::new(),
+            active_write: None,
+            queued_writes: VecDeque::new(),
+            stats: ServerStats {
+                epoch,
+                ..ServerStats::default()
+            },
+            stable_dirty_max: Timestamp::ZERO,
+            last_timer: [None, None],
+        };
+        (machine, vec![ServerAction::Persist { state: record }])
+    }
+
+    /// The configuration this machine was built with.
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// The current volume epoch.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
+    }
+
+    /// The instant before which writes stay recovery-gated (§3.1.2);
+    /// [`Timestamp::ZERO`] on a clean boot.
+    pub fn recovery_until(&self) -> Timestamp {
+        self.recovery_until
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            unreachable: self.unreachable.len(),
+            inactive: self.inactive.len(),
+            epoch: self.epoch,
+            ..self.stats
+        }
+    }
+
+    /// Advances the machine by one input and returns the actions the
+    /// driver must execute, in order.
+    pub fn handle(&mut self, now: Timestamp, input: ServerInput) -> Vec<ServerAction> {
+        let mut actions = Vec::new();
+        match input {
+            ServerInput::CreateObject {
+                object,
+                data,
+                version,
+            } => {
+                self.objects.insert(
+                    object,
+                    ObjState {
+                        data,
+                        version,
+                        leases: LeaseSet::new(),
+                    },
+                );
+            }
+            ServerInput::Write { object, data } => {
+                self.queued_writes.push_back((object, data, now));
+            }
+            ServerInput::Msg { from, msg } => {
+                self.stats.msgs_in += 1;
+                self.handle_msg(now, from, msg, &mut actions);
+            }
+            ServerInput::Tick => {}
+        }
+        self.pump(now, &mut actions);
+        actions
+    }
+
+    /// Post-input progress: start/advance writes, demote overdue
+    /// inactive clients, flush the stable record, refresh timers.
+    fn pump(&mut self, now: Timestamp, actions: &mut Vec<ServerAction>) {
+        loop {
+            self.check_write_progress(now, actions);
+            if self.active_write.is_some() || now < self.recovery_until {
+                break;
+            }
+            let Some((object, data, enqueued)) = self.queued_writes.pop_front() else {
+                break;
+            };
+            self.start_write(now, object, data, enqueued, actions);
+        }
+        self.demote_overdue(now);
+        if self.stable_dirty_max != Timestamp::ZERO {
+            actions.push(ServerAction::Persist {
+                state: StableState {
+                    epoch: self.epoch,
+                    max_volume_expiry: self.stable_dirty_max,
+                },
+            });
+            self.stable_dirty_max = Timestamp::ZERO;
+        }
+        self.refresh_timers(now, actions);
+    }
+
+    fn send(&mut self, to: ClientId, msg: ServerMsg, actions: &mut Vec<ServerAction>) {
+        self.stats.msgs_out += 1;
+        actions.push(ServerAction::Send { to, msg });
+    }
+
+    fn handle_msg(
+        &mut self,
+        now: Timestamp,
+        client: ClientId,
+        msg: ClientMsg,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        // Requests that would grant a lease on the object currently being
+        // written are deferred until the write commits (see ActiveWrite).
+        if let Some(w) = &mut self.active_write {
+            let touches = match &msg {
+                ClientMsg::ReqObjLease { object, .. } => *object == w.object,
+                ClientMsg::RenewObjLeases { leases, .. } => {
+                    leases.iter().any(|&(o, _)| o == w.object)
+                }
+                _ => false,
+            };
+            if touches {
+                w.deferred.push((client, msg));
+                return;
+            }
+        }
+        match msg {
+            ClientMsg::ReqObjLease { object, version } => {
+                let t = self.cfg.object_lease;
+                let Some(obj) = self.objects.get_mut(&object) else {
+                    self.stats.unknown_objects += 1;
+                    return;
+                };
+                let expire = now.saturating_add(t);
+                obj.leases.grant(client, expire);
+                let data = (obj.version != version).then(|| obj.data.clone());
+                let reply = ServerMsg::ObjLease {
+                    object,
+                    version: obj.version,
+                    expire,
+                    data,
+                };
+                self.holdings.entry(client).or_default().insert(object);
+                self.send(client, reply, actions);
+            }
+            ClientMsg::ReqVolLease { volume, epoch } => {
+                if volume != self.cfg.volume {
+                    return;
+                }
+                if epoch != self.epoch || self.unreachable.contains(&client) {
+                    // Stale epoch or known-unreachable: force the
+                    // reconnection protocol (§3.1.1 / §3.1.2).
+                    self.unreachable.insert(client);
+                    self.reconnecting.insert(client, ReconPhase::AwaitLeaseSet);
+                    self.send(client, ServerMsg::MustRenewAll { volume }, actions);
+                    return;
+                }
+                let expire = now.saturating_add(self.cfg.volume_lease);
+                self.vol_leases.grant(client, expire);
+                self.stable_dirty_max = self.stable_dirty_max.max(expire);
+                // Deliver any queued invalidations batched into the
+                // grant; the entry stays until the client acks so a lost
+                // reply cannot lose invalidations.
+                let invalidate: Vec<ObjectId> = self
+                    .inactive
+                    .get(&client)
+                    .map(|i| i.pending.iter().copied().collect())
+                    .unwrap_or_default();
+                let reply = ServerMsg::VolLease {
+                    volume,
+                    expire,
+                    epoch: self.epoch,
+                    invalidate,
+                };
+                self.send(client, reply, actions);
+                // Retransmit an unacked invalidation on contact: the
+                // renewal proves the client is reachable again, and
+                // without this a client whose INVALIDATE was lost could
+                // renew t_v indefinitely while the write waits out the
+                // full object lease.
+                let resend = self
+                    .active_write
+                    .as_ref()
+                    .and_then(|w| w.outstanding.contains(&client).then_some(w.object));
+                if let Some(object) = resend {
+                    self.send(client, ServerMsg::Invalidate { object }, actions);
+                }
+            }
+            ClientMsg::RenewObjLeases { volume, leases } => {
+                if volume != self.cfg.volume
+                    || self.reconnecting.get(&client) != Some(&ReconPhase::AwaitLeaseSet)
+                {
+                    return;
+                }
+                let t = self.cfg.object_lease;
+                let mut invalidate = Vec::new();
+                let mut renew = Vec::new();
+                for (object, version) in leases {
+                    match self.objects.get_mut(&object) {
+                        Some(obj) if obj.version == version => {
+                            let expire = now.saturating_add(t);
+                            obj.leases.grant(client, expire);
+                            self.holdings.entry(client).or_default().insert(object);
+                            renew.push((object, obj.version, expire));
+                        }
+                        _ => invalidate.push(object),
+                    }
+                }
+                // Anything we had queued is superseded by this exchange.
+                self.inactive.remove(&client);
+                self.reconnecting.insert(client, ReconPhase::AwaitAck);
+                self.send(
+                    client,
+                    ServerMsg::InvalRenew {
+                        volume,
+                        invalidate,
+                        renew,
+                    },
+                    actions,
+                );
+            }
+            ClientMsg::AckInvalidate { object } => {
+                // The client dropped its copy: its lease is gone too.
+                if let Some(obj) = self.objects.get_mut(&object) {
+                    obj.leases.revoke(client);
+                }
+                if let Some(h) = self.holdings.get_mut(&client) {
+                    h.remove(&object);
+                }
+                if let Some(w) = &mut self.active_write {
+                    if w.object == object {
+                        w.outstanding.remove(&client);
+                    }
+                }
+            }
+            ClientMsg::AckVolBatch { volume } => {
+                if volume != self.cfg.volume {
+                    return;
+                }
+                match self.reconnecting.get(&client) {
+                    Some(ReconPhase::AwaitAck) => {
+                        // Reconnection complete: grant the volume lease.
+                        self.reconnecting.remove(&client);
+                        self.unreachable.remove(&client);
+                        self.stats.reconnections += 1;
+                        let expire = now.saturating_add(self.cfg.volume_lease);
+                        self.vol_leases.grant(client, expire);
+                        self.stable_dirty_max = self.stable_dirty_max.max(expire);
+                        // A write that ran between RENEW_OBJ_LEASES and
+                        // this ack queued invalidations for the client;
+                        // the grant must carry them or the client would
+                        // hold valid leases on a stale copy. The entry
+                        // stays until the batch is acked.
+                        let invalidate: Vec<ObjectId> = self
+                            .inactive
+                            .get(&client)
+                            .map(|i| i.pending.iter().copied().collect())
+                            .unwrap_or_default();
+                        self.send(
+                            client,
+                            ServerMsg::VolLease {
+                                volume,
+                                expire,
+                                epoch: self.epoch,
+                                invalidate,
+                            },
+                            actions,
+                        );
+                    }
+                    _ => {
+                        // Ack for a pending batch delivered with a grant.
+                        self.inactive.remove(&client);
+                    }
+                }
+            }
+        }
+    }
+
+    fn start_write(
+        &mut self,
+        now: Timestamp,
+        object: ObjectId,
+        data: Bytes,
+        enqueued: Timestamp,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        let Some(obj) = self.objects.get(&object) else {
+            // Writing an unknown object creates it.
+            self.objects.insert(
+                object,
+                ObjState {
+                    data,
+                    version: Version::FIRST,
+                    leases: LeaseSet::new(),
+                },
+            );
+            self.stats.writes += 1;
+            actions.push(ServerAction::CompleteWrite {
+                outcome: WriteOutcome {
+                    version: Version::FIRST,
+                    ..WriteOutcome::default()
+                },
+            });
+            return;
+        };
+        let holders: Vec<ClientId> = obj.leases.valid_holders(now).collect();
+        let mut w = ActiveWrite {
+            object,
+            data,
+            outstanding: BTreeSet::new(),
+            // Delay is measured from when the writer asked, so recovery
+            // gating and queueing count toward it.
+            started: enqueued,
+            invalidations_sent: 0,
+            queued: 0,
+            waited_out: 0,
+            deferred: Vec::new(),
+        };
+        // Classification is purely by server-side volume-lease validity.
+        // Clients in `unreachable` are NOT skipped: a waited-out holder
+        // can still have a valid volume lease (its *object* lease is
+        // what expired), and skipping it would let it read a stale copy.
+        for client in holders {
+            if self.vol_leases.is_valid_for(client, now) {
+                w.outstanding.insert(client);
+                w.invalidations_sent += 1;
+                self.send(client, ServerMsg::Invalidate { object }, actions);
+            } else {
+                // Delayed invalidation: queue it and drop the lease.
+                let since = self.vol_leases.expiry_of(client).unwrap_or(now).min(now);
+                self.inactive
+                    .entry(client)
+                    .or_insert_with(|| Inactive {
+                        since,
+                        pending: BTreeSet::new(),
+                    })
+                    .pending
+                    .insert(object);
+                if let Some(o) = self.objects.get_mut(&object) {
+                    o.leases.revoke(client);
+                }
+                if let Some(h) = self.holdings.get_mut(&client) {
+                    h.remove(&object);
+                }
+                w.queued += 1;
+            }
+        }
+        if self.cfg.write_mode == WriteMode::BestEffort {
+            // Proceed without waiting; stragglers are fenced by t_v.
+            w.outstanding.clear();
+        }
+        self.active_write = Some(w);
+    }
+
+    fn check_write_progress(&mut self, now: Timestamp, actions: &mut Vec<ServerAction>) {
+        let Some(w) = &mut self.active_write else {
+            return;
+        };
+        // A holder may be waited out once either of its leases expires.
+        let object = w.object;
+        let expired: Vec<ClientId> = w
+            .outstanding
+            .iter()
+            .copied()
+            .filter(|&c| {
+                let vol_ok = self.vol_leases.is_valid_for(c, now);
+                let obj_ok = self
+                    .objects
+                    .get(&object)
+                    .is_some_and(|o| o.leases.is_valid_for(c, now));
+                !(vol_ok && obj_ok)
+            })
+            .collect();
+        for c in expired {
+            w.outstanding.remove(&c);
+            w.waited_out += 1;
+            // Figure 3: unreachable ← unreachable ∪ To_contact.
+            self.unreachable.insert(c);
+            if let Some(o) = self.objects.get_mut(&object) {
+                o.leases.revoke(c);
+            }
+        }
+        if !w.outstanding.is_empty() {
+            return;
+        }
+        // Commit.
+        let w = self.active_write.take().expect("checked above");
+        let obj = self.objects.get_mut(&w.object).expect("write target exists");
+        obj.version = obj.version.next();
+        obj.data = w.data;
+        let delay = now.saturating_sub(w.started);
+        self.stats.writes += 1;
+        self.stats.max_write_delay = self.stats.max_write_delay.max(delay);
+        actions.push(ServerAction::CompleteWrite {
+            outcome: WriteOutcome {
+                delay,
+                invalidations_sent: w.invalidations_sent,
+                queued: w.queued,
+                waited_out: w.waited_out,
+                version: obj.version,
+            },
+        });
+        // Replay lease requests that arrived mid-write: they now see the
+        // committed version.
+        for (client, msg) in w.deferred {
+            self.handle_msg(now, client, msg, actions);
+        }
+    }
+
+    fn demote_overdue(&mut self, now: Timestamp) {
+        let Some(d) = self.cfg.inactive_discard else {
+            return;
+        };
+        let due: Vec<ClientId> = self
+            .inactive
+            .iter()
+            .filter(|(_, i)| now >= i.since.saturating_add(d))
+            .map(|(&c, _)| c)
+            .collect();
+        for client in due {
+            self.inactive.remove(&client);
+            self.unreachable.insert(client);
+            self.stats.demotions += 1;
+            if let Some(held) = self.holdings.remove(&client) {
+                for object in held {
+                    if let Some(o) = self.objects.get_mut(&object) {
+                        o.leases.revoke(client);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes the two timer deadlines and emits [`ServerAction::SetTimer`]
+    /// for any that moved since last emitted.
+    fn refresh_timers(&mut self, now: Timestamp, actions: &mut Vec<ServerAction>) {
+        let write_wait = match &self.active_write {
+            Some(w) => {
+                let object = w.object;
+                w.outstanding
+                    .iter()
+                    .map(|&c| {
+                        let vol = self.vol_leases.expiry_of(c).unwrap_or(now);
+                        let obj = self
+                            .objects
+                            .get(&object)
+                            .and_then(|o| o.leases.expiry_of(c))
+                            .unwrap_or(now);
+                        vol.min(obj)
+                    })
+                    .min()
+            }
+            None if !self.queued_writes.is_empty() && now < self.recovery_until => {
+                Some(self.recovery_until)
+            }
+            None => None,
+        };
+        let demotion = self.cfg.inactive_discard.and_then(|d| {
+            self.inactive
+                .values()
+                .map(|i| i.since.saturating_add(d))
+                .min()
+        });
+        for (slot, deadline) in [(TimerKind::WriteWait, write_wait), (TimerKind::Demotion, demotion)]
+        {
+            let idx = slot as usize;
+            if deadline != self.last_timer[idx] {
+                self.last_timer[idx] = deadline;
+                if let Some(at) = deadline {
+                    actions.push(ServerAction::SetTimer { kind: slot, at });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vl_types::{ServerId, VolumeId};
+
+    fn msg(from: u32, msg: ClientMsg) -> ServerInput {
+        ServerInput::Msg {
+            from: ClientId(from),
+            msg,
+        }
+    }
+
+    fn sends(actions: &[ServerAction]) -> Vec<(ClientId, &ServerMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ServerAction::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn boot_persists_default_record() {
+        let (m, boot) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        assert_eq!(
+            boot,
+            vec![ServerAction::Persist {
+                state: StableState::default()
+            }]
+        );
+        assert_eq!(m.epoch(), Epoch(0));
+        assert_eq!(m.recovery_until(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn recovery_bumps_epoch_and_gates_writes() {
+        let pre_crash = StableState {
+            epoch: Epoch(2),
+            max_volume_expiry: Timestamp::from_secs(50),
+        };
+        let (mut m, boot) = ServerMachine::new(MachineConfig::new(ServerId(0)), Some(pre_crash));
+        assert_eq!(m.epoch(), Epoch(3));
+        assert_eq!(m.recovery_until(), Timestamp::from_secs(50));
+        assert!(matches!(
+            boot[0],
+            ServerAction::Persist {
+                state: StableState { epoch: Epoch(3), .. }
+            }
+        ));
+        // A write before recovery_until stays queued.
+        let now = Timestamp::from_secs(10);
+        m.handle(
+            now,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        let actions = m.handle(
+            now,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+            "write must wait out pre-crash leases: {actions:?}"
+        );
+        // The driver is told when to come back.
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ServerAction::SetTimer {
+                kind: TimerKind::WriteWait,
+                at
+            } if *at == Timestamp::from_secs(50)
+        )));
+        // At recovery_until the write commits with the gate counted in
+        // its delay.
+        let actions = m.handle(Timestamp::from_secs(50), ServerInput::Tick);
+        match &actions[0] {
+            ServerAction::CompleteWrite { outcome } => {
+                assert_eq!(outcome.delay, Duration::from_secs(40));
+                assert_eq!(outcome.version, Version(2));
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn write_without_holders_commits_immediately() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let now = Timestamp::ZERO;
+        m.handle(
+            now,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        let actions = m.handle(
+            now,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        match &actions[0] {
+            ServerAction::CompleteWrite { outcome } => {
+                assert_eq!(outcome.invalidations_sent, 0);
+                assert_eq!(outcome.version, Version(2));
+                assert_eq!(outcome.delay, Duration::ZERO);
+            }
+            other => panic!("expected commit, got {other:?}"),
+        }
+        assert_eq!(m.stats().writes, 1);
+    }
+
+    #[test]
+    fn write_blocks_on_valid_holder_until_ack() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        // Client 7 takes both leases.
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        let actions = m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        let s = sends(&actions);
+        assert_eq!(s.len(), 1);
+        assert!(matches!(s[0].1, ServerMsg::Invalidate { object } if *object == ObjectId(1)));
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+            "write must wait for the ack"
+        );
+        // Ack arrives: the write commits in the same step.
+        let actions = m.handle(
+            Timestamp::from_millis(5),
+            msg(7, ClientMsg::AckInvalidate { object: ObjectId(1) }),
+        );
+        match actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::CompleteWrite { outcome } => Some(outcome),
+                _ => None,
+            }) {
+            Some(outcome) => {
+                assert_eq!(outcome.invalidations_sent, 1);
+                assert_eq!(outcome.waited_out, 0);
+                assert_eq!(outcome.delay, Duration::from_millis(5));
+            }
+            None => panic!("ack should commit the write: {actions:?}"),
+        }
+    }
+
+    #[test]
+    fn unacked_holder_is_waited_out_at_min_lease_expiry() {
+        let mut cfg = MachineConfig::new(ServerId(0));
+        cfg.object_lease = Duration::from_secs(60);
+        cfg.volume_lease = Duration::from_secs(2);
+        let (mut m, _) = ServerMachine::new(cfg, None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        // Just before the volume lease expires: still blocked.
+        let actions = m.handle(Timestamp::from_millis(1_999), ServerInput::Tick);
+        assert!(!actions
+            .iter()
+            .any(|a| matches!(a, ServerAction::CompleteWrite { .. })));
+        // At min(t, t_v) = 2 s the holder is waited out.
+        let actions = m.handle(Timestamp::from_secs(2), ServerInput::Tick);
+        match actions
+            .iter()
+            .find_map(|a| match a {
+                ServerAction::CompleteWrite { outcome } => Some(outcome),
+                _ => None,
+            }) {
+            Some(outcome) => {
+                assert_eq!(outcome.waited_out, 1);
+                assert_eq!(outcome.delay, Duration::from_secs(2));
+            }
+            None => panic!("expired holder should unblock the write"),
+        }
+        assert_eq!(m.stats().unreachable, 1);
+    }
+
+    #[test]
+    fn deferred_lease_request_replays_after_commit() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        // Client 8 asks for a lease on the object mid-write: deferred.
+        let actions = m.handle(
+            t0,
+            msg(
+                8,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        assert!(sends(&actions).is_empty(), "mid-write grant must defer");
+        // Holder acks; the deferred request replays against version 2.
+        let actions = m.handle(
+            Timestamp::from_millis(1),
+            msg(7, ClientMsg::AckInvalidate { object: ObjectId(1) }),
+        );
+        let s = sends(&actions);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].0, ClientId(8));
+        match s[0].1 {
+            ServerMsg::ObjLease { version, data, .. } => {
+                assert_eq!(*version, Version(2));
+                assert_eq!(data.as_deref(), Some(b"b".as_slice()));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stale_epoch_triggers_reconnection_protocol() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        let actions = m.handle(
+            t0,
+            msg(
+                1,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(99),
+                },
+            ),
+        );
+        assert!(matches!(
+            sends(&actions)[0].1,
+            ServerMsg::MustRenewAll { .. }
+        ));
+        // The client reports its (fresh) cached object.
+        let actions = m.handle(
+            t0,
+            msg(
+                1,
+                ClientMsg::RenewObjLeases {
+                    volume: VolumeId(0),
+                    leases: vec![(ObjectId(1), Version::FIRST)],
+                },
+            ),
+        );
+        match sends(&actions)[0].1 {
+            ServerMsg::InvalRenew {
+                invalidate, renew, ..
+            } => {
+                assert!(invalidate.is_empty());
+                assert_eq!(renew.len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // The batch ack completes reconnection with a volume grant.
+        let actions = m.handle(t0, msg(1, ClientMsg::AckVolBatch { volume: VolumeId(0) }));
+        assert!(matches!(sends(&actions)[0].1, ServerMsg::VolLease { .. }));
+        assert_eq!(m.stats().reconnections, 1);
+        assert_eq!(m.stats().unreachable, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Deterministic fault-schedule simulation of the sans-io machines.
+//!
+//! N client machines run against one server machine under a virtual
+//! clock while a seeded fault model drops messages, partitions clients,
+//! crashes clients (cache loss), and crashes the server (epoch
+//! recovery). The harness continuously asserts the paper's two safety
+//! properties — no stale read under valid leases, no write completing
+//! before every non-acked holder's min(object, volume) lease expired —
+//! and its event log must be byte-identical across reruns of a seed.
+
+use vl_core::machine::harness::{run, FaultConfig};
+use vl_types::Duration;
+
+#[test]
+fn seeded_fault_schedule_is_safe_and_reproducible() {
+    let cfg = FaultConfig::new(0xC0FFEE);
+    assert!(cfg.steps >= 1000, "acceptance floor: >= 1000 steps");
+    let first = run(&cfg);
+    let second = run(&cfg);
+
+    // Bit-reproducible: the full event log matches byte for byte.
+    assert_eq!(first.log, second.log, "same seed must replay identically");
+    assert_eq!(first.steps, cfg.steps);
+
+    // The schedule actually exercised every fault class.
+    assert!(first.server_crashes >= 1, "no server crash: {first:?}");
+    assert!(first.client_crashes >= 1, "no client crash: {first:?}");
+    assert!(first.partitions >= 1, "no partition: {first:?}");
+    assert!(first.messages_dropped >= 1, "no drops: {first:?}");
+    assert!(first.reconnections >= 1, "epoch recovery never exercised");
+
+    // Work got done despite the faults.
+    assert!(first.reads_delivered > 100, "too few reads: {first:?}");
+    assert!(first.local_reads > 0);
+    assert!(first.writes_completed > 50, "too few writes: {first:?}");
+
+    // Both safety invariants were checked many times and never failed.
+    assert!(
+        first.invariant_checks as usize > cfg.steps,
+        "invariants under-sampled: {} checks",
+        first.invariant_checks
+    );
+    assert!(
+        first.violations.is_empty(),
+        "safety violations:\n{}",
+        first.violations.join("\n")
+    );
+
+    // Commit delay never exceeded min(t, t_v) plus the recovery gate
+    // (server_down_for shifts enqueue-to-commit while writes are gated).
+    let bound = cfg.object_lease.min(cfg.volume_lease) + cfg.server_down_for + cfg.step_gap;
+    assert!(
+        first.max_write_delay <= bound,
+        "write delay {} exceeds bound {}",
+        first.max_write_delay,
+        bound
+    );
+}
+
+#[test]
+fn distinct_seeds_explore_distinct_schedules() {
+    let a = run(&FaultConfig::new(1));
+    let b = run(&FaultConfig::new(2));
+    assert_ne!(a.log, b.log, "different seeds should diverge");
+    assert!(a.violations.is_empty(), "{:?}", a.violations);
+    assert!(b.violations.is_empty(), "{:?}", b.violations);
+}
+
+#[test]
+fn many_seeds_uphold_both_invariants() {
+    for seed in 0..24 {
+        let mut cfg = FaultConfig::new(seed);
+        cfg.steps = 400;
+        let r = run(&cfg);
+        assert!(
+            r.violations.is_empty(),
+            "seed {seed} violated safety:\n{}",
+            r.violations.join("\n")
+        );
+    }
+}
+
+#[test]
+fn heavier_loss_still_safe() {
+    let mut cfg = FaultConfig::new(42);
+    cfg.steps = 1000;
+    cfg.drop_prob = 0.20;
+    cfg.partition_prob = 0.06;
+    cfg.volume_lease = Duration::from_millis(250);
+    let r = run(&cfg);
+    assert!(
+        r.violations.is_empty(),
+        "safety must hold under 20% loss:\n{}",
+        r.violations.join("\n")
+    );
+    assert!(r.writes_completed > 0 && r.reads_delivered > 0);
+}

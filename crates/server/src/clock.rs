@@ -1,7 +1,7 @@
 //! Wall-clock time as protocol timestamps.
 
-use std::time::{Duration as StdDuration, Instant};
-use vl_types::{Duration, Timestamp};
+use std::time::Instant;
+use vl_types::{Clock, Timestamp};
 
 /// A monotonic wall clock mapping real time onto protocol
 /// [`Timestamp`]s (milliseconds since the clock's creation).
@@ -12,10 +12,15 @@ use vl_types::{Duration, Timestamp};
 /// *durations* and pad for clock skew, as Gray & Cheriton discuss; the
 /// shared clock keeps the protocol logic exact and testable.
 ///
+/// It implements the [`Clock`] trait from `vl-types`, so the live
+/// drivers accept either a `WallClock` or any other time source (e.g. a
+/// simulated clock) interchangeably.
+///
 /// # Examples
 ///
 /// ```
 /// use vl_server::WallClock;
+/// use vl_types::Clock;
 ///
 /// let clock = WallClock::new();
 /// let a = clock.now();
@@ -34,20 +39,11 @@ impl WallClock {
             origin: Instant::now(),
         }
     }
+}
 
-    /// Current protocol time.
-    pub fn now(&self) -> Timestamp {
+impl Clock for WallClock {
+    fn now(&self) -> Timestamp {
         Timestamp::from_millis(self.origin.elapsed().as_millis() as u64)
-    }
-
-    /// Converts a protocol duration to a std duration (for sleeps).
-    pub fn to_std(d: Duration) -> StdDuration {
-        StdDuration::from_millis(d.as_millis())
-    }
-
-    /// Converts a std duration to a protocol duration.
-    pub fn from_std(d: StdDuration) -> Duration {
-        Duration::from_millis(d.as_millis() as u64)
     }
 }
 
@@ -60,27 +56,16 @@ impl Default for WallClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vl_types::Duration;
 
     #[test]
     fn monotone_and_copyable() {
         let c = WallClock::new();
         let c2 = c; // Copy: both views share the origin
         let a = c.now();
-        std::thread::sleep(StdDuration::from_millis(5));
+        std::thread::sleep(std::time::Duration::from_millis(5));
         let b = c2.now();
         assert!(b > a);
         assert!(b.saturating_sub(a) >= Duration::from_millis(4));
-    }
-
-    #[test]
-    fn conversions() {
-        assert_eq!(
-            WallClock::to_std(Duration::from_millis(1500)),
-            StdDuration::from_millis(1500)
-        );
-        assert_eq!(
-            WallClock::from_std(StdDuration::from_millis(250)),
-            Duration::from_millis(250)
-        );
     }
 }

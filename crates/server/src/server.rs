@@ -1,29 +1,29 @@
-//! The server event loop.
+//! The server event loop — a thin I/O driver around the sans-io
+//! [`ServerMachine`].
+//!
+//! All protocol state transitions (Figure 3, reconnection, epoch
+//! recovery, delayed invalidations) live in `vl_core::machine`; this
+//! module only moves bytes: it decodes frames from the endpoint, feeds
+//! them to the machine with the current wall-clock time, and executes
+//! the returned [`ServerAction`]s — encoding replies, persisting the
+//! stable record, and completing writer rendezvous.
 
-use crate::clock::WallClock;
 use crate::stable::StableRecord;
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration as StdDuration;
-use std::sync::Arc;
+use vl_core::machine::{
+    MachineConfig, ServerAction, ServerInput, ServerMachine, StableState,
+};
 use vl_net::{Channel, NetError, NodeId};
-use vl_proto::{codec, ClientMsg, ServerMsg};
-use vl_types::{ClientId, Duration, Epoch, LeaseSet, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_proto::codec;
+use vl_types::{Clock, Duration, ObjectId, ServerId, Version, VolumeId};
 
-/// How a write treats invalidation acknowledgments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum WriteMode {
-    /// Wait for every ack, bounded by lease expiry — the paper's
-    /// algorithm (Figure 3).
-    Blocking,
-    /// Send invalidations and proceed immediately — the "best effort
-    /// lease" variant from the paper's conclusion. Clients that miss the
-    /// invalidation are still fenced by their volume lease.
-    BestEffort,
-}
+pub use vl_core::machine::{ServerStats, WriteMode, WriteOutcome};
 
 /// Server configuration. All durations are wall-clock.
 #[derive(Clone, Debug)]
@@ -60,47 +60,19 @@ impl ServerConfig {
             stable_path: None,
         }
     }
-}
 
-/// Result of one server write.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct WriteOutcome {
-    /// How long the write blocked waiting for acks or expiries.
-    pub delay: Duration,
-    /// Immediate invalidations sent (clients with valid volume leases).
-    pub invalidations_sent: usize,
-    /// Invalidations queued for inactive clients (volume lease lapsed).
-    pub queued: usize,
-    /// Holders that never acked and were waited out to lease expiry
-    /// (they joined the Unreachable set).
-    pub waited_out: usize,
-    /// The version the object has after this write.
-    pub version: Version,
-}
-
-/// Point-in-time server statistics.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Messages received / sent.
-    pub msgs_in: u64,
-    /// Messages sent.
-    pub msgs_out: u64,
-    /// Completed writes.
-    pub writes: u64,
-    /// Largest write delay observed.
-    pub max_write_delay: Duration,
-    /// Clients currently in the Unreachable set.
-    pub unreachable: usize,
-    /// Clients currently inactive with pending invalidations.
-    pub inactive: usize,
-    /// Reconnection exchanges completed.
-    pub reconnections: u64,
-    /// Inactive clients demoted after `d`.
-    pub demotions: u64,
-    /// Current volume epoch.
-    pub epoch: Epoch,
-    /// Requests for unknown objects (dropped).
-    pub unknown_objects: u64,
+    /// The pure-protocol view of this configuration, with all spans
+    /// converted to protocol [`Duration`]s.
+    pub fn machine_config(&self) -> MachineConfig {
+        MachineConfig {
+            server: self.server,
+            volume: self.volume,
+            object_lease: Duration::from_std(self.object_lease),
+            volume_lease: Duration::from_std(self.volume_lease),
+            inactive_discard: self.inactive_discard.map(Duration::from_std),
+            write_mode: self.write_mode,
+        }
+    }
 }
 
 enum Command {
@@ -129,7 +101,9 @@ enum Command {
 pub struct LeaseServer;
 
 impl LeaseServer {
-    /// Starts the server loop on its own thread.
+    /// Starts the server loop on its own thread, reading time from any
+    /// [`Clock`] (the live [`WallClock`](crate::WallClock), or a test
+    /// clock).
     ///
     /// If `config.stable_path` holds a pre-crash [`StableRecord`], the
     /// epoch is bumped and writes are delayed until every pre-crash
@@ -137,13 +111,13 @@ impl LeaseServer {
     pub fn spawn(
         config: ServerConfig,
         endpoint: impl Channel + 'static,
-        clock: WallClock,
+        clock: impl Clock + Send + 'static,
     ) -> ServerHandle {
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
         let (tx, rx) = unbounded();
         let thread = std::thread::Builder::new()
             .name(format!("vl-server-{}", config.server))
-            .spawn(move || Inner::new(config, endpoint, clock, rx).run())
+            .spawn(move || Driver::new(config, endpoint, clock, rx).run())
             .expect("spawn server thread");
         ServerHandle { cmd: tx, thread }
     }
@@ -208,110 +182,51 @@ impl ServerHandle {
     }
 }
 
-struct ObjState {
-    data: Bytes,
-    version: Version,
-    leases: LeaseSet,
-}
-
-struct Inactive {
-    since: Timestamp,
-    pending: BTreeSet<ObjectId>,
-}
-
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum ReconPhase {
-    /// `MUST_RENEW_ALL` sent; waiting for `RENEW_OBJ_LEASES`.
-    AwaitLeaseSet,
-    /// `INVALIDATE+RENEW` sent; waiting for the batch ack.
-    AwaitAck,
-}
-
-struct ActiveWrite {
-    object: ObjectId,
-    data: Bytes,
-    outstanding: BTreeSet<ClientId>,
-    started: Timestamp,
-    invalidations_sent: usize,
-    queued: usize,
-    waited_out: usize,
-    reply: Sender<WriteOutcome>,
-    /// Lease requests touching `object` that arrived mid-write. Granting
-    /// them immediately would hand out a fresh lease on the about-to-be
-    /// overwritten data to a client the writer never contacts — a stale
-    /// lease the moment the write commits. They are replayed after the
-    /// commit instead.
-    deferred: Vec<(ClientId, ClientMsg)>,
-}
-
-struct Inner {
-    cfg: ServerConfig,
+/// The I/O shell: owns the endpoint, the clock, the stable file, and
+/// the writer rendezvous channels. Every protocol decision is delegated
+/// to the [`ServerMachine`].
+struct Driver<C: Clock> {
+    machine: ServerMachine,
     endpoint: Arc<dyn Channel>,
-    clock: WallClock,
+    clock: C,
     commands: Receiver<Command>,
-    epoch: Epoch,
-    recovery_until: Timestamp,
-    objects: HashMap<ObjectId, ObjState>,
-    vol_leases: LeaseSet,
-    inactive: HashMap<ClientId, Inactive>,
-    unreachable: BTreeSet<ClientId>,
-    reconnecting: HashMap<ClientId, ReconPhase>,
-    holdings: HashMap<ClientId, BTreeSet<ObjectId>>,
-    active_write: Option<ActiveWrite>,
-    queued_writes: VecDeque<(ObjectId, Bytes, Sender<WriteOutcome>, Timestamp)>,
-    stats: ServerStats,
-    stable_dirty_max: Timestamp,
+    stable_path: Option<PathBuf>,
+    /// Writers awaiting completion, oldest first. The machine commits
+    /// writes strictly in enqueue order, so a FIFO correlates each
+    /// [`ServerAction::CompleteWrite`] with its caller.
+    write_replies: VecDeque<Sender<WriteOutcome>>,
 }
 
-impl Inner {
+impl<C: Clock> Driver<C> {
     fn new(
         cfg: ServerConfig,
         endpoint: Arc<dyn Channel>,
-        clock: WallClock,
+        clock: C,
         commands: Receiver<Command>,
-    ) -> Inner {
-        let (epoch, recovery_until) = match &cfg.stable_path {
-            None => (Epoch::default(), Timestamp::ZERO),
+    ) -> Driver<C> {
+        let recovered = match &cfg.stable_path {
+            None => None,
             Some(path) => match StableRecord::load(path) {
-                Ok(Some(rec)) => {
-                    // Reboot: bump the epoch and wait out pre-crash leases.
-                    let epoch = rec.epoch.next();
-                    let _ = StableRecord {
-                        epoch,
-                        max_volume_expiry: rec.max_volume_expiry,
-                    }
-                    .store(path);
-                    (epoch, rec.max_volume_expiry)
-                }
-                Ok(None) => {
-                    let rec = StableRecord::default();
-                    let _ = rec.store(path);
-                    (rec.epoch, Timestamp::ZERO)
-                }
+                Ok(Some(rec)) => Some(StableState {
+                    epoch: rec.epoch,
+                    max_volume_expiry: rec.max_volume_expiry,
+                }),
+                Ok(None) => None,
                 Err(e) => panic!("unreadable stable record at {}: {e}", path.display()),
             },
         };
-        Inner {
-            cfg,
+        let (machine, boot) = ServerMachine::new(cfg.machine_config(), recovered);
+        let mut driver = Driver {
+            machine,
             endpoint,
             clock,
             commands,
-            epoch,
-            recovery_until,
-            objects: HashMap::new(),
-            vol_leases: LeaseSet::new(),
-            inactive: HashMap::new(),
-            unreachable: BTreeSet::new(),
-            reconnecting: HashMap::new(),
-            holdings: HashMap::new(),
-            active_write: None,
-            queued_writes: VecDeque::new(),
-            stats: ServerStats {
-                epoch,
-                ..ServerStats::default()
-            },
-            stable_dirty_max: Timestamp::ZERO,
-        }
+            stable_path: cfg.stable_path,
+            write_replies: VecDeque::new(),
+        };
+        // The recovery record must hit disk before we serve anything.
+        driver.apply(boot);
+        driver
     }
 
     fn run(mut self) {
@@ -324,14 +239,11 @@ impl Inner {
                         data,
                         reply,
                     } => {
-                        self.objects.insert(
+                        self.step(ServerInput::CreateObject {
                             object,
-                            ObjState {
-                                data,
-                                version: Version::FIRST,
-                                leases: LeaseSet::new(),
-                            },
-                        );
+                            data,
+                            version: Version::FIRST,
+                        });
                         let _ = reply.send(());
                     }
                     Command::Write {
@@ -339,383 +251,79 @@ impl Inner {
                         data,
                         reply,
                     } => {
-                        let enqueued = self.clock.now();
-                        self.queued_writes.push_back((object, data, reply, enqueued));
+                        self.write_replies.push_back(reply);
+                        self.step(ServerInput::Write { object, data });
                     }
                     Command::Stats { reply } => {
-                        self.stats.unreachable = self.unreachable.len();
-                        self.stats.inactive = self.inactive.len();
-                        self.stats.epoch = self.epoch;
-                        let _ = reply.send(self.stats);
+                        let _ = reply.send(self.machine.stats());
                     }
                     Command::Crash | Command::Shutdown => return,
                 }
             }
 
-            // 2. Start a queued write if none is in flight and recovery
-            //    has completed.
-            let now = self.clock.now();
-            if self.active_write.is_none() && now >= self.recovery_until {
-                if let Some((object, data, reply, enqueued)) = self.queued_writes.pop_front() {
-                    self.start_write(object, data, reply, enqueued);
-                }
-            }
-
-            // 3. Network traffic (the 1 ms timeout doubles as the tick).
+            // 2. Network traffic (the 1 ms timeout doubles as the tick,
+            //    so the machine's timer deadlines never wait long).
             match self.endpoint.recv_timeout(StdDuration::from_millis(1)) {
                 Ok((from, bytes)) => {
                     if let NodeId::Client(client) = from {
-                        self.stats.msgs_in += 1;
                         match codec::decode_client(&bytes) {
-                            Ok(msg) => self.handle(client, msg),
+                            Ok(msg) => self.step(ServerInput::Msg { from: client, msg }),
                             Err(_) => { /* corrupt frame: drop, as UDP would */ }
                         }
                     }
                 }
-                Err(NetError::Timeout) => {}
+                Err(NetError::Timeout) => self.step(ServerInput::Tick),
                 Err(_) => return, // endpoint replaced or network gone
             }
-
-            // 4. Timers.
-            self.check_write_progress();
-            self.demote_overdue();
-            self.persist_if_dirty();
         }
     }
 
-    fn send(&mut self, to: ClientId, msg: &ServerMsg) {
-        let bytes = codec::encode_server(msg);
-        if self.endpoint.send(NodeId::Client(to), bytes).is_ok() {
-            self.stats.msgs_out += 1;
-        }
-    }
-
-    fn handle(&mut self, client: ClientId, msg: ClientMsg) {
-        // Requests that would grant a lease on the object currently being
-        // written are deferred until the write commits (see ActiveWrite).
-        if let Some(w) = &mut self.active_write {
-            let touches = match &msg {
-                ClientMsg::ReqObjLease { object, .. } => *object == w.object,
-                ClientMsg::RenewObjLeases { leases, .. } => {
-                    leases.iter().any(|&(o, _)| o == w.object)
-                }
-                _ => false,
-            };
-            if touches {
-                w.deferred.push((client, msg));
-                return;
-            }
-        }
+    /// Feeds one input to the machine at the current time and executes
+    /// the resulting actions.
+    fn step(&mut self, input: ServerInput) {
         let now = self.clock.now();
-        match msg {
-            ClientMsg::ReqObjLease { object, version } => {
-                let t = WallClock::from_std(self.cfg.object_lease);
-                let Some(obj) = self.objects.get_mut(&object) else {
-                    self.stats.unknown_objects += 1;
-                    return;
-                };
-                let expire = now.saturating_add(t);
-                obj.leases.grant(client, expire);
-                let data = (obj.version != version).then(|| obj.data.clone());
-                let reply = ServerMsg::ObjLease {
-                    object,
-                    version: obj.version,
-                    expire,
-                    data,
-                };
-                self.holdings.entry(client).or_default().insert(object);
-                self.send(client, &reply);
-            }
-            ClientMsg::ReqVolLease { volume, epoch } => {
-                if volume != self.cfg.volume {
-                    return;
+        let actions = self.machine.handle(now, input);
+        self.apply(actions);
+    }
+
+    fn apply(&mut self, actions: Vec<ServerAction>) {
+        for action in actions {
+            match action {
+                ServerAction::Send { to, msg } => {
+                    let _ = self
+                        .endpoint
+                        .send(NodeId::Client(to), codec::encode_server(&msg));
                 }
-                if epoch != self.epoch || self.unreachable.contains(&client) {
-                    // Stale epoch or known-unreachable: force the
-                    // reconnection protocol (§3.1.1 / §3.1.2).
-                    self.unreachable.insert(client);
-                    self.reconnecting.insert(client, ReconPhase::AwaitLeaseSet);
-                    self.send(client, &ServerMsg::MustRenewAll { volume });
-                    return;
+                ServerAction::SetTimer { .. } => {
+                    // The 1 ms receive timeout ticks the machine more
+                    // often than any lease deadline needs.
                 }
-                let expire = now.saturating_add(WallClock::from_std(self.cfg.volume_lease));
-                self.vol_leases.grant(client, expire);
-                self.stable_dirty_max = self.stable_dirty_max.max(expire);
-                // Deliver any queued invalidations batched into the
-                // grant; the entry stays until the client acks so a lost
-                // reply cannot lose invalidations.
-                let invalidate: Vec<ObjectId> = self
-                    .inactive
-                    .get(&client)
-                    .map(|i| i.pending.iter().copied().collect())
-                    .unwrap_or_default();
-                let reply = ServerMsg::VolLease {
-                    volume,
-                    expire,
-                    epoch: self.epoch,
-                    invalidate,
-                };
-                self.send(client, &reply);
-            }
-            ClientMsg::RenewObjLeases { volume, leases } => {
-                if volume != self.cfg.volume
-                    || self.reconnecting.get(&client) != Some(&ReconPhase::AwaitLeaseSet)
-                {
-                    return;
-                }
-                let t = WallClock::from_std(self.cfg.object_lease);
-                let mut invalidate = Vec::new();
-                let mut renew = Vec::new();
-                for (object, version) in leases {
-                    match self.objects.get_mut(&object) {
-                        Some(obj) if obj.version == version => {
-                            let expire = now.saturating_add(t);
-                            obj.leases.grant(client, expire);
-                            self.holdings.entry(client).or_default().insert(object);
-                            renew.push((object, obj.version, expire));
+                ServerAction::Persist { state } => {
+                    if let Some(path) = &self.stable_path {
+                        let _ = StableRecord {
+                            epoch: state.epoch,
+                            max_volume_expiry: state.max_volume_expiry,
                         }
-                        _ => invalidate.push(object),
+                        .store(path);
                     }
                 }
-                // Anything we had queued is superseded by this exchange.
-                self.inactive.remove(&client);
-                self.reconnecting.insert(client, ReconPhase::AwaitAck);
-                self.send(
-                    client,
-                    &ServerMsg::InvalRenew {
-                        volume,
-                        invalidate,
-                        renew,
-                    },
-                );
-            }
-            ClientMsg::AckInvalidate { object } => {
-                // The client dropped its copy: its lease is gone too.
-                if let Some(obj) = self.objects.get_mut(&object) {
-                    obj.leases.revoke(client);
-                }
-                if let Some(h) = self.holdings.get_mut(&client) {
-                    h.remove(&object);
-                }
-                if let Some(w) = &mut self.active_write {
-                    if w.object == object {
-                        w.outstanding.remove(&client);
-                    }
-                }
-            }
-            ClientMsg::AckVolBatch { volume } => {
-                if volume != self.cfg.volume {
-                    return;
-                }
-                match self.reconnecting.get(&client) {
-                    Some(ReconPhase::AwaitAck) => {
-                        // Reconnection complete: grant the volume lease.
-                        self.reconnecting.remove(&client);
-                        self.unreachable.remove(&client);
-                        self.stats.reconnections += 1;
-                        let expire =
-                            now.saturating_add(WallClock::from_std(self.cfg.volume_lease));
-                        self.vol_leases.grant(client, expire);
-                        self.stable_dirty_max = self.stable_dirty_max.max(expire);
-                        self.send(
-                            client,
-                            &ServerMsg::VolLease {
-                                volume,
-                                expire,
-                                epoch: self.epoch,
-                                invalidate: Vec::new(),
-                            },
-                        );
-                    }
-                    _ => {
-                        // Ack for a pending batch delivered with a grant.
-                        self.inactive.remove(&client);
+                ServerAction::CompleteWrite { outcome } => {
+                    if let Some(reply) = self.write_replies.pop_front() {
+                        let _ = reply.send(outcome);
                     }
                 }
             }
         }
-    }
-
-    fn start_write(
-        &mut self,
-        object: ObjectId,
-        data: Bytes,
-        reply: Sender<WriteOutcome>,
-        enqueued: Timestamp,
-    ) {
-        let now = self.clock.now();
-        let Some(obj) = self.objects.get(&object) else {
-            // Writing an unknown object creates it.
-            self.objects.insert(
-                object,
-                ObjState {
-                    data,
-                    version: Version::FIRST,
-                    leases: LeaseSet::new(),
-                },
-            );
-            self.stats.writes += 1;
-            let _ = reply.send(WriteOutcome {
-                version: Version::FIRST,
-                ..WriteOutcome::default()
-            });
-            return;
-        };
-        let holders: Vec<ClientId> = obj.leases.valid_holders(now).collect();
-        let mut w = ActiveWrite {
-            object,
-            data,
-            outstanding: BTreeSet::new(),
-            // Delay is measured from when the writer asked, so recovery
-            // gating and queueing count toward it.
-            started: enqueued,
-            invalidations_sent: 0,
-            queued: 0,
-            waited_out: 0,
-            reply,
-            deferred: Vec::new(),
-        };
-        for client in holders {
-            if self.unreachable.contains(&client) {
-                continue;
-            }
-            if self.vol_leases.is_valid_for(client, now) {
-                w.outstanding.insert(client);
-                w.invalidations_sent += 1;
-                self.send(client, &ServerMsg::Invalidate { object });
-            } else {
-                // Delayed invalidation: queue it and drop the lease.
-                let since = self
-                    .vol_leases
-                    .expiry_of(client)
-                    .unwrap_or(now)
-                    .min(now);
-                self.inactive
-                    .entry(client)
-                    .or_insert_with(|| Inactive {
-                        since,
-                        pending: BTreeSet::new(),
-                    })
-                    .pending
-                    .insert(object);
-                if let Some(o) = self.objects.get_mut(&object) {
-                    o.leases.revoke(client);
-                }
-                if let Some(h) = self.holdings.get_mut(&client) {
-                    h.remove(&object);
-                }
-                w.queued += 1;
-            }
-        }
-        if self.cfg.write_mode == WriteMode::BestEffort {
-            // Proceed without waiting; stragglers are fenced by t_v.
-            w.outstanding.clear();
-        }
-        self.active_write = Some(w);
-        self.check_write_progress();
-    }
-
-    fn check_write_progress(&mut self) {
-        let Some(w) = &mut self.active_write else {
-            return;
-        };
-        let now = self.clock.now();
-        // A holder may be waited out once either of its leases expires.
-        let object = w.object;
-        let expired: Vec<ClientId> = w
-            .outstanding
-            .iter()
-            .copied()
-            .filter(|&c| {
-                let vol_ok = self.vol_leases.is_valid_for(c, now);
-                let obj_ok = self
-                    .objects
-                    .get(&object)
-                    .is_some_and(|o| o.leases.is_valid_for(c, now));
-                !(vol_ok && obj_ok)
-            })
-            .collect();
-        for c in expired {
-            w.outstanding.remove(&c);
-            w.waited_out += 1;
-            // Figure 3: unreachable ← unreachable ∪ To_contact.
-            self.unreachable.insert(c);
-            if let Some(o) = self.objects.get_mut(&object) {
-                o.leases.revoke(c);
-            }
-        }
-        if !w.outstanding.is_empty() {
-            return;
-        }
-        // Commit.
-        let w = self.active_write.take().expect("checked above");
-        let obj = self.objects.get_mut(&w.object).expect("write target exists");
-        obj.version = obj.version.next();
-        obj.data = w.data;
-        let delay = now.saturating_sub(w.started);
-        self.stats.writes += 1;
-        self.stats.max_write_delay = self.stats.max_write_delay.max(delay);
-        let version = obj.version;
-        let _ = w.reply.send(WriteOutcome {
-            delay,
-            invalidations_sent: w.invalidations_sent,
-            queued: w.queued,
-            waited_out: w.waited_out,
-            version,
-        });
-        // Replay lease requests that arrived mid-write: they now see the
-        // committed version.
-        for (client, msg) in w.deferred {
-            self.handle(client, msg);
-        }
-    }
-
-    fn demote_overdue(&mut self) {
-        let Some(d) = self.cfg.inactive_discard else {
-            return;
-        };
-        let d = WallClock::from_std(d);
-        let now = self.clock.now();
-        let due: Vec<ClientId> = self
-            .inactive
-            .iter()
-            .filter(|(_, i)| now >= i.since.saturating_add(d))
-            .map(|(&c, _)| c)
-            .collect();
-        for client in due {
-            self.inactive.remove(&client);
-            self.unreachable.insert(client);
-            self.stats.demotions += 1;
-            if let Some(held) = self.holdings.remove(&client) {
-                for object in held {
-                    if let Some(o) = self.objects.get_mut(&object) {
-                        o.leases.revoke(client);
-                    }
-                }
-            }
-        }
-    }
-
-    /// Persists the max volume expiry lazily (once per change batch).
-    fn persist_if_dirty(&mut self) {
-        if self.stable_dirty_max == Timestamp::ZERO {
-            return;
-        }
-        if let Some(path) = &self.cfg.stable_path {
-            let _ = StableRecord {
-                epoch: self.epoch,
-                max_volume_expiry: self.stable_dirty_max,
-            }
-            .store(path);
-        }
-        self.stable_dirty_max = Timestamp::ZERO;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::clock::WallClock;
     use vl_net::InMemoryNetwork;
+    use vl_proto::{ClientMsg, ServerMsg};
+    use vl_types::{ClientId, Epoch};
 
     #[test]
     fn config_defaults_are_sane() {
@@ -724,6 +332,9 @@ mod tests {
         assert!(cfg.volume_lease < cfg.object_lease);
         assert_eq!(cfg.write_mode, WriteMode::Blocking);
         assert!(cfg.stable_path.is_none());
+        let m = cfg.machine_config();
+        assert_eq!(m.object_lease, Duration::from_secs(60));
+        assert_eq!(m.inactive_discard, None);
     }
 
     #[test]

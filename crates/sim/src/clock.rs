@@ -4,13 +4,12 @@ use std::cell::Cell;
 use std::fmt;
 use vl_types::Timestamp;
 
-/// A source of "now". The simulator advances a [`VirtualClock`]; the live
-/// server (crate `vl-server`) implements this over wall time so that the
-/// same protocol code runs in both worlds.
-pub trait Clock {
-    /// Returns the current instant.
-    fn now(&self) -> Timestamp;
-}
+/// The shared clock abstraction, defined next to [`Timestamp`] in
+/// `vl-types` and re-exported here for backward compatibility. The
+/// simulator advances a [`VirtualClock`]; the live server (crate
+/// `vl-server`) implements it over wall time so that the same protocol
+/// code runs in both worlds.
+pub use vl_types::Clock;
 
 /// A manually advanced clock for simulations.
 ///

@@ -31,4 +31,4 @@ mod time;
 
 pub use id::{ClientId, Epoch, ObjectId, ServerId, Version, VolumeId};
 pub use lease::{LeaseSet, LEASE_RECORD_BYTES};
-pub use time::{Duration, Timestamp};
+pub use time::{Clock, Duration, Timestamp};

@@ -107,6 +107,17 @@ impl Timestamp {
     }
 }
 
+/// A source of "now" in protocol time.
+///
+/// The simulator advances a virtual implementation (`vl-sim`'s
+/// `VirtualClock`); the live stack implements it over wall time
+/// (`vl-server`'s `WallClock`). Protocol drivers are generic over this
+/// trait so the same sans-io state machines run in both worlds.
+pub trait Clock {
+    /// Returns the current instant.
+    fn now(&self) -> Timestamp;
+}
+
 impl Duration {
     /// The empty span.
     pub const ZERO: Duration = Duration(0);
@@ -191,6 +202,30 @@ impl Duration {
         } else {
             other
         }
+    }
+
+    /// Converts to a [`std::time::Duration`] (for sleeps and socket
+    /// timeouts in live drivers).
+    pub const fn to_std(self) -> std::time::Duration {
+        std::time::Duration::from_millis(self.0)
+    }
+
+    /// Converts from a [`std::time::Duration`], truncating to whole
+    /// milliseconds (protocol resolution).
+    pub const fn from_std(d: std::time::Duration) -> Duration {
+        Duration(d.as_millis() as u64)
+    }
+}
+
+impl From<std::time::Duration> for Duration {
+    fn from(d: std::time::Duration) -> Duration {
+        Duration::from_std(d)
+    }
+}
+
+impl From<Duration> for std::time::Duration {
+    fn from(d: Duration) -> std::time::Duration {
+        d.to_std()
     }
 }
 
@@ -331,6 +366,29 @@ mod tests {
         assert_eq!(Duration::from_secs(2).to_string(), "2.000s");
         assert_eq!(Duration::MAX.to_string(), "∞");
         assert_eq!(Timestamp::MAX.to_string(), "t=∞");
+    }
+
+    #[test]
+    fn std_conversions_roundtrip() {
+        use std::time::Duration as StdDuration;
+        assert_eq!(
+            Duration::from_millis(1500).to_std(),
+            StdDuration::from_millis(1500)
+        );
+        assert_eq!(
+            Duration::from_std(StdDuration::from_millis(250)),
+            Duration::from_millis(250)
+        );
+        assert_eq!(Duration::from(StdDuration::from_secs(2)).as_secs(), 2);
+        assert_eq!(
+            StdDuration::from(Duration::from_secs(3)),
+            StdDuration::from_secs(3)
+        );
+        // Sub-millisecond precision truncates (protocol resolution).
+        assert_eq!(
+            Duration::from_std(StdDuration::from_micros(1700)),
+            Duration::from_millis(1)
+        );
     }
 
     #[test]

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full CI gate: release build (all targets, so bench breakage is
+# caught), the complete test suite, and the smoke benchmark script.
+# Run from anywhere; exits non-zero on the first failure.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --workspace --all-targets --release"
+cargo build --workspace --all-targets --release
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> scripts/bench_smoke.sh"
+./scripts/bench_smoke.sh "${VL_THREADS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "==> CI gate passed"
