@@ -32,6 +32,14 @@
 //! // Volume leases add the amortized volume renewal: 1/(Σ R_o · t_v).
 //! assert!(volume.read_cost_round_trips > lease.read_cost_round_trips);
 //! ```
+//!
+//! # Layering
+//!
+//! Pure layer (DESIGN.md §7): closed-form arithmetic over
+//! [`CostParams`], depending on nothing but `vl-types`. Tests across
+//! the workspace use it as the independent oracle for simulator and
+//! machine behaviour (e.g. the `ack_wait = min(t, t_v)` write-delay
+//! bound).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -1,7 +1,9 @@
 //! Ablation: the Delay algorithm's inactive-discard parameter d —
 //! reconnection traffic vs retained server state.
 
-use vl_bench::{ablation, cli};
+use vl_bench::{ablation, cli, secs};
+use vl_core::ProtocolKind;
+use vl_types::Duration;
 
 fn main() {
     let args = cli::parse("ablation_d", "");
@@ -18,4 +20,20 @@ fn main() {
         args.csv.as_ref(),
     );
     println!("{}", stats.summary());
+
+    cli::write_trace(
+        &args,
+        &[
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout: secs(10),
+                object_timeout: secs(100_000),
+                inactive_discard: secs(600),
+            },
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout: secs(10),
+                object_timeout: secs(100_000),
+                inactive_discard: Duration::MAX,
+            },
+        ],
+    );
 }

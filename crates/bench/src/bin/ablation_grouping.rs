@@ -1,7 +1,8 @@
 //! Ablation: how finely each server's objects are grouped into volumes —
 //! the grouping question the paper leaves as future work (§4.2).
 
-use vl_bench::{ablation, cli};
+use vl_bench::{ablation, cli, secs};
+use vl_core::ProtocolKind;
 
 fn main() {
     let args = cli::parse("ablation_grouping", "");
@@ -12,4 +13,9 @@ fn main() {
         args.csv.as_ref(),
     );
     println!("{}", stats.summary());
+
+    cli::write_trace(
+        &args,
+        &[ProtocolKind::VolumeLease { volume_timeout: secs(10), object_timeout: secs(100_000) }],
+    );
 }

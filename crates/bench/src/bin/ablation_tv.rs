@@ -1,7 +1,8 @@
 //! Ablation: volume-lease length t_v vs message overhead and write-delay
 //! bound, at a fixed long object lease.
 
-use vl_bench::{ablation, cli};
+use vl_bench::{ablation, cli, secs};
+use vl_core::ProtocolKind;
 
 fn main() {
     let args = cli::parse("ablation_tv", "");
@@ -17,4 +18,13 @@ fn main() {
         args.csv.as_ref(),
     );
     println!("{}", stats.summary());
+
+    cli::write_trace(
+        &args,
+        &[
+            ProtocolKind::Lease { timeout: secs(100_000) },
+            ProtocolKind::VolumeLease { volume_timeout: secs(10), object_timeout: secs(100_000) },
+            ProtocolKind::VolumeLease { volume_timeout: secs(1_000), object_timeout: secs(100_000) },
+        ],
+    );
 }

@@ -1,7 +1,8 @@
 //! Ablation: invalidating leases vs §2.4's "wait out the leases" option
 //! (zero write messages, every write blocks up to t).
 
-use vl_bench::{ablation, cli};
+use vl_bench::{ablation, cli, secs};
+use vl_core::ProtocolKind;
 
 fn main() {
     let args = cli::parse("ablation_wait", "");
@@ -12,4 +13,12 @@ fn main() {
         args.csv.as_ref(),
     );
     println!("{}", stats.summary());
+
+    cli::write_trace(
+        &args,
+        &[
+            ProtocolKind::Lease { timeout: secs(1_000) },
+            ProtocolKind::WaitingLease { timeout: secs(1_000) },
+        ],
+    );
 }

@@ -2,7 +2,7 @@
 //! lines, plus the paper's §5.1 headline savings. `--metric bytes` prints
 //! the byte-traffic variant instead.
 
-use vl_bench::{cli, fig5};
+use vl_bench::{cli, fig5, secs};
 
 fn main() {
     let args = cli::parse("fig5", " [--metric messages|bytes]");
@@ -32,4 +32,8 @@ fn main() {
     }
     println!("(paper: 10s bound → 32% / 39%; 100s bound → 30% / 40%)");
     println!("{}", stats.summary());
+
+    // One representative t per line family (t = 1000 s, mid-sweep).
+    let kinds: Vec<_> = fig5::lines().iter().map(|(_, k)| k(secs(1000))).collect();
+    cli::write_trace(&args, &kinds);
 }

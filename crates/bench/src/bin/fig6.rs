@@ -1,7 +1,7 @@
 //! Regenerates Figure 6: average consistency state at the most popular
 //! server vs. object timeout.
 
-use vl_bench::{cli, fig67};
+use vl_bench::{cli, fig67, secs};
 
 fn main() {
     let args = cli::parse("fig6", "");
@@ -12,4 +12,8 @@ fn main() {
         args.csv.as_ref(),
     );
     println!("{}", stats.summary());
+
+    // One representative t per line family (t = 1000 s, mid-sweep).
+    let kinds: Vec<_> = fig67::lines().iter().map(|(_, k)| k(secs(1000))).collect();
+    cli::write_trace(&args, &kinds);
 }

@@ -15,4 +15,7 @@ fn main() {
         println!("peak {:>6} msg/s  {}", c.peak, c.line);
     }
     println!("{}", stats.summary());
+
+    let kinds: Vec<_> = fig89::lines().iter().map(|&(_, k)| k).collect();
+    cli::write_trace(&args, &kinds);
 }

@@ -2,6 +2,8 @@
 //! synthetic workload (the paper's §4.1 methodology).
 
 use vl_bench::{cli, table1};
+use vl_core::ProtocolKind;
+use vl_types::Duration;
 
 fn main() {
     let args = cli::parse("table1", "");
@@ -18,4 +20,27 @@ fn main() {
         .fold(0.0f64, f64::max);
     println!("worst relative error (excl. Callback start-up): {worst:.4}");
     println!("{}", stats.summary());
+
+    // The Table 1 algorithm set at its analytic parameters, replayed on
+    // the standard (non-uniform) workload for inspection.
+    let (t, tv) = (
+        Duration::from_secs_f64(table1::T_SECS),
+        Duration::from_secs_f64(table1::TV_SECS),
+    );
+    cli::write_trace(
+        &args,
+        &[
+            ProtocolKind::PollEachRead,
+            ProtocolKind::Poll { timeout: t },
+            ProtocolKind::Callback,
+            ProtocolKind::Lease { timeout: t },
+            ProtocolKind::WaitingLease { timeout: t },
+            ProtocolKind::VolumeLease { volume_timeout: tv, object_timeout: t },
+            ProtocolKind::DelayedInvalidation {
+                volume_timeout: tv,
+                object_timeout: t,
+                inactive_discard: vl_types::Duration::MAX,
+            },
+        ],
+    );
 }

@@ -8,11 +8,17 @@
 //! --csv PATH                    also write the rows as CSV
 //! --threads N                   sweep worker threads (default: all
 //!                               cores; VL_THREADS overrides the default)
+//! --trace-out PATH              additionally replay the figure's
+//!                               representative configurations with event
+//!                               tracing on, writing a JSONL protocol
+//!                               trace for `vl report`
 //! ```
 
 use std::path::PathBuf;
 use std::process::exit;
-use vl_workload::{WorkloadConfig, WorkloadPreset};
+use vl_core::{ProtocolKind, SimulationBuilder};
+use vl_metrics::{JsonlSink, TraceSink};
+use vl_workload::{TraceGenerator, WorkloadConfig, WorkloadPreset};
 
 /// Parsed common options.
 #[derive(Clone, Debug)]
@@ -24,6 +30,8 @@ pub struct CommonArgs {
     /// Worker threads for parameter sweeps (resolved: `--threads`, then
     /// `VL_THREADS`, then the machine's available parallelism).
     pub threads: usize,
+    /// Optional JSONL protocol-trace output path (`--trace-out`).
+    pub trace_out: Option<PathBuf>,
     /// Remaining unrecognized arguments (binary-specific flags).
     pub rest: Vec<String>,
 }
@@ -35,6 +43,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
     let mut seed: Option<u64> = None;
     let mut csv: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut rest = Vec::new();
 
     let mut args = std::env::args().skip(1);
@@ -42,7 +51,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH] [--threads N]{extra_help}"
+                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH] [--threads N] [--trace-out PATH]{extra_help}"
                 );
                 exit(0);
             }
@@ -79,6 +88,13 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
                     exit(2);
                 }
             },
+            "--trace-out" => match args.next() {
+                Some(p) => trace_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace-out needs a path");
+                    exit(2);
+                }
+            },
             other => rest.push(other.to_owned()),
         }
     }
@@ -90,8 +106,41 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
         config,
         csv,
         threads: crate::par::thread_count(threads),
+        trace_out,
         rest,
     }
+}
+
+/// If `--trace-out` was given, replays each protocol in `kinds` over a
+/// freshly generated trace for `args.config` with event tracing on,
+/// appending every run to one JSONL file (one `{"run":...}` label line
+/// per protocol, from the protocol's `Display`).
+///
+/// The replays run inline, in order, on one thread — tracing is for
+/// inspection, not throughput, and this keeps the file byte-identical
+/// for any `--threads` value.
+pub fn write_trace(args: &CommonArgs, kinds: &[ProtocolKind]) {
+    let Some(path) = &args.trace_out else { return };
+    let file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot create {}: {e}", path.display());
+            exit(1);
+        }
+    };
+    let trace = TraceGenerator::new(args.config.clone()).generate();
+    let mut sink: Box<dyn TraceSink> = Box::new(JsonlSink::new(file));
+    for &kind in kinds {
+        let (_report, s) = SimulationBuilder::new(kind).run_traced(&trace, sink);
+        sink = s;
+    }
+    sink.flush();
+    println!(
+        "(protocol trace written to {}: {} runs — inspect with `vl report --trace {}`)",
+        path.display(),
+        kinds.len(),
+        path.display()
+    );
 }
 
 /// Prints a table and optionally writes the CSV, with a standard banner.

@@ -14,6 +14,13 @@
 //! | Figures 8–9 (load bursts) | [`fig89::run`] | `fig8`, `fig9` |
 //! | t_v ablation (ours) | [`ablation::volume_timeout_sweep`] | `ablation_tv` |
 //! | d ablation (ours) | [`ablation::inactive_discard_sweep`] | `ablation_d` |
+//!
+//! # Layering
+//!
+//! The harness sits entirely on the pure layers of DESIGN.md §7
+//! (workload → simulator → metrics); binaries add only argument
+//! parsing, table rendering, and the optional `--trace-out` JSONL
+//! protocol trace for `vl report` (see [`cli::write_trace`]).
 
 pub mod ablation;
 pub mod cli;

@@ -3,7 +3,7 @@
 //! ```text
 //! vl serve --addr 127.0.0.1:7400 [--objects 10] [--volume-lease-ms 2000]
 //!          [--object-lease-ms 60000] [--write-every-ms 5000] [--best-effort]
-//!          [--stable PATH]
+//!          [--stable PATH] [--trace-out PATH]
 //!     Run a lease server over TCP, seeding `--objects` demo objects and
 //!     optionally rewriting one of them on a timer so invalidations flow.
 //!
@@ -20,10 +20,27 @@
 //!     binary format.
 //!
 //! vl sim --trace PATH --protocol NAME [--t SECS] [--tv SECS] [--d SECS]
+//!        [--trace-out PATH]
 //!     Replay a cached trace under one consistency algorithm and print
 //!     its cost summary. Protocols: poll-each-read, poll, callback,
-//!     lease, wait-lease, volume, delay.
+//!     lease, wait-lease, volume, delay. `--trace-out` additionally
+//!     writes every protocol event as JSONL for `vl report`.
+//!
+//! vl report --trace PATH [--top N]
+//!     Summarize a JSONL protocol trace (from `--trace-out` here or on
+//!     the figure binaries): per-run message mix, stale reads,
+//!     write-delay percentiles, invalidation batches, hottest volumes.
 //! ```
+//!
+//! # Layering
+//!
+//! Per DESIGN.md §7 the binary holds no protocol logic: `serve`/`get`/
+//! `demo` assemble the thin drivers (`vl-server`, `vl-client`) over a
+//! transport, `gen`/`sim` call the pure workload and simulator layers,
+//! and `report` folds a JSONL trace with the same `vl-metrics`
+//! histograms the simulator records into.
+
+mod report;
 
 use bytes::Bytes;
 use std::process::exit;
@@ -37,11 +54,13 @@ use vl_types::{ClientId, ObjectId, ServerId};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  vl serve --addr HOST:PORT [--objects N] [--volume-lease-ms N] \
-         [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH]\n  \
+         [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
+         [--trace-out PATH]\n  \
          vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
-         vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf]"
+         vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--trace-out PATH]\n  \
+         vl report --trace PATH [--top N]"
     );
     exit(2)
 }
@@ -83,6 +102,7 @@ fn main() {
         "demo" => demo(),
         "gen" => gen(&args),
         "sim" => sim(&args),
+        "report" => report_cmd(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown subcommand '{other}'");
@@ -182,7 +202,21 @@ fn sim(args: &Args) {
         eprintln!("cannot read trace: {e}");
         exit(1)
     });
-    let report = SimulationBuilder::new(kind).run(&trace);
+    let report = match args.value("--trace-out") {
+        None => SimulationBuilder::new(kind).run(&trace),
+        Some(out) => {
+            use vl_metrics::{JsonlSink, TraceSink};
+            let file = std::fs::File::create(out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            let sink: Box<dyn TraceSink> = Box::new(JsonlSink::new(file));
+            let (report, mut sink) = SimulationBuilder::new(kind).run_traced(&trace, sink);
+            sink.flush();
+            println!("(protocol trace written to {out} — inspect with `vl report --trace {out}`)");
+            report
+        }
+    };
     println!("protocol:        {kind}");
     println!("reads:           {}", report.summary.reads);
     println!("messages:        {}", report.summary.messages);
@@ -197,6 +231,32 @@ fn sim(args: &Args) {
         "max write delay: {:.1}s",
         report.summary.max_write_delay_secs
     );
+}
+
+fn report_cmd(args: &Args) {
+    let Some(path) = args.value("--trace") else {
+        eprintln!("report needs --trace PATH (write one with --trace-out)");
+        exit(2)
+    };
+    let top: usize = args.parsed("--top", 3);
+    let file = std::fs::File::open(path).unwrap_or_else(|e| {
+        eprintln!("cannot open {path}: {e}");
+        exit(1)
+    });
+    let (runs, skipped) = report::summarize(std::io::BufReader::new(file)).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        exit(1)
+    });
+    if runs.is_empty() {
+        println!("{path}: no trace events");
+        return;
+    }
+    for run in &runs {
+        print!("{}", report::render(run, top));
+    }
+    if skipped > 0 {
+        eprintln!("({skipped} unparseable lines skipped)");
+    }
 }
 
 fn serve(args: &Args) {
@@ -226,7 +286,18 @@ fn serve(args: &Args) {
     };
     let bound = node.local_addr().expect("listening");
     let clock = WallClock::new();
-    let server = LeaseServer::spawn(cfg, node, clock);
+    let server = match args.value("--trace-out") {
+        None => LeaseServer::spawn(cfg, node, clock),
+        Some(out) => {
+            use vl_metrics::JsonlSink;
+            let file = std::fs::File::create(out).unwrap_or_else(|e| {
+                eprintln!("cannot create {out}: {e}");
+                exit(1)
+            });
+            println!("(tracing protocol events to {out})");
+            LeaseServer::spawn_traced(cfg, node, clock, Box::new(JsonlSink::new(file)))
+        }
+    };
     for i in 0..objects {
         server.create_object(ObjectId(i), Bytes::from(format!("object {i}, version 1")));
     }

@@ -1,0 +1,198 @@
+//! `vl report` — summarize a JSONL protocol trace.
+//!
+//! Traces are produced by `--trace-out` on the figure binaries, `vl sim`,
+//! and `vl serve`. A file holds one or more runs, each introduced by a
+//! `{"run":"..."}` label line followed by its events; this module folds
+//! the events of each run into a compact per-algorithm summary: message
+//! mix (count + bytes per wire message kind), read/stale-read counts,
+//! write-delay percentiles, invalidation-batch sizes, and the hottest
+//! volumes by event count.
+
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use vl_metrics::trace::{parse_line, TraceLine};
+use vl_metrics::{Event, EventKind, Histogram};
+use vl_types::Timestamp;
+
+/// Everything `vl report` prints about one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunSummary {
+    /// The run label (the protocol's `Display`, e.g. `Delay(10, 1e5, inf)`).
+    pub label: String,
+    /// Total events in the run.
+    pub events: u64,
+    /// Timestamp of the last event.
+    pub span: Timestamp,
+    /// Per-message-kind `(count, bytes)` from `message` events, keyed by
+    /// the wire-protocol message name.
+    pub messages: BTreeMap<String, (u64, u64)>,
+    /// Reads observed (from `read` events).
+    pub reads: u64,
+    /// Reads that returned stale data.
+    pub stale_reads: u64,
+    /// Write delays, milliseconds (from `write_committed` events).
+    pub write_delay_ms: Histogram,
+    /// Piggybacked-invalidation batch sizes (from `inval_batch` events).
+    pub inval_batch: Histogram,
+    /// Events per volume, keyed by raw volume id.
+    pub volume_events: BTreeMap<u64, u64>,
+}
+
+impl RunSummary {
+    fn fold(&mut self, ev: &Event) {
+        self.events += 1;
+        self.span = self.span.max(ev.at);
+        if let Some(v) = ev.volume {
+            *self.volume_events.entry(u64::from(v.raw())).or_insert(0) += 1;
+        }
+        match ev.kind {
+            EventKind::Message => {
+                let name = ev.msg.map_or("?", |m| m.name());
+                let e = self.messages.entry(name.to_owned()).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += ev.value;
+            }
+            EventKind::Read => {
+                self.reads += 1;
+                // Simulation `read` events carry staleness in `value`;
+                // live-driver ones carry remote-vs-local in `extra` and
+                // are never stale (leases guarantee it).
+                self.stale_reads += ev.value;
+            }
+            EventKind::WriteCommitted => self.write_delay_ms.record(ev.value),
+            EventKind::InvalidationBatch => self.inval_batch.record(ev.value),
+            _ => {}
+        }
+    }
+
+    /// The `top` busiest volumes as `(volume id, events)`, descending.
+    pub fn hottest_volumes(&self, top: usize) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.volume_events.iter().map(|(&k, &n)| (k, n)).collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v.truncate(top);
+        v
+    }
+}
+
+/// Parses a JSONL trace into per-run summaries, in file order. Events
+/// before the first `{"run":...}` line fall into an unnamed run labelled
+/// `"(unlabelled)"` — the live drivers emit no label. Returns the
+/// summaries plus the number of unparseable lines skipped.
+pub fn summarize(reader: impl BufRead) -> std::io::Result<(Vec<RunSummary>, u64)> {
+    let mut runs: Vec<RunSummary> = Vec::new();
+    let mut skipped = 0u64;
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(&line) {
+            Some(TraceLine::Run(label)) => runs.push(RunSummary {
+                label,
+                ..RunSummary::default()
+            }),
+            Some(TraceLine::Event(ev)) => {
+                if runs.is_empty() {
+                    runs.push(RunSummary {
+                        label: "(unlabelled)".to_owned(),
+                        ..RunSummary::default()
+                    });
+                }
+                runs.last_mut().expect("non-empty").fold(&ev);
+            }
+            None => skipped += 1,
+        }
+    }
+    Ok((runs, skipped))
+}
+
+/// Renders one summary in the `vl report` output format.
+pub fn render(s: &RunSummary, top: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "run: {}", s.label);
+    let _ = writeln!(
+        out,
+        "  events: {} over {:.1}s of protocol time",
+        s.events,
+        s.span.as_secs_f64()
+    );
+    if !s.messages.is_empty() {
+        let _ = writeln!(out, "  message mix:");
+        let (mut tc, mut tb) = (0u64, 0u64);
+        for (name, &(count, bytes)) in &s.messages {
+            let _ = writeln!(out, "    {name:<18} {count:>10} msgs {bytes:>12} bytes");
+            tc += count;
+            tb += bytes;
+        }
+        let _ = writeln!(out, "    {:<18} {tc:>10} msgs {tb:>12} bytes", "total");
+    }
+    let _ = writeln!(out, "  reads: {} ({} stale)", s.reads, s.stale_reads);
+    if !s.write_delay_ms.is_empty() {
+        let _ = writeln!(out, "  write delay (ms): {}", s.write_delay_ms.summary_line());
+    }
+    if !s.inval_batch.is_empty() {
+        let _ = writeln!(
+            out,
+            "  invalidation batches: {} mean={:.1}",
+            s.inval_batch.summary_line(),
+            s.inval_batch.mean()
+        );
+    }
+    if !s.volume_events.is_empty() {
+        let hot: Vec<String> = s
+            .hottest_volumes(top)
+            .into_iter()
+            .map(|(v, n)| format!("v{v} ({n} events)"))
+            .collect();
+        let _ = writeln!(out, "  hottest volumes: {}", hot.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn summarize_groups_by_run_and_counts() {
+        let jsonl = concat!(
+            "{\"run\":\"Lease(100)\"}\n",
+            "{\"at_ms\":5,\"kind\":\"message\",\"server\":0,\"client\":1,\"msg\":\"GET\",\"value\":20}\n",
+            "{\"at_ms\":6,\"kind\":\"read\",\"server\":0,\"client\":1,\"object\":3}\n",
+            "{\"at_ms\":7,\"kind\":\"read\",\"server\":0,\"client\":1,\"object\":3,\"value\":1}\n",
+            "{\"at_ms\":9,\"kind\":\"write_committed\",\"server\":0,\"client\":0,\"volume\":2,\"value\":40}\n",
+            "garbage line\n",
+            "{\"run\":\"Callback\"}\n",
+            "{\"at_ms\":8,\"kind\":\"inval_batch\",\"server\":0,\"client\":1,\"volume\":7,\"value\":3}\n",
+        );
+        let (runs, skipped) = summarize(Cursor::new(jsonl)).unwrap();
+        assert_eq!(skipped, 1);
+        assert_eq!(runs.len(), 2);
+        let lease = &runs[0];
+        assert_eq!(lease.label, "Lease(100)");
+        assert_eq!(lease.events, 4);
+        assert_eq!(lease.reads, 2);
+        assert_eq!(lease.stale_reads, 1);
+        assert_eq!(lease.messages["GET"], (1, 20));
+        assert_eq!(lease.write_delay_ms.max(), 40);
+        assert_eq!(lease.volume_events[&2], 1);
+        let cb = &runs[1];
+        assert_eq!(cb.inval_batch.count(), 1);
+        assert_eq!(cb.hottest_volumes(3), vec![(7, 1)]);
+        let text = render(lease, 3);
+        assert!(text.contains("run: Lease(100)"));
+        assert!(text.contains("reads: 2 (1 stale)"));
+    }
+
+    #[test]
+    fn events_before_any_label_get_a_placeholder_run() {
+        let jsonl = "{\"at_ms\":1,\"kind\":\"read\",\"server\":0,\"client\":1}\n";
+        let (runs, skipped) = summarize(Cursor::new(jsonl)).unwrap();
+        assert_eq!(skipped, 0);
+        assert_eq!(runs.len(), 1);
+        assert_eq!(runs[0].label, "(unlabelled)");
+        assert_eq!(runs[0].reads, 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! End-to-end exercise of the `vl` observability surface: `gen` a smoke
+//! trace, `sim` it under the Delay algorithm with `--trace-out`, then
+//! `report` the resulting JSONL and check every advertised section is
+//! present and consistent with the protocol's guarantees.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn vl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vl"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("vl-report-cli-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn sim_trace_out_feeds_vl_report() {
+    let trace_path = tmp("smoke.vltrace");
+    let jsonl_path = tmp("delay.jsonl");
+
+    let gen = vl()
+        .args(["gen", "--out"])
+        .arg(&trace_path)
+        .args(["--preset", "smoke"])
+        .output()
+        .expect("vl gen runs");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let (t_secs, tv_secs) = (1000u64, 10u64);
+    let sim = vl()
+        .args(["sim", "--trace"])
+        .arg(&trace_path)
+        .args(["--protocol", "delay", "--t", &t_secs.to_string()])
+        .args(["--tv", &tv_secs.to_string(), "--trace-out"])
+        .arg(&jsonl_path)
+        .output()
+        .expect("vl sim runs");
+    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    let sim_out = String::from_utf8_lossy(&sim.stdout);
+    assert!(sim_out.contains("protocol trace written"), "{sim_out}");
+
+    let report = vl()
+        .args(["report", "--trace"])
+        .arg(&jsonl_path)
+        .output()
+        .expect("vl report runs");
+    assert!(
+        report.status.success(),
+        "{}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let out = String::from_utf8_lossy(&report.stdout);
+    for needle in [
+        "run: Delay(10, 1000, ∞)",
+        "message mix:",
+        "REQ_VOL_LEASE",
+        "VOL_LEASE",
+        "reads:",
+        "write delay (ms):",
+        "hottest volumes:",
+    ] {
+        assert!(out.contains(needle), "missing {needle:?} in:\n{out}");
+    }
+    // Leases never serve stale data — the report must agree.
+    assert!(out.contains("(0 stale)"), "{out}");
+
+    // The trace's own write-delay samples must respect the paper's
+    // min(t, t_v) bound that `vl report` summarizes.
+    let jsonl = std::fs::read_to_string(&jsonl_path).expect("trace readable");
+    let bound_ms = t_secs.min(tv_secs) * 1000;
+    let mut writes = 0u64;
+    for line in jsonl.lines() {
+        if let Some(vl_metrics::trace::TraceLine::Event(ev)) =
+            vl_metrics::trace::parse_line(line)
+        {
+            if ev.kind == vl_metrics::EventKind::WriteCommitted {
+                writes += 1;
+                assert!(
+                    ev.value <= bound_ms,
+                    "write delay {}ms exceeds min(t, t_v) = {bound_ms}ms",
+                    ev.value
+                );
+            }
+        }
+    }
+    assert!(writes > 0, "smoke trace must commit writes");
+
+    let _ = std::fs::remove_file(&trace_path);
+    let _ = std::fs::remove_file(&jsonl_path);
+}
+
+#[test]
+fn report_on_missing_file_fails_cleanly() {
+    let out = vl()
+        .args(["report", "--trace", "/nonexistent/definitely-missing.jsonl"])
+        .output()
+        .expect("vl runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot open"));
+}

@@ -46,6 +46,15 @@
 //! server.shutdown();
 //! # Ok::<(), vl_client::ReadError>(())
 //! ```
+//!
+//! # Layering
+//!
+//! The machine/driver split above is the DESIGN.md §7 rule: the machine
+//! is tested exhaustively under the deterministic fault harness, and
+//! this driver stays small enough to review by hand. When a
+//! [`vl_metrics::TraceSink`] is attached ([`CacheClient::spawn_traced`]),
+//! the driver maps each executed machine action to a trace event via
+//! [`vl_core::machine::events`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -62,10 +71,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
-use vl_core::machine::{ClientAction, ClientInput, ClientMachine, ClientMachineConfig};
+use vl_core::machine::{events, ClientAction, ClientInput, ClientMachine, ClientMachineConfig};
+use vl_metrics::{Event, EventKind, TraceSink};
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::{codec, ClientMsg};
 use vl_types::{ClientId, Clock, ObjectId, ServerId, Version, VolumeId};
+
+/// A sink shared between the reading thread and the receive loop.
+type SharedSink = Arc<Mutex<Box<dyn TraceSink>>>;
 
 /// Client configuration.
 #[derive(Clone, Debug)]
@@ -142,6 +155,7 @@ pub struct CacheClient {
     state: Arc<(Mutex<ClientMachine>, Condvar)>,
     running: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
+    sink: Option<SharedSink>,
 }
 
 impl fmt::Debug for CacheClient {
@@ -160,6 +174,27 @@ impl CacheClient {
         endpoint: impl Channel + 'static,
         clock: impl Clock + Send + Sync + 'static,
     ) -> CacheClient {
+        CacheClient::spawn_inner(cfg, endpoint, clock, None)
+    }
+
+    /// Like [`spawn`](CacheClient::spawn), but records wire messages,
+    /// completed reads (with observed latency), and renewal round-trips
+    /// as structured trace events into `sink`.
+    pub fn spawn_traced(
+        cfg: ClientConfig,
+        endpoint: impl Channel + 'static,
+        clock: impl Clock + Send + Sync + 'static,
+        sink: Box<dyn TraceSink>,
+    ) -> CacheClient {
+        CacheClient::spawn_inner(cfg, endpoint, clock, Some(Arc::new(Mutex::new(sink))))
+    }
+
+    fn spawn_inner(
+        cfg: ClientConfig,
+        endpoint: impl Channel + 'static,
+        clock: impl Clock + Send + Sync + 'static,
+        sink: Option<SharedSink>,
+    ) -> CacheClient {
         let clock: Arc<dyn Clock + Send + Sync> = Arc::new(clock);
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
         let machine = ClientMachine::new(cfg.machine_config());
@@ -171,9 +206,10 @@ impl CacheClient {
             let running = Arc::clone(&running);
             let clock = Arc::clone(&clock);
             let cfg = cfg.clone();
+            let sink = sink.clone();
             std::thread::Builder::new()
                 .name(format!("vl-client-{}", cfg.client))
-                .spawn(move || receive_loop(&cfg, &endpoint, &state, &clock, &running))
+                .spawn(move || receive_loop(&cfg, &endpoint, &state, &clock, &running, &sink))
                 .expect("spawn client thread")
         };
         CacheClient {
@@ -183,6 +219,7 @@ impl CacheClient {
             state,
             running,
             thread: Some(thread),
+            sink,
         }
     }
 
@@ -199,11 +236,30 @@ impl CacheClient {
             return Err(ReadError::Shutdown);
         }
         let started = Instant::now();
-        let done = |m: &mut ClientMachine, data: Bytes| {
+        // `local` distinguishes cache hits from reads that needed a
+        // lease-renewal round-trip; the latter's latency doubles as the
+        // renewal RTT sample.
+        let done = |m: &mut ClientMachine, data: Bytes, local: bool| {
             let ms = started.elapsed().as_millis() as u64;
             let stats = m.stats_mut();
             stats.read_time_total_ms += ms;
             stats.read_time_max_ms = stats.read_time_max_ms.max(ms);
+            if let Some(sink) = &self.sink {
+                let now = self.clock.now();
+                let mut sink = sink.lock();
+                sink.record(&Event {
+                    object: Some(object),
+                    extra: ms,
+                    ..Event::new(now, EventKind::Read, self.cfg.server, self.cfg.client)
+                });
+                if !local {
+                    sink.record(&Event {
+                        object: Some(object),
+                        value: ms,
+                        ..Event::new(now, EventKind::RenewalRtt, self.cfg.server, self.cfg.client)
+                    });
+                }
+            }
             Ok(data)
         };
         let (lock, cv) = &*self.state;
@@ -220,7 +276,9 @@ impl CacheClient {
                 let mut sends = Vec::new();
                 for action in m.handle(now, ClientInput::Read { object }) {
                     match action {
-                        ClientAction::DeliverRead { data, .. } => return done(&mut m, data),
+                        ClientAction::DeliverRead { data, local, .. } => {
+                            return done(&mut m, data, local)
+                        }
                         ClientAction::Send(msg) => sends.push(msg),
                     }
                 }
@@ -229,13 +287,14 @@ impl CacheClient {
             for msg in &sends {
                 self.send(msg);
             }
+            self.trace_sends(&sends);
             // Wait for the receive loop to make progress.
             let deadline = Instant::now() + self.cfg.request_timeout;
             let mut m = lock.lock();
             loop {
                 let now = self.clock.now();
                 if let Some(data) = m.complete_read(now, object) {
-                    return done(&mut m, data);
+                    return done(&mut m, data, false);
                 }
                 if cv.wait_until(&mut m, deadline).timed_out() {
                     break;
@@ -243,6 +302,23 @@ impl CacheClient {
             }
         }
         Err(ReadError::Unavailable { object })
+    }
+
+    /// Records outgoing messages as trace events (no-op when untraced).
+    fn trace_sends(&self, sends: &[ClientMsg]) {
+        let Some(sink) = &self.sink else { return };
+        if sends.is_empty() {
+            return;
+        }
+        let now = self.clock.now();
+        let mut sink = sink.lock();
+        for msg in sends {
+            let action = ClientAction::Send(msg.clone());
+            for ev in events::client_action_events(now, self.cfg.server, self.cfg.client, &action)
+            {
+                sink.record(&ev);
+            }
+        }
     }
 
     /// Returns the cached copy *without* lease validation — the
@@ -273,6 +349,9 @@ impl CacheClient {
         if let Some(t) = self.thread.take() {
             let _ = t.join();
         }
+        if let Some(sink) = &self.sink {
+            sink.lock().flush();
+        }
     }
 
     fn send(&self, msg: &ClientMsg) {
@@ -297,25 +376,47 @@ fn receive_loop(
     state: &(Mutex<ClientMachine>, Condvar),
     clock: &Arc<dyn Clock + Send + Sync>,
     running: &AtomicBool,
+    sink: &Option<SharedSink>,
 ) {
     let (lock, cv) = state;
     let server = NodeId::Server(cfg.server);
     while running.load(Ordering::SeqCst) {
-        let msg = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
+        let (msg, wire_bytes) = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
             Ok((_, bytes)) => match codec::decode_server(&bytes) {
-                Ok(m) => m,
+                Ok(m) => (m, bytes.len() as u64),
                 Err(_) => continue, // corrupt frame
             },
             Err(NetError::Timeout) => continue,
             Err(_) => return,
         };
+        if let Some(sink) = sink {
+            // Lock order: the sink is only ever taken *without* the
+            // machine lock held on this thread (readers take machine →
+            // sink), so taking it first here cannot deadlock.
+            let mut sink = sink.lock();
+            sink.record(&Event {
+                msg: Some(events::server_msg_kind(&msg)),
+                value: wire_bytes,
+                ..Event::new(clock.now(), EventKind::Message, cfg.server, cfg.client)
+            });
+        }
         let actions = {
             let mut m = lock.lock();
             m.handle(clock.now(), ClientInput::Msg(msg))
         };
+        let now = clock.now();
         for action in actions {
             if let ClientAction::Send(msg) = action {
                 let _ = endpoint.send(server, codec::encode_client(&msg));
+                if let Some(sink) = sink {
+                    let mut sink = sink.lock();
+                    let action = ClientAction::Send(msg);
+                    for ev in
+                        events::client_action_events(now, cfg.server, cfg.client, &action)
+                    {
+                        sink.record(&ev);
+                    }
+                }
             }
         }
         cv.notify_all();

@@ -1,6 +1,6 @@
 //! The per-event context handed to protocol implementations.
 
-use vl_metrics::{MessageKind, Metrics, CONTROL_MSG_BYTES};
+use vl_metrics::{Event, EventKind, MessageKind, Metrics, CONTROL_MSG_BYTES};
 use vl_types::{ClientId, ObjectId, ServerId, Timestamp, Version};
 use vl_workload::Universe;
 
@@ -61,6 +61,20 @@ impl<'a> Ctx<'a> {
     /// Payload size of `object`, for data-carrying replies.
     pub fn payload(&self, object: ObjectId) -> u64 {
         self.universe.object(object).size_bytes
+    }
+
+    /// Records a completed client read (staleness counter plus, when a
+    /// trace sink is attached, an [`EventKind::Read`] event).
+    pub fn read_done(&mut self, now: Timestamp, client: ClientId, object: ObjectId, stale: bool) {
+        self.metrics.record_read(stale);
+        if self.metrics.tracing() {
+            let server = self.universe.server_of(object);
+            self.metrics.emit(Event {
+                object: Some(object),
+                value: stale as u64,
+                ..Event::new(now, EventKind::Read, server, client)
+            });
+        }
     }
 }
 

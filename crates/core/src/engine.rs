@@ -8,7 +8,7 @@
 use crate::protocols::new_protocol;
 use crate::{Ctx, ProtocolKind};
 use std::time::Instant;
-use vl_metrics::{Metrics, Summary};
+use vl_metrics::{Metrics, Summary, TraceSink};
 use vl_types::{Duration, ServerId, Version};
 use vl_workload::{Trace, TraceEvent, Universe};
 
@@ -71,12 +71,33 @@ impl SimulationBuilder {
 
     /// Runs the protocol over `trace` and returns the full [`Report`].
     pub fn run(&self, trace: &Trace) -> Report {
+        self.run_inner(trace, None).0
+    }
+
+    /// Like [`run`](SimulationBuilder::run), but records every message
+    /// and protocol event into `sink`, prefixed by a run label naming
+    /// the algorithm. The sink is flushed and handed back so several
+    /// runs can share one trace file.
+    pub fn run_traced(&self, trace: &Trace, sink: Box<dyn TraceSink>) -> (Report, Box<dyn TraceSink>) {
+        let (report, sink) = self.run_inner(trace, Some(sink));
+        (report, sink.expect("sink returned by traced run"))
+    }
+
+    fn run_inner(
+        &self,
+        trace: &Trace,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> (Report, Option<Box<dyn TraceSink>>) {
         let universe = trace.universe();
         let mut metrics = if self.track_load.is_empty() {
             Metrics::new()
         } else {
             Metrics::with_load_tracking(self.track_load.iter().copied())
         };
+        if let Some(sink) = sink {
+            metrics.set_sink(sink);
+            metrics.begin_run(&self.kind.to_string());
+        }
         let mut versions: Vec<Version> = vec![Version::FIRST; universe.object_count()];
         let mut protocol = new_protocol(self.kind, universe);
 
@@ -104,6 +125,7 @@ impl SimulationBuilder {
         let elapsed = started.elapsed();
 
         let span = trace.span();
+        let sink = metrics.take_sink();
         let summary = metrics.summary(span);
         if self.kind.is_strongly_consistent() {
             assert_eq!(
@@ -112,14 +134,15 @@ impl SimulationBuilder {
                 self.kind
             );
         }
-        Report {
+        let report = Report {
             kind: self.kind,
             summary,
             span,
             metrics,
             events_processed: trace.events().len() as u64,
             elapsed,
-        }
+        };
+        (report, sink)
     }
 }
 

@@ -37,6 +37,18 @@
 //! // Volume leases are strongly consistent: no read ever returns stale data.
 //! assert_eq!(report.summary.stale_reads, 0);
 //! ```
+//!
+//! # Layering
+//!
+//! This crate is the pure core of the DESIGN.md §7 split. It contains
+//! two independent protocol implementations that cross-validate each
+//! other: the trace-driven simulator behind [`Protocol`] /
+//! [`SimulationBuilder`], and the sans-io state machines in [`machine`]
+//! (`(now, input) -> actions`, no threads or sockets) that the live
+//! `vl-server` / `vl-client` drivers execute. Observability hooks in at
+//! the edges: [`SimulationBuilder::run_traced`] records typed events
+//! while replaying, and [`machine::events`] maps machine actions to the
+//! same event vocabulary for the live drivers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

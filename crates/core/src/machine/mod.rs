@@ -40,6 +40,7 @@
 //! ```
 
 mod client;
+pub mod events;
 pub mod harness;
 mod server;
 

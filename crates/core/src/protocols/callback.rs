@@ -48,7 +48,7 @@ impl Protocol for Callback {
         if self.caches.version_of(client, object).is_some() {
             // A cached copy under callback is guaranteed current.
             debug_assert_eq!(self.caches.version_of(client, object), Some(current));
-            ctx.metrics.record_read(false);
+            ctx.read_done(now, client, object, false);
             return;
         }
         // Fetch and register a callback.
@@ -63,7 +63,7 @@ impl Protocol for Callback {
         self.callbacks[object.raw() as usize].grant(client, now, Timestamp::MAX, ctx.metrics);
         self.caches
             .put(client, object, ctx.universe.volume_of(object), current);
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {

@@ -22,7 +22,7 @@ use crate::cache::ClientCaches;
 use crate::track::LeaseTrack;
 use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
 use std::collections::BTreeSet;
-use vl_metrics::MessageKind;
+use vl_metrics::{Event, EventKind, MessageKind};
 use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId, LEASE_RECORD_BYTES};
 use vl_workload::Universe;
 
@@ -155,6 +155,15 @@ impl DelayedInvalidation {
         volume: VolumeId,
         ctx: &mut Ctx<'_>,
     ) {
+        if ctx.metrics.tracing() {
+            let renewal = self.obj_leases[object.raw() as usize].is_valid(client, now);
+            let kind = if renewal { EventKind::LeaseRenewed } else { EventKind::LeaseGranted };
+            ctx.metrics.emit(Event {
+                object: Some(object),
+                volume: Some(volume),
+                ..Event::new(now, kind, ctx.universe.volume(volume).server, client)
+            });
+        }
         self.obj_leases[object.raw() as usize].grant(
             client,
             now,
@@ -199,6 +208,17 @@ impl DelayedInvalidation {
             .take_inactive(client)
             .expect("checked above");
         let server = ctx.universe.volume(volume).server;
+        if ctx.metrics.tracing() {
+            ctx.metrics.emit(Event {
+                volume: Some(volume),
+                value: rec.pending.len() as u64,
+                ..Event::new(cutoff, EventKind::InvalidationDiscarded, server, client)
+            });
+            ctx.metrics.emit(Event {
+                volume: Some(volume),
+                ..Event::new(cutoff, EventKind::ClientDemoted, server, client)
+            });
+        }
         for p in rec.pending {
             ctx.metrics.state_held(
                 server,
@@ -209,6 +229,13 @@ impl DelayedInvalidation {
         let held: Vec<ObjectId> = self.vols[vi].take_holdings(client).into_iter().collect();
         for object in held {
             self.obj_leases[object.raw() as usize].revoke(client, cutoff, ctx.metrics);
+            if ctx.metrics.tracing() {
+                ctx.metrics.emit(Event {
+                    object: Some(object),
+                    volume: Some(volume),
+                    ..Event::new(cutoff, EventKind::LeaseExpired, server, client)
+                });
+            }
         }
         self.vols[vi].set_unreachable(client, true);
     }
@@ -248,6 +275,16 @@ impl DelayedInvalidation {
             }
         }
         self.vols[vi].set_unreachable(client, false);
+        if ctx.metrics.tracing() {
+            ctx.metrics.emit(Event {
+                volume: Some(volume),
+                ..Event::new(now, EventKind::Reconnected, server, client)
+            });
+            ctx.metrics.emit(Event {
+                volume: Some(volume),
+                ..Event::new(now, EventKind::VolumeLeaseGranted, server, client)
+            });
+        }
         self.vol_leases[vi].grant(
             client,
             now,
@@ -339,6 +376,25 @@ impl Protocol for DelayedInvalidation {
                 );
                 if !pending.is_empty() {
                     ctx.send_to_server(MessageKind::AckInvalidate, server, client, 0, now);
+                    ctx.metrics.record_inval_batch(pending.len() as u64);
+                    if ctx.metrics.tracing() {
+                        ctx.metrics.emit(Event {
+                            volume: Some(volume),
+                            value: pending.len() as u64,
+                            ..Event::new(now, EventKind::InvalidationBatch, server, client)
+                        });
+                        ctx.metrics.emit(Event {
+                            volume: Some(volume),
+                            value: pending.len() as u64,
+                            ..Event::new(now, EventKind::InvalidationAcked, server, client)
+                        });
+                    }
+                }
+                if ctx.metrics.tracing() {
+                    ctx.metrics.emit(Event {
+                        volume: Some(volume),
+                        ..Event::new(now, EventKind::VolumeLeaseGranted, server, client)
+                    });
                 }
                 self.vol_leases[vi].grant(
                     client,
@@ -353,12 +409,13 @@ impl Protocol for DelayedInvalidation {
                 }
             }
         }
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
         let volume = ctx.universe.volume_of(object);
         let vi = volume.raw() as usize;
+        let (mut sent, mut queued) = (0u64, 0u64);
         for client in self.obj_leases[object.raw() as usize].valid_holders(now) {
             self.demote_if_due(now, client, volume, ctx);
             if self.vols[vi].is_unreachable(client) {
@@ -372,6 +429,20 @@ impl Protocol for DelayedInvalidation {
                 ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
                 self.revoke_object(now, client, object, volume, ctx);
                 self.caches.drop_copy(client, object, volume);
+                sent += 1;
+                if ctx.metrics.tracing() {
+                    let server = ctx.universe.volume(volume).server;
+                    ctx.metrics.emit(Event {
+                        object: Some(object),
+                        volume: Some(volume),
+                        ..Event::new(now, EventKind::InvalidationSent, server, client)
+                    });
+                    ctx.metrics.emit(Event {
+                        object: Some(object),
+                        volume: Some(volume),
+                        ..Event::new(now, EventKind::InvalidationAcked, server, client)
+                    });
+                }
             } else {
                 // Volume lapsed: queue the invalidation instead.
                 let since = self.vol_leases[vi].expiry_of(client).unwrap_or(now);
@@ -386,9 +457,35 @@ impl Protocol for DelayedInvalidation {
                         object,
                         enqueued: now,
                     });
+                queued += 1;
+                if ctx.metrics.tracing() {
+                    let server = ctx.universe.volume(volume).server;
+                    ctx.metrics.emit(Event {
+                        object: Some(object),
+                        volume: Some(volume),
+                        ..Event::new(now, EventKind::InvalidationQueued, server, client)
+                    });
+                }
             }
         }
         self.obj_leases[object.raw() as usize].sweep_expired(now, ctx.metrics);
+        if ctx.metrics.tracing() {
+            let server = ctx.universe.volume(volume).server;
+            ctx.metrics.emit(Event {
+                object: Some(object),
+                volume: Some(volume),
+                value: sent,
+                extra: queued,
+                ..Event::new(now, EventKind::WriteClassified, server, ClientId(0))
+            });
+            // Simulated writes commit instantly: active holders ack in
+            // the same event, so the recorded delay is zero.
+            ctx.metrics.emit(Event {
+                object: Some(object),
+                volume: Some(volume),
+                ..Event::new(now, EventKind::WriteCommitted, server, ClientId(0))
+            });
+        }
         ctx.metrics.record_write_delay(Duration::ZERO);
     }
 

@@ -98,11 +98,11 @@ impl Protocol for ObjectLease {
                 self.caches.version_of(client, object),
                 Some(ctx.version(object))
             );
-            ctx.metrics.record_read(false);
+            ctx.read_done(now, client, object, false);
             return;
         }
         self.renew(now, client, object, ctx);
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {

@@ -42,7 +42,7 @@ impl Protocol for PollEachRead {
         ctx.send(MessageKind::PollReply, object, client, data, now);
         self.caches
             .put(client, object, ctx.universe.volume_of(object), current);
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, _now: Timestamp, _object: ObjectId, ctx: &mut Ctx<'_>) {
@@ -117,7 +117,7 @@ impl Protocol for Poll {
         if fresh_enough {
             // Serve from cache without contacting the server; this is
             // where staleness sneaks in.
-            ctx.metrics.record_read(cached != Some(current));
+            ctx.read_done(now, client, object, cached != Some(current));
             return;
         }
         ctx.send(MessageKind::PollRequest, object, client, 0, now);
@@ -130,7 +130,7 @@ impl Protocol for Poll {
         self.caches
             .put(client, object, ctx.universe.volume_of(object), current);
         *self.validated_slot(client, object) = now;
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, _now: Timestamp, _object: ObjectId, ctx: &mut Ctx<'_>) {

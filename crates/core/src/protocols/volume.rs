@@ -153,7 +153,7 @@ impl Protocol for VolumeLease {
                 self.grant_object(now, client, object, ctx);
             }
         }
-        ctx.metrics.record_read(false);
+        ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {

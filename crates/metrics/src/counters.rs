@@ -46,11 +46,10 @@ impl MessageKind {
     fn index(self) -> usize {
         self as usize
     }
-}
 
-impl fmt::Display for MessageKind {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let name = match self {
+    /// The stable display name (also used in JSONL traces).
+    pub fn name(self) -> &'static str {
+        match self {
             MessageKind::ObjLeaseRequest => "REQ_OBJ_LEASE",
             MessageKind::ObjLeaseGrant => "OBJ_LEASE",
             MessageKind::VolLeaseRequest => "REQ_VOL_LEASE",
@@ -64,8 +63,18 @@ impl fmt::Display for MessageKind {
             MessageKind::PollReply => "POLL_REPLY",
             MessageKind::DataFetch => "GET",
             MessageKind::DataReply => "DATA",
-        };
-        f.write_str(name)
+        }
+    }
+
+    /// Inverse of [`name`](MessageKind::name).
+    pub fn from_name(name: &str) -> Option<MessageKind> {
+        MessageKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
     }
 }
 

@@ -17,6 +17,29 @@
 //! `bytes × lifetime` to a per-server integral, so the reported average is
 //! the true time-weighted mean.
 //!
+//! # Observability
+//!
+//! Beyond the aggregate counters, two modules support per-event tracing
+//! and latency distributions:
+//!
+//! * [`trace`] — typed protocol [`Event`]s and the [`TraceSink`] trait
+//!   ([`NullSink`], [`RingSink`], [`JsonlSink`]). A sink can be attached
+//!   to a [`Metrics`] instance ([`Metrics::set_sink`]) or driven
+//!   directly by the live drivers; JSONL files are what `vl report`
+//!   summarizes.
+//! * [`hist`] — HDR-style log-bucketed [`Histogram`]s (≤ 1/16 relative
+//!   quantile error, exact min/max/count/sum) for read latency, renewal
+//!   round-trips, write delays, and invalidation-batch sizes. Merging is
+//!   lossless, so per-shard histograms from a parallel sweep combine
+//!   into exactly the single-threaded result.
+//!
+//! # Layering
+//!
+//! Per DESIGN.md §7 this crate stays pure: recording is a method call,
+//! sinks are passed in by the caller, and the only I/O ([`JsonlSink`])
+//! is behind a `Write` the caller owns — so the same instrumentation
+//! serves the simulator, the fault harness, and the live threads.
+//!
 //! # Examples
 //!
 //! ```
@@ -33,12 +56,16 @@
 #![warn(missing_debug_implementations)]
 
 mod counters;
+pub mod hist;
 mod load;
 mod state;
+pub mod trace;
 
 pub use counters::{MessageCounters, MessageKind, StalenessCounters};
+pub use hist::Histogram;
 pub use load::{LoadHistogram, LoadTracker};
 pub use state::StateIntegral;
+pub use trace::{Event, EventKind, JsonlSink, NullSink, RingSink, TraceSink};
 
 use vl_types::{ClientId, Duration, ServerId, Timestamp};
 
@@ -47,7 +74,7 @@ use vl_types::{ClientId, Duration, ServerId, Timestamp};
 pub const CONTROL_MSG_BYTES: u64 = 50;
 
 /// The metrics sink for one simulation run.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct Metrics {
     msgs: MessageCounters,
     staleness: StalenessCounters,
@@ -59,6 +86,44 @@ pub struct Metrics {
     write_delay_total: Duration,
     write_delay_max: Duration,
     writes_delayed: u64,
+    obs: Observability,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl std::fmt::Debug for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Metrics")
+            .field("msgs", &self.msgs)
+            .field("staleness", &self.staleness)
+            .field("writes_delayed", &self.writes_delayed)
+            .field("tracing", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+/// The four observability histograms of a run, kept together so sweep
+/// shards can be combined with one lossless [`Observability::merge`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Observability {
+    /// Write delay in milliseconds (0 for undelayed writes).
+    pub write_delay_ms: Histogram,
+    /// Client-observed read latency in milliseconds (live path only).
+    pub read_latency_ms: Histogram,
+    /// Lease-renewal round-trip time in milliseconds (live path only).
+    pub renewal_rtt_ms: Histogram,
+    /// Delivered invalidation-batch sizes (delayed invalidations).
+    pub inval_batch: Histogram,
+}
+
+impl Observability {
+    /// Merges another shard's histograms into this one; lossless, see
+    /// [`Histogram::merge`].
+    pub fn merge(&mut self, other: &Observability) {
+        self.write_delay_ms.merge(&other.write_delay_ms);
+        self.read_latency_ms.merge(&other.read_latency_ms);
+        self.renewal_rtt_ms.merge(&other.renewal_rtt_ms);
+        self.inval_batch.merge(&other.inval_batch);
+    }
 }
 
 impl Metrics {
@@ -93,6 +158,13 @@ impl Metrics {
         bump(&mut self.per_server_bytes, server.raw() as usize, bytes);
         bump(&mut self.per_client_msgs, client.raw() as usize, 1);
         self.load.record(server, now);
+        if let Some(sink) = &mut self.sink {
+            sink.record(&Event {
+                msg: Some(kind),
+                value: bytes,
+                ..Event::new(now, EventKind::Message, server, client)
+            });
+        }
     }
 
     /// Records a client read: `stale` is whether the returned copy was
@@ -109,12 +181,73 @@ impl Metrics {
     }
 
     /// Records that a server write was delayed by `delay` waiting for
-    /// acknowledgments or lease expiry.
+    /// acknowledgments or lease expiry. Every write (delayed or not)
+    /// lands in the write-delay histogram; the mean/max counters keep
+    /// their historical "delayed writes only" semantics.
     pub fn record_write_delay(&mut self, delay: Duration) {
+        self.obs.write_delay_ms.record(delay.as_millis());
         if !delay.is_zero() {
             self.writes_delayed += 1;
             self.write_delay_total += delay;
             self.write_delay_max = self.write_delay_max.max(delay);
+        }
+    }
+
+    /// Records one client-observed read latency (live path).
+    pub fn record_read_latency(&mut self, millis: u64) {
+        self.obs.read_latency_ms.record(millis);
+    }
+
+    /// Records one lease-renewal round-trip time (live path).
+    pub fn record_renewal_rtt(&mut self, millis: u64) {
+        self.obs.renewal_rtt_ms.record(millis);
+    }
+
+    /// Records the size of one delivered invalidation batch.
+    pub fn record_inval_batch(&mut self, size: u64) {
+        self.obs.inval_batch.record(size);
+    }
+
+    /// The run's observability histograms.
+    pub fn observability(&self) -> &Observability {
+        &self.obs
+    }
+
+    /// Attaches a trace sink; subsequent messages and protocol events
+    /// are recorded into it.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches and returns the trace sink, flushing it first.
+    pub fn take_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        let mut sink = self.sink.take();
+        if let Some(s) = &mut sink {
+            s.flush();
+        }
+        sink
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn tracing(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Forwards a run label to the sink, if any.
+    pub fn begin_run(&mut self, label: &str) {
+        if let Some(sink) = &mut self.sink {
+            sink.begin_run(label);
+        }
+    }
+
+    /// Records a typed protocol event into the sink, if any. One
+    /// untaken branch when tracing is off — callers on hot paths may
+    /// still want to guard event construction with [`tracing`].
+    ///
+    /// [`tracing`]: Metrics::tracing
+    pub fn emit(&mut self, event: Event) {
+        if let Some(sink) = &mut self.sink {
+            sink.record(&event);
         }
     }
 

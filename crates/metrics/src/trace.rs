@@ -1,0 +1,441 @@
+//! Structured protocol-event tracing.
+//!
+//! A [`TraceSink`] receives a stream of typed [`Event`]s from whatever
+//! layer is running the protocol — the trace-driven simulator (virtual
+//! timestamps) or the live drivers (wall-clock milliseconds since
+//! start). Three sinks are provided:
+//!
+//! * [`NullSink`] — discards everything; the default, so tracing costs
+//!   one untaken branch per event when disabled;
+//! * [`RingSink`] — keeps the last *n* events in memory, for tests and
+//!   post-mortem dumps;
+//! * [`JsonlSink`] — writes one JSON object per line to any
+//!   `io::Write`, the format `vl report` consumes.
+//!
+//! The JSONL encoding is hand-rolled (the workspace is offline — no
+//! serde): every field is an integer or a fixed identifier, zero-valued
+//! optional fields are omitted, and [`parse_line`] inverts
+//! [`Event::to_json`] exactly. A run label line (`{"run":"…"}`, see
+//! [`JsonlSink::begin_run`]) groups the events that follow it, which is
+//! how one trace file carries several algorithms for a per-algorithm
+//! report.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::MessageKind;
+use vl_types::{ClientId, ObjectId, ServerId, Timestamp, VolumeId};
+
+/// What happened — the typed event vocabulary of the protocol stack.
+///
+/// Variants are fieldless; the event's ids and the meaning of
+/// [`Event::value`]/[`Event::extra`] are documented per variant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A one-way wire message; `msg` holds the kind, `value` the bytes.
+    Message,
+    /// An object lease was granted (first issue); `object` set.
+    LeaseGranted,
+    /// An object lease was renewed; `object` set.
+    LeaseRenewed,
+    /// An object lease expired or was relinquished; `object` set.
+    LeaseExpired,
+    /// A volume lease was granted or renewed; `volume` set.
+    VolumeLeaseGranted,
+    /// An invalidation was sent to a reachable client; `object` set.
+    InvalidationSent,
+    /// A client acknowledged an invalidation; `object` set.
+    InvalidationAcked,
+    /// An invalidation was queued for a client whose volume lease had
+    /// lapsed (delayed invalidations, §3.2); `object` set.
+    InvalidationQueued,
+    /// A queued invalidation was discarded after the inactive-discard
+    /// interval `d`; `value` is the number of records dropped.
+    InvalidationDiscarded,
+    /// A batch of queued invalidations was delivered at volume renewal;
+    /// `value` is the batch size.
+    InvalidationBatch,
+    /// A client was demoted Inactive → Unreachable.
+    ClientDemoted,
+    /// An unreachable client completed the §3.1.1 reconnection protocol.
+    Reconnected,
+    /// A write was classified against current holders; `value` is the
+    /// number of invalidations sent, `extra` the number queued.
+    WriteClassified,
+    /// A write committed; `value` is its delay in milliseconds, `extra`
+    /// is 1 if the server waited out leases instead of collecting acks.
+    WriteCommitted,
+    /// A client read completed; `value` is 1 if the data was stale,
+    /// `extra` the observed latency in milliseconds (0 in simulation).
+    Read,
+    /// A lease-renewal round-trip completed; `value` is the round-trip
+    /// time in milliseconds.
+    RenewalRtt,
+}
+
+impl EventKind {
+    /// All kinds, in declaration order.
+    pub const ALL: [EventKind; 16] = [
+        EventKind::Message,
+        EventKind::LeaseGranted,
+        EventKind::LeaseRenewed,
+        EventKind::LeaseExpired,
+        EventKind::VolumeLeaseGranted,
+        EventKind::InvalidationSent,
+        EventKind::InvalidationAcked,
+        EventKind::InvalidationQueued,
+        EventKind::InvalidationDiscarded,
+        EventKind::InvalidationBatch,
+        EventKind::ClientDemoted,
+        EventKind::Reconnected,
+        EventKind::WriteClassified,
+        EventKind::WriteCommitted,
+        EventKind::Read,
+        EventKind::RenewalRtt,
+    ];
+
+    /// Stable lower-snake identifier used on the wire (JSONL).
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::Message => "message",
+            EventKind::LeaseGranted => "lease_granted",
+            EventKind::LeaseRenewed => "lease_renewed",
+            EventKind::LeaseExpired => "lease_expired",
+            EventKind::VolumeLeaseGranted => "vol_lease_granted",
+            EventKind::InvalidationSent => "inval_sent",
+            EventKind::InvalidationAcked => "inval_acked",
+            EventKind::InvalidationQueued => "inval_queued",
+            EventKind::InvalidationDiscarded => "inval_discarded",
+            EventKind::InvalidationBatch => "inval_batch",
+            EventKind::ClientDemoted => "client_demoted",
+            EventKind::Reconnected => "reconnected",
+            EventKind::WriteClassified => "write_classified",
+            EventKind::WriteCommitted => "write_committed",
+            EventKind::Read => "read",
+            EventKind::RenewalRtt => "renewal_rtt",
+        }
+    }
+
+    /// Inverse of [`name`](EventKind::name).
+    pub fn from_name(name: &str) -> Option<EventKind> {
+        EventKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
+/// One structured protocol event. `Copy` and allocation-free so the
+/// emitting hot paths never touch the heap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When it happened — virtual time in simulation, milliseconds
+    /// since process start on the live path.
+    pub at: Timestamp,
+    /// What happened.
+    pub kind: EventKind,
+    /// The server involved.
+    pub server: ServerId,
+    /// The client involved (servers' own events use `ClientId(0)`).
+    pub client: ClientId,
+    /// The object involved, if any.
+    pub object: Option<ObjectId>,
+    /// The volume involved, if any.
+    pub volume: Option<VolumeId>,
+    /// For [`EventKind::Message`]: which wire message.
+    pub msg: Option<MessageKind>,
+    /// Primary magnitude; meaning is per-[`EventKind`].
+    pub value: u64,
+    /// Secondary magnitude; meaning is per-[`EventKind`].
+    pub extra: u64,
+}
+
+impl Event {
+    /// A minimal event: `kind` at `at` involving `server`/`client`,
+    /// everything else empty. Build richer events with struct update
+    /// syntax: `Event { object: Some(o), ..Event::new(..) }`.
+    pub fn new(at: Timestamp, kind: EventKind, server: ServerId, client: ClientId) -> Event {
+        Event {
+            at,
+            kind,
+            server,
+            client,
+            object: None,
+            volume: None,
+            msg: None,
+            value: 0,
+            extra: 0,
+        }
+    }
+
+    /// Serializes to one JSON object (no trailing newline). Zero-valued
+    /// `value`/`extra` and absent optionals are omitted.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        let _ = write!(
+            s,
+            "{{\"at_ms\":{},\"kind\":\"{}\",\"server\":{},\"client\":{}",
+            self.at.as_millis(),
+            self.kind.name(),
+            self.server.raw(),
+            self.client.raw()
+        );
+        if let Some(o) = self.object {
+            let _ = write!(s, ",\"object\":{}", o.raw());
+        }
+        if let Some(v) = self.volume {
+            let _ = write!(s, ",\"volume\":{}", v.raw());
+        }
+        if let Some(m) = self.msg {
+            let _ = write!(s, ",\"msg\":\"{m}\"");
+        }
+        if self.value != 0 {
+            let _ = write!(s, ",\"value\":{}", self.value);
+        }
+        if self.extra != 0 {
+            let _ = write!(s, ",\"extra\":{}", self.extra);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One line of a JSONL trace: an event or a run label.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceLine {
+    /// A run label: subsequent events belong to the named run.
+    Run(String),
+    /// A protocol event.
+    Event(Event),
+}
+
+/// Parses one JSONL trace line. Returns `None` for blank lines and
+/// lines that are not valid trace records.
+///
+/// This is the exact inverse of [`Event::to_json`] /
+/// [`JsonlSink::begin_run`] — it is *not* a general JSON parser, but
+/// every field the sinks emit is an integer or a fixed identifier, so
+/// a flat key scan suffices.
+pub fn parse_line(line: &str) -> Option<TraceLine> {
+    let line = line.trim();
+    let body = line.strip_prefix('{')?.strip_suffix('}')?;
+    if let Some(rest) = body.strip_prefix("\"run\":\"") {
+        return Some(TraceLine::Run(rest.strip_suffix('"')?.to_string()));
+    }
+    let mut at = None;
+    let mut kind = None;
+    let mut server = None;
+    let mut client = None;
+    let mut object = None;
+    let mut volume = None;
+    let mut msg = None;
+    let mut value = 0u64;
+    let mut extra = 0u64;
+    for field in body.split(',') {
+        let (key, val) = field.split_once(':')?;
+        let key = key.trim().strip_prefix('"')?.strip_suffix('"')?;
+        let val = val.trim();
+        match key {
+            "at_ms" => at = Some(Timestamp::from_millis(val.parse().ok()?)),
+            "kind" => kind = EventKind::from_name(unquote(val)?),
+            "server" => server = Some(ServerId(val.parse().ok()?)),
+            "client" => client = Some(ClientId(val.parse().ok()?)),
+            "object" => object = Some(ObjectId(val.parse().ok()?)),
+            "volume" => volume = Some(VolumeId(val.parse().ok()?)),
+            "msg" => msg = MessageKind::from_name(unquote(val)?),
+            "value" => value = val.parse().ok()?,
+            "extra" => extra = val.parse().ok()?,
+            _ => return None,
+        }
+    }
+    Some(TraceLine::Event(Event {
+        at: at?,
+        kind: kind?,
+        server: server?,
+        client: client?,
+        object,
+        volume,
+        msg,
+        value,
+        extra,
+    }))
+}
+
+fn unquote(s: &str) -> Option<&str> {
+    s.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Receives protocol events. Implementations must be cheap: the sim
+/// hot path calls [`record`](TraceSink::record) once per message.
+pub trait TraceSink: Send {
+    /// Accepts one event.
+    fn record(&mut self, event: &Event);
+    /// Marks the start of a named run (algorithm + parameters); events
+    /// recorded afterwards belong to it. Default: ignored.
+    fn begin_run(&mut self, _label: &str) {}
+    /// Flushes buffered output. Default: no-op.
+    fn flush(&mut self) {}
+}
+
+/// Discards every event — tracing disabled.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Keeps the most recent `capacity` events in memory.
+#[derive(Debug)]
+pub struct RingSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (≥ 1).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// How many events were evicted to respect the capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all retained events, oldest first.
+    pub fn drain(&mut self) -> Vec<Event> {
+        self.buf.drain(..).collect()
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, event: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(*event);
+    }
+}
+
+/// Streams events as JSON lines to any writer — the `--trace-out`
+/// format, read back by [`parse_line`] and `vl report`.
+pub struct JsonlSink<W: Write + Send> {
+    out: io::BufWriter<W>,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps `out` in a buffered JSONL encoder.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out: io::BufWriter::new(out) }
+    }
+
+    /// Consumes the sink, flushing and returning the writer.
+    pub fn into_inner(self) -> io::Result<W> {
+        self.out.into_inner().map_err(|e| e.into_error())
+    }
+}
+
+impl<W: Write + Send> std::fmt::Debug for JsonlSink<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JsonlSink")
+    }
+}
+
+impl<W: Write + Send> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: &Event) {
+        let _ = self.out.write_all(event.to_json().as_bytes());
+        let _ = self.out.write_all(b"\n");
+    }
+
+    fn begin_run(&mut self, label: &str) {
+        // Labels are workspace-generated (algorithm names); escape the
+        // two characters that could break the line format anyway.
+        let safe: String = label
+            .chars()
+            .map(|c| if c == '"' || c == '\n' { '\'' } else { c })
+            .collect();
+        let _ = writeln!(self.out, "{{\"run\":\"{safe}\"}}");
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Event {
+        Event {
+            at: Timestamp::from_millis(1500),
+            kind: EventKind::Message,
+            server: ServerId(2),
+            client: ClientId(7),
+            object: Some(ObjectId(40)),
+            volume: Some(VolumeId(3)),
+            msg: Some(MessageKind::Invalidate),
+            value: 50,
+            extra: 0,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_full() {
+        let e = sample();
+        assert_eq!(parse_line(&e.to_json()), Some(TraceLine::Event(e)));
+    }
+
+    #[test]
+    fn json_roundtrip_minimal_and_all_kinds() {
+        for kind in EventKind::ALL {
+            let e = Event::new(Timestamp::ZERO, kind, ServerId(0), ClientId(0));
+            assert_eq!(parse_line(&e.to_json()), Some(TraceLine::Event(e)));
+        }
+    }
+
+    #[test]
+    fn run_label_roundtrip() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.begin_run("Delay(tv=10s, t=100000s, d=1h)");
+        sink.record(&sample());
+        let bytes = sink.into_inner().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let mut lines = text.lines();
+        assert_eq!(
+            parse_line(lines.next().unwrap()),
+            Some(TraceLine::Run("Delay(tv=10s, t=100000s, d=1h)".into()))
+        );
+        assert_eq!(parse_line(lines.next().unwrap()), Some(TraceLine::Event(sample())));
+    }
+
+    #[test]
+    fn garbage_is_none() {
+        assert_eq!(parse_line(""), None);
+        assert_eq!(parse_line("not json"), None);
+        assert_eq!(parse_line("{\"kind\":\"no_such_kind\",\"at_ms\":0}"), None);
+    }
+
+    #[test]
+    fn ring_keeps_tail() {
+        let mut ring = RingSink::new(2);
+        for i in 0..5u64 {
+            let mut e = Event::new(Timestamp::from_millis(i), EventKind::Read, ServerId(0), ClientId(0));
+            e.value = i;
+            ring.record(&e);
+        }
+        assert_eq!(ring.dropped(), 3);
+        let vals: Vec<u64> = ring.events().map(|e| e.value).collect();
+        assert_eq!(vals, vec![3, 4]);
+    }
+}

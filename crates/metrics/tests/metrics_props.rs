@@ -105,3 +105,71 @@ fn message_accounting_balances() {
         assert_eq!(m.total_bytes(), bytes, "case {case}");
     }
 }
+
+/// Every [`vl_metrics::Histogram`] percentile sits within the advertised
+/// 17/16 relative error of the same-rank element of the sorted sample
+/// vector, and the extremes are exact.
+#[test]
+fn histogram_percentiles_match_sorted_oracle() {
+    use vl_metrics::Histogram;
+    let mut rng = StdRng::seed_from_u64(0x4157);
+    for case in 0..128 {
+        let samples: Vec<u64> = (0..rng.gen_range(1usize..400))
+            .map(|_| {
+                // Mix magnitudes so both the exact region and several
+                // power-of-two groups are exercised.
+                let bits = rng.gen_range(0u32..40);
+                rng.gen_range(0u64..2u64.saturating_pow(bits).max(2))
+            })
+            .collect();
+        let mut h = Histogram::new();
+        let mut sorted = samples.clone();
+        for &v in &samples {
+            h.record(v);
+        }
+        sorted.sort_unstable();
+        assert_eq!(h.count(), sorted.len() as u64, "case {case}");
+        assert_eq!(h.min(), sorted[0], "case {case}");
+        assert_eq!(h.max(), *sorted.last().unwrap(), "case {case}");
+        assert_eq!(h.percentile(1.0), h.max(), "case {case}");
+        for &q in &[0.01, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let oracle = sorted[rank - 1];
+            let got = h.percentile(q);
+            assert!(got >= oracle, "case {case} q={q}: {got} < oracle {oracle}");
+            assert!(
+                got as u128 * 16 <= (oracle as u128).max(1) * 17,
+                "case {case} q={q}: {got} above 17/16 of oracle {oracle}"
+            );
+        }
+    }
+}
+
+/// Merging the per-shard histograms of an arbitrarily sharded sample set
+/// reproduces the single-threaded histogram *exactly* — bucket counts,
+/// extremes, sum, and therefore every percentile.
+#[test]
+fn histogram_shard_merge_equals_single_threaded() {
+    use vl_metrics::Histogram;
+    let mut rng = StdRng::seed_from_u64(0x5a4d);
+    for case in 0..128 {
+        let shards = rng.gen_range(1usize..9);
+        let samples: Vec<(usize, u64)> = (0..rng.gen_range(0usize..500))
+            .map(|_| (rng.gen_range(0..shards), rng.gen::<u64>() >> rng.gen_range(0u32..64)))
+            .collect();
+        let mut single = Histogram::new();
+        let mut per_shard = vec![Histogram::new(); shards];
+        for &(shard, v) in &samples {
+            single.record(v);
+            per_shard[shard].record(v);
+        }
+        let mut merged = Histogram::new();
+        for shard in &per_shard {
+            merged.merge(shard);
+        }
+        assert_eq!(merged, single, "case {case} ({shards} shards)");
+        for &q in &[0.5, 0.9, 0.99] {
+            assert_eq!(merged.percentile(q), single.percentile(q), "case {case}");
+        }
+    }
+}

@@ -26,11 +26,23 @@
 //! assert_eq!(&bytes[..], b"hi");
 //! # Ok::<(), vl_net::NetError>(())
 //! ```
+//!
+//! # Layering
+//!
+//! This crate is driver territory under DESIGN.md §7: everything that
+//! blocks, owns a socket, or loses messages lives here, behind the
+//! [`Channel`] trait, so the protocol machines above it never touch
+//! I/O. The router also keeps per-message-tag delivery accounting
+//! ([`WireStats`]) — transport-level observability that needs no
+//! decoding, since every `vl-proto` frame begins with its codec tag.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod tcp;
+pub mod wire;
+
+pub use wire::{TagStats, WireStats};
 
 /// A bidirectional message channel with node addressing — the interface
 /// the live server and client stack is written against. Implemented by
@@ -117,6 +129,8 @@ struct Router {
     partitions: HashSet<(NodeId, NodeId)>,
     delivered: u64,
     dropped: u64,
+    /// Per-tag accounting of delivered frames (first byte = codec tag).
+    wire: WireStats,
 }
 
 fn pair(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -177,6 +191,13 @@ impl InMemoryNetwork {
     pub fn dropped(&self) -> u64 {
         self.router.lock().dropped
     }
+
+    /// Snapshot of per-message-tag delivery accounting. The tag is the
+    /// frame's first byte — for `vl-proto` frames, the codec tag that
+    /// `vl_proto::codec::tag_name` maps back to a message name.
+    pub fn wire_stats(&self) -> WireStats {
+        self.router.lock().wire.clone()
+    }
 }
 
 impl fmt::Debug for InMemoryNetwork {
@@ -218,9 +239,11 @@ impl Endpoint {
             return Ok(());
         }
         let tx = r.inboxes.get(&to).ok_or(NetError::UnknownNode(to))?;
+        let frame = bytes.clone();
         match tx.send((self.id, bytes)) {
             Ok(()) => {
                 r.delivered += 1;
+                r.wire.record(&frame);
                 Ok(())
             }
             // Receiver dropped: behaves like a dead host, i.e. loss.
@@ -366,6 +389,23 @@ mod tests {
             a.recv_timeout(StdDuration::from_millis(30)),
             Err(NetError::Timeout)
         );
+    }
+
+    #[test]
+    fn wire_stats_account_delivered_frames_by_tag() {
+        let net = InMemoryNetwork::new();
+        let a = net.endpoint(c(1));
+        let b = net.endpoint(s(0));
+        a.send(s(0), Bytes::from_static(&[0x01, 9, 9])).unwrap();
+        a.send(s(0), Bytes::from_static(&[0x01])).unwrap();
+        b.send(c(1), Bytes::from_static(&[0x83, 0])).unwrap();
+        net.partition(c(1), s(0));
+        a.send(s(0), Bytes::from_static(&[0x01])).unwrap(); // dropped, not counted
+        let w = net.wire_stats();
+        assert_eq!(w.for_tag(0x01).frames, 2);
+        assert_eq!(w.for_tag(0x01).bytes, 4);
+        assert_eq!(w.for_tag(0x83).frames, 1);
+        assert_eq!(w.total_frames(), 3);
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Wire-level message tagging and per-tag accounting.
+//!
+//! Every `vl-proto` frame begins with a one-byte message tag, so the
+//! transport can classify traffic without decoding it. The in-memory
+//! router keeps a [`WireStats`] of delivered frames — message kind +
+//! byte size per tag — which `vl-proto`'s `codec::tag_name` turns back
+//! into protocol message names for reports. The transport itself stays
+//! independent of `vl-proto`: tags are plain bytes here.
+
+use std::collections::BTreeMap;
+
+/// The message tag of a framed message: its first byte. `None` for an
+/// empty frame.
+pub fn tag(frame: &[u8]) -> Option<u8> {
+    frame.first().copied()
+}
+
+/// Count and byte totals of delivered frames, keyed by message tag.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireStats {
+    per_tag: BTreeMap<u8, TagStats>,
+}
+
+/// Totals for one message tag.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TagStats {
+    /// Frames delivered.
+    pub frames: u64,
+    /// Total payload bytes (including the tag byte).
+    pub bytes: u64,
+}
+
+impl WireStats {
+    /// Empty stats.
+    pub fn new() -> WireStats {
+        WireStats::default()
+    }
+
+    /// Accounts one delivered frame.
+    pub fn record(&mut self, frame: &[u8]) {
+        let Some(tag) = tag(frame) else { return };
+        let e = self.per_tag.entry(tag).or_default();
+        e.frames += 1;
+        e.bytes += frame.len() as u64;
+    }
+
+    /// Totals for `tag`, zero if never seen.
+    pub fn for_tag(&self, tag: u8) -> TagStats {
+        self.per_tag.get(&tag).copied().unwrap_or_default()
+    }
+
+    /// All seen tags with their totals, ascending by tag.
+    pub fn iter(&self) -> impl Iterator<Item = (u8, TagStats)> + '_ {
+        self.per_tag.iter().map(|(&t, &s)| (t, s))
+    }
+
+    /// Total frames across all tags.
+    pub fn total_frames(&self) -> u64 {
+        self.per_tag.values().map(|s| s.frames).sum()
+    }
+
+    /// Total bytes across all tags.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_tag.values().map(|s| s.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_first_byte() {
+        let mut w = WireStats::new();
+        w.record(&[0x01, 0, 0]);
+        w.record(&[0x01]);
+        w.record(&[0x83, 1, 2, 3]);
+        w.record(&[]); // ignored
+        assert_eq!(w.for_tag(0x01), TagStats { frames: 2, bytes: 4 });
+        assert_eq!(w.for_tag(0x83), TagStats { frames: 1, bytes: 4 });
+        assert_eq!(w.for_tag(0x55), TagStats::default());
+        assert_eq!(w.total_frames(), 3);
+        assert_eq!(w.total_bytes(), 8);
+        assert_eq!(w.iter().count(), 2);
+    }
+}

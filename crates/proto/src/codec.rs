@@ -51,6 +51,26 @@ const T_INVALIDATE: u8 = 0x83;
 const T_MUST_RENEW: u8 = 0x84;
 const T_INVAL_RENEW: u8 = 0x85;
 
+/// The message name behind a wire tag (a frame's first byte), or `None`
+/// for an unknown tag. This is how transport-level accounting
+/// (`vl_net::WireStats`, keyed by raw tag byte) is rendered back into
+/// protocol terms without the transport depending on this crate.
+pub fn tag_name(tag: u8) -> Option<&'static str> {
+    Some(match tag {
+        T_REQ_OBJ => "REQ_OBJ_LEASE",
+        T_REQ_VOL => "REQ_VOL_LEASE",
+        T_RENEW_ALL => "RENEW_OBJ_LEASES",
+        T_ACK_OBJ => "ACK_INVALIDATE",
+        T_ACK_VOL => "ACK_VOL_BATCH",
+        T_OBJ_LEASE => "OBJ_LEASE",
+        T_VOL_LEASE => "VOL_LEASE",
+        T_INVALIDATE => "INVALIDATE",
+        T_MUST_RENEW => "MUST_RENEW_ALL",
+        T_INVAL_RENEW => "INVALIDATE+RENEW",
+        _ => return None,
+    })
+}
+
 /// Encodes a client→server message.
 pub fn encode_client(msg: &ClientMsg) -> Bytes {
     let mut b = BytesMut::with_capacity(32);
@@ -446,5 +466,18 @@ mod tests {
     fn empty_buffer_rejected() {
         assert_eq!(decode_client(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode_server(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn every_encoded_frame_tag_has_a_name() {
+        for msg in client_samples() {
+            let bytes = encode_client(&msg);
+            assert_eq!(tag_name(bytes[0]), Some(msg.name()));
+        }
+        for msg in server_samples() {
+            let bytes = encode_server(&msg);
+            assert_eq!(tag_name(bytes[0]), Some(msg.name()));
+        }
+        assert_eq!(tag_name(0x7F), None);
     }
 }

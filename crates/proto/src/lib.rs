@@ -24,8 +24,17 @@
 //! assert_eq!(codec::decode_client(&bytes)?, msg);
 //! # Ok::<(), vl_proto::codec::DecodeError>(())
 //! ```
+//!
+//! # Layering
+//!
+//! Per DESIGN.md §7 this crate is pure: message types and their byte
+//! codec, nothing that touches a socket. Framing and delivery live in
+//! the `vl-net` drivers; the sans-io machines in `vl-core::machine`
+//! consume and produce these messages as plain values, which is what
+//! lets the same protocol logic run under threads, a virtual clock, or
+//! the trace-driven simulator unchanged.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod codec;

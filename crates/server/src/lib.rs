@@ -34,6 +34,16 @@
 //! assert_eq!(outcome.invalidations_sent, 0); // nobody holds a lease yet
 //! server.shutdown();
 //! ```
+//!
+//! # Layering
+//!
+//! Under DESIGN.md §7 this crate is a *thin driver*: all protocol
+//! decisions live in the pure [`vl_core::machine::ServerMachine`], and
+//! [`LeaseServer`] only owns the endpoint, threads, clock, stable file,
+//! and lock — feeding inputs in and executing the returned actions
+//! (including mapping them to trace events when a
+//! [`vl_metrics::TraceSink`] is attached via
+//! [`LeaseServer::spawn_traced`]).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

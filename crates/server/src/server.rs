@@ -17,11 +17,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration as StdDuration;
 use vl_core::machine::{
-    MachineConfig, ServerAction, ServerInput, ServerMachine, StableState,
+    events, MachineConfig, ServerAction, ServerInput, ServerMachine, StableState,
 };
+use vl_metrics::TraceSink;
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::codec;
-use vl_types::{Clock, Duration, ObjectId, ServerId, Version, VolumeId};
+use vl_types::{Clock, Duration, ObjectId, ServerId, Timestamp, Version, VolumeId};
 
 pub use vl_core::machine::{ServerStats, WriteMode, WriteOutcome};
 
@@ -113,11 +114,33 @@ impl LeaseServer {
         endpoint: impl Channel + 'static,
         clock: impl Clock + Send + 'static,
     ) -> ServerHandle {
+        LeaseServer::spawn_inner(config, endpoint, clock, None)
+    }
+
+    /// Like [`spawn`](LeaseServer::spawn), but records every applied
+    /// machine action as structured trace events into `sink` (see
+    /// `vl_core::machine::events`). The sink is flushed when the server
+    /// stops.
+    pub fn spawn_traced(
+        config: ServerConfig,
+        endpoint: impl Channel + 'static,
+        clock: impl Clock + Send + 'static,
+        sink: Box<dyn TraceSink>,
+    ) -> ServerHandle {
+        LeaseServer::spawn_inner(config, endpoint, clock, Some(sink))
+    }
+
+    fn spawn_inner(
+        config: ServerConfig,
+        endpoint: impl Channel + 'static,
+        clock: impl Clock + Send + 'static,
+        sink: Option<Box<dyn TraceSink>>,
+    ) -> ServerHandle {
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
         let (tx, rx) = unbounded();
         let thread = std::thread::Builder::new()
             .name(format!("vl-server-{}", config.server))
-            .spawn(move || Driver::new(config, endpoint, clock, rx).run())
+            .spawn(move || Driver::new(config, endpoint, clock, rx, sink).run())
             .expect("spawn server thread");
         ServerHandle { cmd: tx, thread }
     }
@@ -195,6 +218,11 @@ struct Driver<C: Clock> {
     /// writes strictly in enqueue order, so a FIFO correlates each
     /// [`ServerAction::CompleteWrite`] with its caller.
     write_replies: VecDeque<Sender<WriteOutcome>>,
+    /// Identity carried alongside the machine for event labelling.
+    server: ServerId,
+    volume: VolumeId,
+    /// Optional structured-event trace of every applied action.
+    sink: Option<Box<dyn TraceSink>>,
 }
 
 impl<C: Clock> Driver<C> {
@@ -203,6 +231,7 @@ impl<C: Clock> Driver<C> {
         endpoint: Arc<dyn Channel>,
         clock: C,
         commands: Receiver<Command>,
+        sink: Option<Box<dyn TraceSink>>,
     ) -> Driver<C> {
         let recovered = match &cfg.stable_path {
             None => None,
@@ -223,9 +252,13 @@ impl<C: Clock> Driver<C> {
             commands,
             stable_path: cfg.stable_path,
             write_replies: VecDeque::new(),
+            server: cfg.server,
+            volume: cfg.volume,
+            sink,
         };
         // The recovery record must hit disk before we serve anything.
-        driver.apply(boot);
+        let now = driver.clock.now();
+        driver.apply(now, boot);
         driver
     }
 
@@ -257,7 +290,12 @@ impl<C: Clock> Driver<C> {
                     Command::Stats { reply } => {
                         let _ = reply.send(self.machine.stats());
                     }
-                    Command::Crash | Command::Shutdown => return,
+                    Command::Crash | Command::Shutdown => {
+                        if let Some(sink) = &mut self.sink {
+                            sink.flush();
+                        }
+                        return;
+                    }
                 }
             }
 
@@ -273,7 +311,12 @@ impl<C: Clock> Driver<C> {
                     }
                 }
                 Err(NetError::Timeout) => self.step(ServerInput::Tick),
-                Err(_) => return, // endpoint replaced or network gone
+                Err(_) => {
+                    if let Some(sink) = &mut self.sink {
+                        sink.flush();
+                    }
+                    return; // endpoint replaced or network gone
+                }
             }
         }
     }
@@ -283,11 +326,16 @@ impl<C: Clock> Driver<C> {
     fn step(&mut self, input: ServerInput) {
         let now = self.clock.now();
         let actions = self.machine.handle(now, input);
-        self.apply(actions);
+        self.apply(now, actions);
     }
 
-    fn apply(&mut self, actions: Vec<ServerAction>) {
+    fn apply(&mut self, now: Timestamp, actions: Vec<ServerAction>) {
         for action in actions {
+            if let Some(sink) = &mut self.sink {
+                for ev in events::server_action_events(now, self.server, self.volume, &action) {
+                    sink.record(&ev);
+                }
+            }
             match action {
                 ServerAction::Send { to, msg } => {
                     let _ = self

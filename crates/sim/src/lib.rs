@@ -23,6 +23,13 @@
 //! let (at, ev) = q.pop().unwrap();
 //! assert_eq!((at, ev), (Timestamp::from_secs(1), "sooner"));
 //! ```
+//!
+//! # Layering
+//!
+//! Per DESIGN.md §7 everything here is pure and deterministic — the
+//! virtual clock and event queue are data structures, not threads — so
+//! the simulator and the machine fault harness built on them replay
+//! byte-identically from a seed.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

@@ -21,8 +21,16 @@
 //! assert!(leases.is_valid_for(ClientId(1), now));
 //! assert!(!leases.is_valid_for(ClientId(1), now + Duration::from_secs(11)));
 //! ```
+//!
+//! # Layering
+//!
+//! In the DESIGN.md §7 split between pure protocol core and thin I/O
+//! drivers, this crate is the base of the pure side: vocabulary only —
+//! no threads, clocks, sockets, or randomness — so every layer above
+//! it, simulated or live, shares one notion of time, identity, and
+//! lease bookkeeping.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod id;

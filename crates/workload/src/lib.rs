@@ -29,6 +29,12 @@
 //! // Events are time-ordered.
 //! assert!(trace.events().windows(2).all(|w| w[0].at() <= w[1].at()));
 //! ```
+//!
+//! # Layering
+//!
+//! Pure layer (DESIGN.md §7): generation is a deterministic function
+//! of a [`WorkloadConfig`] (seed included), and a generated [`Trace`]
+//! is plain data shared read-only across the parallel sweep workers.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

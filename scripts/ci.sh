@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full CI gate: release build (all targets, so bench breakage is
-# caught), the complete test suite, and the smoke benchmark script.
+# caught), the complete test suite, a warning-clean rustdoc build,
+# and the smoke benchmark script.
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 
@@ -11,6 +12,9 @@ cargo build --workspace --all-targets --release
 
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> scripts/bench_smoke.sh"
 ./scripts/bench_smoke.sh "${VL_THREADS:-$(nproc 2>/dev/null || echo 4)}"
