@@ -389,6 +389,9 @@ mod tests {
     #[test]
     fn display_names_match_table1() {
         assert_eq!(Algorithm::VolumeLease.to_string(), "Volume Leases");
-        assert_eq!(Algorithm::DelayedInvalidation.to_string(), "Vol. Delay Inval");
+        assert_eq!(
+            Algorithm::DelayedInvalidation.to_string(),
+            "Vol. Delay Inval"
+        );
     }
 }

@@ -280,8 +280,13 @@ mod tests {
 
     #[test]
     fn longer_tv_means_less_overhead_but_longer_write_bound() {
-        let rows =
-            volume_timeout_sweep(&WorkloadConfig::smoke(), 100_000, &[1, 10, 100, 1000, 10_000], 2).0;
+        let rows = volume_timeout_sweep(
+            &WorkloadConfig::smoke(),
+            100_000,
+            &[1, 10, 100, 1000, 10_000],
+            2,
+        )
+        .0;
         assert_eq!(rows.len(), 5);
         assert!(
             rows.first().unwrap().messages >= rows.last().unwrap().messages,

@@ -6,7 +6,8 @@ use vl_core::ProtocolKind;
 
 fn main() {
     let args = cli::parse("ablation_grouping", "");
-    let (rows, stats) = ablation::grouping_sweep(&args.config, 10, 100_000, &[1, 2, 4, 8, 16], args.threads);
+    let (rows, stats) =
+        ablation::grouping_sweep(&args.config, 10, 100_000, &[1, 2, 4, 8, 16], args.threads);
     cli::emit(
         "Ablation — volume shards per server (t_v=10, t=1e5)",
         &ablation::grouping_table(&rows),
@@ -16,6 +17,9 @@ fn main() {
 
     cli::write_trace(
         &args,
-        &[ProtocolKind::VolumeLease { volume_timeout: secs(10), object_timeout: secs(100_000) }],
+        &[ProtocolKind::VolumeLease {
+            volume_timeout: secs(10),
+            object_timeout: secs(100_000),
+        }],
     );
 }

@@ -22,9 +22,17 @@ fn main() {
     cli::write_trace(
         &args,
         &[
-            ProtocolKind::Lease { timeout: secs(100_000) },
-            ProtocolKind::VolumeLease { volume_timeout: secs(10), object_timeout: secs(100_000) },
-            ProtocolKind::VolumeLease { volume_timeout: secs(1_000), object_timeout: secs(100_000) },
+            ProtocolKind::Lease {
+                timeout: secs(100_000),
+            },
+            ProtocolKind::VolumeLease {
+                volume_timeout: secs(10),
+                object_timeout: secs(100_000),
+            },
+            ProtocolKind::VolumeLease {
+                volume_timeout: secs(1_000),
+                object_timeout: secs(100_000),
+            },
         ],
     );
 }

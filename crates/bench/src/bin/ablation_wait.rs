@@ -6,7 +6,11 @@ use vl_core::ProtocolKind;
 
 fn main() {
     let args = cli::parse("ablation_wait", "");
-    let (rows, stats) = ablation::waiting_lease_sweep(&args.config, &[10, 100, 1_000, 10_000, 100_000], args.threads);
+    let (rows, stats) = ablation::waiting_lease_sweep(
+        &args.config,
+        &[10, 100, 1_000, 10_000, 100_000],
+        args.threads,
+    );
     cli::emit(
         "Ablation — Lease(t) vs WaitLease(t): messages vs write blocking",
         &ablation::wait_table(&rows),
@@ -17,8 +21,12 @@ fn main() {
     cli::write_trace(
         &args,
         &[
-            ProtocolKind::Lease { timeout: secs(1_000) },
-            ProtocolKind::WaitingLease { timeout: secs(1_000) },
+            ProtocolKind::Lease {
+                timeout: secs(1_000),
+            },
+            ProtocolKind::WaitingLease {
+                timeout: secs(1_000),
+            },
         ],
     );
 }

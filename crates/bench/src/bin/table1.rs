@@ -35,7 +35,10 @@ fn main() {
             ProtocolKind::Callback,
             ProtocolKind::Lease { timeout: t },
             ProtocolKind::WaitingLease { timeout: t },
-            ProtocolKind::VolumeLease { volume_timeout: tv, object_timeout: t },
+            ProtocolKind::VolumeLease {
+                volume_timeout: tv,
+                object_timeout: t,
+            },
             ProtocolKind::DelayedInvalidation {
                 volume_timeout: tv,
                 object_timeout: t,

@@ -36,7 +36,8 @@ pub fn lines() -> Vec<Line> {
     vec![
         (
             "Poll(t)",
-            Box::new(|t| ProtocolKind::Poll { timeout: t }) as Box<dyn Fn(Duration) -> ProtocolKind>,
+            Box::new(|t| ProtocolKind::Poll { timeout: t })
+                as Box<dyn Fn(Duration) -> ProtocolKind>,
         ),
         ("Callback", Box::new(|_| ProtocolKind::Callback)),
         ("Lease(t)", Box::new(|t| ProtocolKind::Lease { timeout: t })),
@@ -247,7 +248,10 @@ mod tests {
         // With a 10 s write-delay bound the volume algorithms beat
         // Lease(10) decisively (the paper reports 32% / 39%).
         assert!(vol > 0.0, "volume saving {vol}");
-        assert!(delay >= vol, "delay {delay} at least as good as volume {vol}");
+        assert!(
+            delay >= vol,
+            "delay {delay} at least as good as volume {vol}"
+        );
     }
 
     #[test]

@@ -25,7 +25,11 @@ const _: fn() = || {
 /// [`std::thread::available_parallelism`]. Always at least 1.
 pub fn thread_count(explicit: Option<usize>) -> usize {
     explicit
-        .or_else(|| std::env::var("VL_THREADS").ok().and_then(|s| s.parse().ok()))
+        .or_else(|| {
+            std::env::var("VL_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+        })
         .filter(|&n| n >= 1)
         .unwrap_or_else(|| {
             std::thread::available_parallelism()

@@ -177,7 +177,12 @@ mod tests {
     fn table_renders_all_algorithms() {
         let rows = run(&default_config(), 2).0;
         let rendered = table(&rows).render();
-        for name in ["Poll Each Read", "Callback", "Volume Leases", "Vol. Delay Inval"] {
+        for name in [
+            "Poll Each Read",
+            "Callback",
+            "Volume Leases",
+            "Vol. Delay Inval",
+        ] {
             assert!(rendered.contains(name), "{name} missing");
         }
     }

@@ -53,7 +53,10 @@ impl UniformConfig {
 ///
 /// Panics if any period is zero or the span is empty.
 pub fn uniform_trace(cfg: &UniformConfig) -> Trace {
-    assert!(cfg.clients > 0 && cfg.objects > 0, "need clients and objects");
+    assert!(
+        cfg.clients > 0 && cfg.objects > 0,
+        "need clients and objects"
+    );
     assert!(
         !cfg.read_period.is_zero() && !cfg.span.is_zero(),
         "periods and span must be positive"

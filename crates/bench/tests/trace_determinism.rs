@@ -9,7 +9,9 @@ use vl_workload::{TraceGenerator, WorkloadConfig};
 
 fn traced_kinds() -> Vec<ProtocolKind> {
     vec![
-        ProtocolKind::Lease { timeout: secs(1_000) },
+        ProtocolKind::Lease {
+            timeout: secs(1_000),
+        },
         ProtocolKind::VolumeLease {
             volume_timeout: secs(10),
             object_timeout: secs(1_000),
@@ -46,7 +48,10 @@ fn jsonl_trace_is_byte_identical_across_thread_counts() {
     let serial = write_with_threads(1, "a");
     assert!(!serial.is_empty());
     let text = String::from_utf8(serial.clone()).expect("trace is utf8");
-    assert!(text.starts_with("{\"run\":\"Lease(1000)\"}\n"), "run label first");
+    assert!(
+        text.starts_with("{\"run\":\"Lease(1000)\"}\n"),
+        "run label first"
+    );
     assert_eq!(
         text.lines().filter(|l| l.starts_with("{\"run\":")).count(),
         3,

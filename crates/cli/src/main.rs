@@ -4,8 +4,12 @@
 //! vl serve --addr 127.0.0.1:7400 [--objects 10] [--volume-lease-ms 2000]
 //!          [--object-lease-ms 60000] [--write-every-ms 5000] [--best-effort]
 //!          [--stable PATH] [--trace-out PATH]
+//!          [--chaos-profile off|drops|delays|partitions|havoc] [--chaos-seed N]
 //!     Run a lease server over TCP, seeding `--objects` demo objects and
 //!     optionally rewriting one of them on a timer so invalidations flow.
+//!     With a chaos profile the server's endpoint is wrapped in the
+//!     seeded fault injector from `vl-net`, so every connected client
+//!     sees drops/delays/resets without any external tooling.
 //!
 //! vl get --addr 127.0.0.1:7400 --object 3 [--client-id 1] [--watch MS]
 //!     Read an object with strong consistency; `--watch` re-reads on an
@@ -26,6 +30,12 @@
 //!     lease, wait-lease, volume, delay. `--trace-out` additionally
 //!     writes every protocol event as JSONL for `vl report`.
 //!
+//! vl sim --chaos-profile off|drops|delays|partitions|havoc [--chaos-seed N]
+//!        [--steps N]
+//!     Chaos mode: no trace needed. Runs the deterministic state-machine
+//!     fault harness with a profile-derived fault mix and prints the
+//!     invariant report; exits non-zero if any invariant was violated.
+//!
 //! vl report --trace PATH [--top N]
 //!     Summarize a JSONL protocol trace (from `--trace-out` here or on
 //!     the figure binaries): per-run message mix, stale reads,
@@ -44,10 +54,12 @@ mod report;
 
 use bytes::Bytes;
 use std::process::exit;
+use std::sync::Arc;
 use std::time::Duration as StdDuration;
 use vl_client::{CacheClient, ClientConfig};
+use vl_net::chaos::{ChaosNet, ChaosProfile};
 use vl_net::tcp::TcpNode;
-use vl_net::{InMemoryNetwork, NodeId};
+use vl_net::{Channel, InMemoryNetwork, NodeId};
 use vl_server::{LeaseServer, ServerConfig, WallClock, WriteMode};
 use vl_types::{ClientId, ObjectId, ServerId};
 
@@ -55,11 +67,13 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  vl serve --addr HOST:PORT [--objects N] [--volume-lease-ms N] \
          [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
-         [--trace-out PATH]\n  \
+         [--trace-out PATH] [--chaos-profile off|drops|delays|partitions|havoc] \
+         [--chaos-seed N]\n  \
          vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
          vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--trace-out PATH]\n  \
+         vl sim --chaos-profile NAME [--chaos-seed N] [--steps N]\n  \
          vl report --trace PATH [--top N]"
     );
     exit(2)
@@ -88,6 +102,21 @@ impl Args {
             }),
         }
     }
+}
+
+/// Parses `--chaos-profile` / `--chaos-seed`. A seed without a profile
+/// implies `havoc`; profile `off` (or neither flag) means no chaos.
+fn chaos_opts(args: &Args) -> Option<(ChaosProfile, u64)> {
+    let seed: u64 = args.parsed("--chaos-seed", 42);
+    let profile = match args.value("--chaos-profile") {
+        Some(v) => v.parse().unwrap_or_else(|e| {
+            eprintln!("{e}");
+            exit(2)
+        }),
+        None if args.value("--chaos-seed").is_some() => ChaosProfile::Havoc,
+        None => ChaosProfile::Off,
+    };
+    (profile != ChaosProfile::Off).then_some((profile, seed))
 }
 
 fn main() {
@@ -155,6 +184,9 @@ fn gen(args: &Args) {
 fn sim(args: &Args) {
     use vl_core::{ProtocolKind, SimulationBuilder};
     use vl_types::Duration;
+    if let Some((profile, seed)) = chaos_opts(args) {
+        return sim_chaos(args, profile, seed);
+    }
     let Some(path) = args.value("--trace") else {
         eprintln!("sim needs --trace PATH (create one with `vl gen`)");
         exit(2)
@@ -233,6 +265,80 @@ fn sim(args: &Args) {
     );
 }
 
+/// `vl sim --chaos-profile ...`: run the deterministic fault harness
+/// with a fault mix derived from the named profile and report whether
+/// the consistency invariants held.
+fn sim_chaos(args: &Args, profile: ChaosProfile, seed: u64) {
+    use vl_core::machine::harness::{run, FaultConfig};
+    use vl_types::Duration;
+    let mut cfg = FaultConfig::new(seed);
+    cfg.steps = args.parsed("--steps", cfg.steps);
+    // The harness expresses faults per workload step rather than per
+    // message, so each wire profile maps onto the nearest step mix.
+    match profile {
+        ChaosProfile::Off => {
+            cfg.drop_prob = 0.0;
+            cfg.client_crash_prob = 0.0;
+            cfg.server_crash_prob = 0.0;
+            cfg.partition_prob = 0.0;
+        }
+        ChaosProfile::Drops => {
+            cfg.drop_prob = 0.10;
+            cfg.client_crash_prob = 0.0;
+            cfg.server_crash_prob = 0.0;
+            cfg.partition_prob = 0.0;
+        }
+        ChaosProfile::Delays => {
+            cfg.drop_prob = 0.0;
+            cfg.client_crash_prob = 0.0;
+            cfg.server_crash_prob = 0.0;
+            cfg.partition_prob = 0.0;
+            cfg.latency = Duration::from_millis(30);
+        }
+        ChaosProfile::Partitions => {
+            cfg.drop_prob = 0.02;
+            cfg.client_crash_prob = 0.0;
+            cfg.server_crash_prob = 0.0;
+            cfg.partition_prob = 0.10;
+            cfg.partition_for = Duration::from_millis(150);
+        }
+        // Havoc keeps the harness's "fairly hostile" default mix,
+        // which already includes client and server crashes.
+        ChaosProfile::Havoc => {}
+    }
+    let report = run(&cfg);
+    println!("chaos profile:   {profile} (seed {seed})");
+    println!("steps:           {}", report.steps);
+    println!(
+        "reads:           {} delivered ({} local), {} timed out, {} aborted",
+        report.reads_delivered, report.local_reads, report.reads_timed_out, report.reads_aborted
+    );
+    println!(
+        "writes:          {} enqueued, {} completed, {} lost",
+        report.writes_enqueued, report.writes_completed, report.writes_lost
+    );
+    println!(
+        "max write delay: {:.2}s",
+        report.max_write_delay.as_secs_f64()
+    );
+    println!(
+        "faults:          {} msgs dropped, {} partitions, {} client crashes, {} server crashes",
+        report.messages_dropped, report.partitions, report.client_crashes, report.server_crashes
+    );
+    println!("reconnections:   {}", report.reconnections);
+    println!(
+        "invariants:      {} checks, {} violations",
+        report.invariant_checks,
+        report.violations.len()
+    );
+    if !report.violations.is_empty() {
+        for v in &report.violations {
+            eprintln!("VIOLATION: {v}");
+        }
+        exit(1);
+    }
+}
+
 fn report_cmd(args: &Args) {
     let Some(path) = args.value("--trace") else {
         eprintln!("report needs --trace PATH (write one with --trace-out)");
@@ -285,9 +391,17 @@ fn serve(args: &Args) {
         }
     };
     let bound = node.local_addr().expect("listening");
+    let endpoint: Arc<dyn Channel> = match chaos_opts(args) {
+        None => Arc::new(node),
+        Some((profile, seed)) => {
+            let chaos = ChaosNet::new(profile.config(seed));
+            println!("(chaos profile '{profile}' seed {seed} injected on the server endpoint)");
+            Arc::new(chaos.wrap(node))
+        }
+    };
     let clock = WallClock::new();
     let server = match args.value("--trace-out") {
-        None => LeaseServer::spawn(cfg, node, clock),
+        None => LeaseServer::spawn(cfg, endpoint, clock),
         Some(out) => {
             use vl_metrics::JsonlSink;
             let file = std::fs::File::create(out).unwrap_or_else(|e| {
@@ -295,7 +409,7 @@ fn serve(args: &Args) {
                 exit(1)
             });
             println!("(tracing protocol events to {out})");
-            LeaseServer::spawn_traced(cfg, node, clock, Box::new(JsonlSink::new(file)))
+            LeaseServer::spawn_traced(cfg, endpoint, clock, Box::new(JsonlSink::new(file)))
         }
     };
     for i in 0..objects {
@@ -358,7 +472,11 @@ fn get(args: &Args) {
             exit(1)
         }
     };
-    let client = CacheClient::spawn(ClientConfig::new(client_id, server_id), node, WallClock::new());
+    let client = CacheClient::spawn(
+        ClientConfig::new(client_id, server_id),
+        node,
+        WallClock::new(),
+    );
     let watch: u64 = args.parsed("--watch", 0);
     let mut last: Option<Bytes> = None;
     loop {

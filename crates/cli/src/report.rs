@@ -129,7 +129,11 @@ pub fn render(s: &RunSummary, top: usize) -> String {
     }
     let _ = writeln!(out, "  reads: {} ({} stale)", s.reads, s.stale_reads);
     if !s.write_delay_ms.is_empty() {
-        let _ = writeln!(out, "  write delay (ms): {}", s.write_delay_ms.summary_line());
+        let _ = writeln!(
+            out,
+            "  write delay (ms): {}",
+            s.write_delay_ms.summary_line()
+        );
     }
     if !s.inval_batch.is_empty() {
         let _ = writeln!(

@@ -25,7 +25,11 @@ fn sim_trace_out_feeds_vl_report() {
         .args(["--preset", "smoke"])
         .output()
         .expect("vl gen runs");
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
 
     let (t_secs, tv_secs) = (1000u64, 10u64);
     let sim = vl()
@@ -36,7 +40,11 @@ fn sim_trace_out_feeds_vl_report() {
         .arg(&jsonl_path)
         .output()
         .expect("vl sim runs");
-    assert!(sim.status.success(), "{}", String::from_utf8_lossy(&sim.stderr));
+    assert!(
+        sim.status.success(),
+        "{}",
+        String::from_utf8_lossy(&sim.stderr)
+    );
     let sim_out = String::from_utf8_lossy(&sim.stdout);
     assert!(sim_out.contains("protocol trace written"), "{sim_out}");
 
@@ -71,9 +79,7 @@ fn sim_trace_out_feeds_vl_report() {
     let bound_ms = t_secs.min(tv_secs) * 1000;
     let mut writes = 0u64;
     for line in jsonl.lines() {
-        if let Some(vl_metrics::trace::TraceLine::Event(ev)) =
-            vl_metrics::trace::parse_line(line)
-        {
+        if let Some(vl_metrics::trace::TraceLine::Event(ev)) = vl_metrics::trace::parse_line(line) {
             if ev.kind == vl_metrics::EventKind::WriteCommitted {
                 writes += 1;
                 assert!(

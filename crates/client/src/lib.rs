@@ -154,6 +154,7 @@ pub struct CacheClient {
     endpoint: Arc<dyn Channel>,
     state: Arc<(Mutex<ClientMachine>, Condvar)>,
     running: Arc<AtomicBool>,
+    degraded: Arc<AtomicBool>,
     thread: Option<JoinHandle<()>>,
     sink: Option<SharedSink>,
 }
@@ -200,16 +201,20 @@ impl CacheClient {
         let machine = ClientMachine::new(cfg.machine_config());
         let state = Arc::new((Mutex::new(machine), Condvar::new()));
         let running = Arc::new(AtomicBool::new(true));
+        let degraded = Arc::new(AtomicBool::new(false));
         let thread = {
             let endpoint = Arc::clone(&endpoint);
             let state = Arc::clone(&state);
             let running = Arc::clone(&running);
+            let degraded = Arc::clone(&degraded);
             let clock = Arc::clone(&clock);
             let cfg = cfg.clone();
             let sink = sink.clone();
             std::thread::Builder::new()
                 .name(format!("vl-client-{}", cfg.client))
-                .spawn(move || receive_loop(&cfg, &endpoint, &state, &clock, &running, &sink))
+                .spawn(move || {
+                    receive_loop(&cfg, &endpoint, &state, &clock, &running, &degraded, &sink)
+                })
                 .expect("spawn client thread")
         };
         CacheClient {
@@ -218,6 +223,7 @@ impl CacheClient {
             endpoint,
             state,
             running,
+            degraded,
             thread: Some(thread),
             sink,
         }
@@ -314,8 +320,7 @@ impl CacheClient {
         let mut sink = sink.lock();
         for msg in sends {
             let action = ClientAction::Send(msg.clone());
-            for ev in events::client_action_events(now, self.cfg.server, self.cfg.client, &action)
-            {
+            for ev in events::client_action_events(now, self.cfg.server, self.cfg.client, &action) {
                 sink.record(&ev);
             }
         }
@@ -335,7 +340,25 @@ impl CacheClient {
 
     /// Whether both leases covering `object` are currently valid.
     pub fn holds_valid_leases(&self, object: ObjectId) -> bool {
-        self.state.0.lock().holds_valid_leases(self.clock.now(), object)
+        self.state
+            .0
+            .lock()
+            .holds_valid_leases(self.clock.now(), object)
+    }
+
+    /// Whether the transport reports the server connection down and no
+    /// protocol traffic has confirmed recovery yet. While degraded,
+    /// cached reads under still-valid leases remain legal — that is the
+    /// paper's whole point — but renewals will fail until the link
+    /// returns.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// The server epoch this client last observed; changes exactly when
+    /// the server recovered from a crash (§3.1.2).
+    pub fn server_epoch(&self) -> vl_types::Epoch {
+        self.state.0.lock().epoch()
     }
 
     /// Statistics snapshot.
@@ -370,17 +393,50 @@ impl Drop for CacheClient {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn receive_loop(
     cfg: &ClientConfig,
     endpoint: &Arc<dyn Channel>,
     state: &(Mutex<ClientMachine>, Condvar),
     clock: &Arc<dyn Clock + Send + Sync>,
     running: &AtomicBool,
+    degraded: &AtomicBool,
     sink: &Option<SharedSink>,
 ) {
     let (lock, cv) = state;
     let server = NodeId::Server(cfg.server);
+    // Wall-clock start of the current degraded spell, for the Recovered
+    // event's duration.
+    let mut degraded_at: Option<Instant> = None;
     while running.load(Ordering::SeqCst) {
+        // Mirror transport connection state into protocol state. Losing
+        // the link makes us Degraded (cached reads under valid leases
+        // stay legal; renewals will stall); regaining it triggers the
+        // reconnection probe — the server answers MUST_RENEW_ALL if it
+        // bumped its epoch or demoted us while we were away.
+        if endpoint.take_disconnected().contains(&server) && !degraded.swap(true, Ordering::SeqCst)
+        {
+            degraded_at = Some(Instant::now());
+            if let Some(sink) = sink {
+                sink.lock().record(&Event::new(
+                    clock.now(),
+                    EventKind::Degraded,
+                    cfg.server,
+                    cfg.client,
+                ));
+            }
+        }
+        if endpoint.take_connected().contains(&server) {
+            let probes = {
+                let mut m = lock.lock();
+                m.handle(clock.now(), ClientInput::Reconnected)
+            };
+            for action in probes {
+                if let ClientAction::Send(msg) = action {
+                    let _ = endpoint.send(server, codec::encode_client(&msg));
+                }
+            }
+        }
         let (msg, wire_bytes) = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
             Ok((_, bytes)) => match codec::decode_server(&bytes) {
                 Ok(m) => (m, bytes.len() as u64),
@@ -389,6 +445,20 @@ fn receive_loop(
             Err(NetError::Timeout) => continue,
             Err(_) => return,
         };
+        // A decoded server message is proof the link works again: close
+        // the degraded spell before processing it.
+        if degraded.swap(false, Ordering::SeqCst) {
+            let spell_ms = degraded_at
+                .take()
+                .map_or(0, |t| t.elapsed().as_millis() as u64);
+            lock.lock().stats_mut().degraded_spells += 1;
+            if let Some(sink) = sink {
+                sink.lock().record(&Event {
+                    value: spell_ms,
+                    ..Event::new(clock.now(), EventKind::Recovered, cfg.server, cfg.client)
+                });
+            }
+        }
         if let Some(sink) = sink {
             // Lock order: the sink is only ever taken *without* the
             // machine lock held on this thread (readers take machine →
@@ -411,9 +481,7 @@ fn receive_loop(
                 if let Some(sink) = sink {
                     let mut sink = sink.lock();
                     let action = ClientAction::Send(msg);
-                    for ev in
-                        events::client_action_events(now, cfg.server, cfg.client, &action)
-                    {
+                    for ev in events::client_action_events(now, cfg.server, cfg.client, &action) {
                         sink.record(&ev);
                     }
                 }
@@ -436,7 +504,9 @@ mod tests {
 
     #[test]
     fn read_error_display() {
-        let e = ReadError::Unavailable { object: ObjectId(3) };
+        let e = ReadError::Unavailable {
+            object: ObjectId(3),
+        };
         assert!(e.to_string().contains("o3"));
         assert_eq!(ReadError::Shutdown.to_string(), "client shut down");
     }

@@ -20,7 +20,7 @@
 use crate::{ClientStats, ReadError};
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -87,6 +87,10 @@ struct MState {
     /// scopes reconnection lease sets.
     cached: HashMap<ObjectId, (Version, Bytes, VolumeId)>,
     obj_expire: HashMap<ObjectId, Timestamp>,
+    /// Origins whose transport connection is currently down. Only
+    /// *their* volumes degrade; reads against every other origin keep
+    /// their full lease lifecycle — the per-volume blast radius.
+    down: HashSet<ServerId>,
     stats: ClientStats,
     generation: u64,
 }
@@ -97,8 +101,7 @@ impl MState {
     }
 
     fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
-        self.obj_expire.get(&object).is_some_and(|&e| e > now)
-            && self.cached.contains_key(&object)
+        self.obj_expire.get(&object).is_some_and(|&e| e > now) && self.cached.contains_key(&object)
     }
 
     fn drop_copy(&mut self, object: ObjectId) {
@@ -257,6 +260,15 @@ impl MultiCache {
         st.vols.values().filter(|v| v.expire > now).count()
     }
 
+    /// Origins whose connection is currently down (sorted). A server in
+    /// this set degrades only its own volumes; everything else keeps
+    /// working.
+    pub fn degraded_origins(&self) -> Vec<ServerId> {
+        let mut v: Vec<ServerId> = self.state.0.lock().down.iter().copied().collect();
+        v.sort_by_key(|s| s.raw());
+        v
+    }
+
     /// Stops the receive loop.
     pub fn shutdown(mut self) {
         self.running.store(false, Ordering::SeqCst);
@@ -282,6 +294,34 @@ fn receive_loop(
 ) {
     let (lock, cv) = state;
     while running.load(Ordering::SeqCst) {
+        // Per-server supervision: a lost connection degrades only that
+        // origin's volumes; a regained one probes each of its volumes
+        // with a renewal carrying our last-seen epoch, so a restarted
+        // server forces its reconnection handshake.
+        for node in endpoint.take_disconnected() {
+            if let NodeId::Server(s) = node {
+                lock.lock().down.insert(s);
+            }
+        }
+        for node in endpoint.take_connected() {
+            let NodeId::Server(s) = node else { continue };
+            let probes: Vec<(VolumeId, Epoch)> = {
+                let mut st = lock.lock();
+                st.down.remove(&s);
+                st.vols
+                    .iter()
+                    .filter(|(_, v)| v.server == s)
+                    .map(|(&vol, v)| (vol, v.epoch))
+                    .collect()
+            };
+            for (volume, epoch) in probes {
+                let _ = endpoint.send(
+                    node,
+                    codec::encode_client(&ClientMsg::ReqVolLease { volume, epoch }),
+                );
+            }
+            cv.notify_all();
+        }
         let (from, msg) = match endpoint.recv_timeout(StdDuration::from_millis(20)) {
             Ok((from, bytes)) => match codec::decode_server(&bytes) {
                 Ok(m) => (from, m),
@@ -291,6 +331,11 @@ fn receive_loop(
             Err(_) => return,
         };
         let mut st = lock.lock();
+        // Any decoded message from a down-marked origin proves it is
+        // back, even if the transport's connect event raced past us.
+        if let NodeId::Server(s) = from {
+            st.down.remove(&s);
+        }
         match msg {
             ServerMsg::Invalidate { object } => {
                 st.drop_copy(object);
@@ -350,8 +395,10 @@ fn receive_loop(
                 );
                 if had_batch {
                     drop(st);
-                    let _ = endpoint
-                        .send(from, codec::encode_client(&ClientMsg::AckVolBatch { volume }));
+                    let _ = endpoint.send(
+                        from,
+                        codec::encode_client(&ClientMsg::AckVolBatch { volume }),
+                    );
                     st = lock.lock();
                 }
             }
@@ -389,8 +436,10 @@ fn receive_loop(
                 }
                 st.stats.reconnections += 1;
                 drop(st);
-                let _ = endpoint
-                    .send(from, codec::encode_client(&ClientMsg::AckVolBatch { volume }));
+                let _ = endpoint.send(
+                    from,
+                    codec::encode_client(&ClientMsg::AckVolBatch { volume }),
+                );
                 st = lock.lock();
             }
         }

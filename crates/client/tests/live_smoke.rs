@@ -27,7 +27,10 @@ fn basic_read_then_cache_hit() {
     assert_eq!(stats.remote_reads, 1);
     assert_eq!(stats.local_reads, 1);
     assert!(client.holds_valid_leases(ObjectId(1)));
-    assert_eq!(client.cached_version(ObjectId(1)), Some(vl_types::Version::FIRST));
+    assert_eq!(
+        client.cached_version(ObjectId(1)),
+        Some(vl_types::Version::FIRST)
+    );
     client.shutdown();
     server.shutdown();
 }

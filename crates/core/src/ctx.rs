@@ -97,13 +97,7 @@ mod tests {
             versions: &versions,
             metrics: &mut m,
         };
-        ctx.send(
-            MessageKind::Invalidate,
-            o,
-            ClientId(1),
-            0,
-            Timestamp::ZERO,
-        );
+        ctx.send(MessageKind::Invalidate, o, ClientId(1), 0, Timestamp::ZERO);
         assert_eq!(ctx.payload(o), 777);
         assert_eq!(ctx.version(o), Version::FIRST);
         let _ = ctx;

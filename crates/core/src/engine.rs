@@ -78,7 +78,11 @@ impl SimulationBuilder {
     /// and protocol event into `sink`, prefixed by a run label naming
     /// the algorithm. The sink is flushed and handed back so several
     /// runs can share one trace file.
-    pub fn run_traced(&self, trace: &Trace, sink: Box<dyn TraceSink>) -> (Report, Box<dyn TraceSink>) {
+    pub fn run_traced(
+        &self,
+        trace: &Trace,
+        sink: Box<dyn TraceSink>,
+    ) -> (Report, Box<dyn TraceSink>) {
         let (report, sink) = self.run_inner(trace, Some(sink));
         (report, sink.expect("sink returned by traced run"))
     }

@@ -29,6 +29,12 @@ pub struct ClientStats {
     pub read_time_total_ms: u64,
     /// Slowest successful `read`, milliseconds.
     pub read_time_max_ms: u64,
+    /// Server epoch changes observed (each one is a detected server
+    /// restart).
+    pub epoch_changes: u64,
+    /// Driver-maintained: completed Degraded→Recovered spells on the
+    /// live connection.
+    pub degraded_spells: u64,
 }
 
 impl ClientStats {
@@ -76,6 +82,13 @@ pub enum ClientInput {
         /// The object to read.
         object: ObjectId,
     },
+    /// The transport re-established the server connection. The machine
+    /// probes with a volume-lease request carrying its current epoch:
+    /// if the server restarted (epoch bumped) or demoted us to its
+    /// Unreachable set while we were away, the reply is
+    /// `MUST_RENEW_ALL` and the full reconnection handshake runs;
+    /// otherwise it is a cheap renewal.
+    Reconnected,
 }
 
 /// Everything the client machine can ask its driver to do.
@@ -144,8 +157,7 @@ impl ClientMachine {
     }
 
     fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
-        self.obj_expire.get(&object).is_some_and(|&e| e > now)
-            && self.cached.contains_key(&object)
+        self.obj_expire.get(&object).is_some_and(|&e| e > now) && self.cached.contains_key(&object)
     }
 
     fn drop_copy(&mut self, object: ObjectId) {
@@ -177,16 +189,19 @@ impl ClientMachine {
                         }));
                     }
                     if !self.obj_ok(object, now) {
-                        let version = self
-                            .cached
-                            .get(&object)
-                            .map_or(Version::NONE, |(v, _)| *v);
+                        let version = self.cached.get(&object).map_or(Version::NONE, |(v, _)| *v);
                         actions.push(ClientAction::Send(ClientMsg::ReqObjLease {
                             object,
                             version,
                         }));
                     }
                 }
+            }
+            ClientInput::Reconnected => {
+                actions.push(ClientAction::Send(ClientMsg::ReqVolLease {
+                    volume: self.cfg.volume,
+                    epoch: self.epoch,
+                }));
             }
             ClientInput::Msg(msg) => self.handle_msg(msg, &mut actions),
         }
@@ -228,6 +243,9 @@ impl ClientMachine {
                         self.stats.batched_invalidations += 1;
                     }
                     self.vol_expire = expire;
+                    if epoch != self.epoch {
+                        self.stats.epoch_changes += 1;
+                    }
                     self.epoch = epoch;
                     if had_batch {
                         actions.push(ClientAction::Send(ClientMsg::AckVolBatch { volume }));
@@ -274,8 +292,7 @@ impl ClientMachine {
     /// The cached copy of `object` if both leases covering it are valid
     /// at `now` — the pure read-fast-path check. Does not touch stats.
     pub fn read_ready(&self, now: Timestamp, object: ObjectId) -> Option<Bytes> {
-        (self.vol_ok(now) && self.obj_ok(object, now))
-            .then(|| self.cached[&object].1.clone())
+        (self.vol_ok(now) && self.obj_ok(object, now)).then(|| self.cached[&object].1.clone())
     }
 
     /// Completes a pending (non-local) read: if both leases are valid at
@@ -305,6 +322,11 @@ impl ClientMachine {
     /// Whether both leases covering `object` are currently valid.
     pub fn holds_valid_leases(&self, now: Timestamp, object: ObjectId) -> bool {
         self.vol_ok(now) && self.obj_ok(object, now)
+    }
+
+    /// The server epoch this client last observed in a volume grant.
+    pub fn epoch(&self) -> Epoch {
+        self.epoch
     }
 
     /// Statistics snapshot.
@@ -356,7 +378,12 @@ mod tests {
     #[test]
     fn cold_read_requests_both_leases() {
         let mut m = ClientMachine::new(cfg());
-        let actions = m.handle(Timestamp::ZERO, ClientInput::Read { object: ObjectId(1) });
+        let actions = m.handle(
+            Timestamp::ZERO,
+            ClientInput::Read {
+                object: ObjectId(1),
+            },
+        );
         assert_eq!(actions.len(), 2);
         assert!(matches!(
             actions[0],
@@ -377,7 +404,9 @@ mod tests {
         grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
         let actions = m.handle(
             Timestamp::from_secs(5),
-            ClientInput::Read { object: ObjectId(1) },
+            ClientInput::Read {
+                object: ObjectId(1),
+            },
         );
         assert!(matches!(
             actions[0],
@@ -387,7 +416,9 @@ mod tests {
         // After the leases expire only the lapsed leases are re-requested.
         let actions = m.handle(
             Timestamp::from_secs(10),
-            ClientInput::Read { object: ObjectId(1) },
+            ClientInput::Read {
+                object: ObjectId(1),
+            },
         );
         assert_eq!(actions.len(), 2);
         // The object request carries the cached version so an unchanged
@@ -407,7 +438,9 @@ mod tests {
         grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
         let actions = m.handle(
             Timestamp::from_secs(1),
-            ClientInput::Msg(ServerMsg::Invalidate { object: ObjectId(1) }),
+            ClientInput::Msg(ServerMsg::Invalidate {
+                object: ObjectId(1),
+            }),
         );
         assert_eq!(
             actions,
@@ -457,5 +490,37 @@ mod tests {
         ));
         assert!(m.read_suspect(ObjectId(1)).is_none());
         assert_eq!(m.stats().batched_invalidations, 1);
+    }
+
+    #[test]
+    fn reconnected_probes_with_current_epoch() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        let actions = m.handle(Timestamp::from_secs(1), ClientInput::Reconnected);
+        assert_eq!(
+            actions,
+            vec![ClientAction::Send(ClientMsg::ReqVolLease {
+                volume: m.cfg.volume,
+                epoch: Epoch(0),
+            })]
+        );
+    }
+
+    #[test]
+    fn epoch_bump_in_a_grant_is_counted() {
+        let mut m = ClientMachine::new(cfg());
+        grant_both(&mut m, ObjectId(1), Timestamp::from_secs(10));
+        assert_eq!(m.stats().epoch_changes, 0, "same epoch, no change");
+        m.handle(
+            Timestamp::from_secs(1),
+            ClientInput::Msg(ServerMsg::VolLease {
+                volume: m.cfg.volume,
+                expire: Timestamp::from_secs(12),
+                epoch: Epoch(3),
+                invalidate: Vec::new(),
+            }),
+        );
+        assert_eq!(m.epoch(), Epoch(3));
+        assert_eq!(m.stats().epoch_changes, 1);
     }
 }

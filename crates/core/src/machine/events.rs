@@ -148,7 +148,9 @@ mod tests {
     fn send_maps_to_message_plus_detail() {
         let action = ServerAction::Send {
             to: ClientId(3),
-            msg: ServerMsg::Invalidate { object: ObjectId(9) },
+            msg: ServerMsg::Invalidate {
+                object: ObjectId(9),
+            },
         };
         let evs = server_action_events(Timestamp::ZERO, ServerId(1), VolumeId(1), &action);
         assert_eq!(evs.len(), 2);
@@ -181,7 +183,9 @@ mod tests {
 
     #[test]
     fn client_ack_maps_to_message_plus_ack() {
-        let action = ClientAction::Send(ClientMsg::AckInvalidate { object: ObjectId(5) });
+        let action = ClientAction::Send(ClientMsg::AckInvalidate {
+            object: ObjectId(5),
+        });
         let evs = client_action_events(Timestamp::ZERO, ServerId(0), ClientId(7), &action);
         assert_eq!(evs.len(), 2);
         assert_eq!(evs[1].kind, EventKind::InvalidationAcked);
@@ -199,7 +203,10 @@ mod tests {
             },
         };
         let evs = server_action_events(Timestamp::ZERO, ServerId(0), VolumeId(0), &action);
-        let batch = evs.iter().find(|e| e.kind == EventKind::InvalidationBatch).unwrap();
+        let batch = evs
+            .iter()
+            .find(|e| e.kind == EventKind::InvalidationBatch)
+            .unwrap();
         assert_eq!(batch.value, 2);
     }
 }

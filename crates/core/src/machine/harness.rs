@@ -143,12 +143,25 @@ pub struct FaultReport {
 
 enum Ev {
     Step,
-    ToServer { from: ClientId, msg: ClientMsg },
-    ToClient { to: ClientId, msg: ServerMsg },
-    ReadRetry { client: ClientId, object: ObjectId, read_id: u64, attempt: u32 },
+    ToServer {
+        from: ClientId,
+        msg: ClientMsg,
+    },
+    ToClient {
+        to: ClientId,
+        msg: ServerMsg,
+    },
+    ReadRetry {
+        client: ClientId,
+        object: ObjectId,
+        read_id: u64,
+        attempt: u32,
+    },
     Tick,
     ServerUp,
-    Heal { client: ClientId },
+    Heal {
+        client: ClientId,
+    },
 }
 
 struct Harness {
@@ -205,10 +218,8 @@ pub fn run(cfg: &FaultConfig) -> FaultReport {
     };
     for o in 0..cfg.objects {
         let object = ObjectId(o as u64);
-        h.committed.insert(
-            object,
-            (Version::FIRST, Bytes::from(format!("init-o{o}"))),
-        );
+        h.committed
+            .insert(object, (Version::FIRST, Bytes::from(format!("init-o{o}"))));
     }
     h.boot_server();
     h.queue.schedule(Timestamp::ZERO, Ev::Step);
@@ -259,7 +270,9 @@ impl Harness {
         }
         let epoch = self.server.as_ref().expect("just booted").epoch();
         let gate = self.server.as_ref().expect("just booted").recovery_until();
-        self.note(format!("server up: epoch {epoch:?}, writes gated until {gate}"));
+        self.note(format!(
+            "server up: epoch {epoch:?}, writes gated until {gate}"
+        ));
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -536,8 +549,7 @@ impl Harness {
                     }
                     self.committed.insert(object, (outcome.version, data));
                     self.report.writes_completed += 1;
-                    self.report.max_write_delay =
-                        self.report.max_write_delay.max(outcome.delay);
+                    self.report.max_write_delay = self.report.max_write_delay.max(outcome.delay);
                     self.note(format!(
                         "write {object} committed v{} after {} ({} invalidated, {} queued, {} waited out)",
                         outcome.version.0,
@@ -558,7 +570,11 @@ impl Harness {
         for action in actions {
             match action {
                 ClientAction::Send(msg) => self.route_to_server(client, msg),
-                ClientAction::DeliverRead { object, data, local } => {
+                ClientAction::DeliverRead {
+                    object,
+                    data,
+                    local,
+                } => {
                     self.deliver_read(client, object, data, local);
                 }
             }

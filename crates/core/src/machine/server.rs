@@ -29,6 +29,8 @@ pub struct ServerStats {
     pub epoch: Epoch,
     /// Requests for unknown objects (dropped).
     pub unknown_objects: u64,
+    /// Live-path connection drops reported by the transport.
+    pub disconnects: u64,
 }
 
 /// Everything that can happen *to* the server machine.
@@ -60,6 +62,18 @@ pub enum ServerInput {
         object: ObjectId,
         /// The new contents.
         data: Bytes,
+    },
+    /// The transport reports `client`'s connection dropped.
+    ///
+    /// Safety note: this must **not** revoke or shorten any lease — the
+    /// client may be alive behind a partition, still legitimately
+    /// serving cached reads until its leases expire by the clock.
+    /// The machine only marks the client Unreachable (§3.1.1), forcing
+    /// its next volume-lease request through the reconnection
+    /// handshake; writes keep waiting leases out by validity.
+    PeerDisconnected {
+        /// The client whose connection dropped.
+        client: ClientId,
     },
     /// Time passed (a timer fired or the driver's tick elapsed). Carries
     /// no data: all time-driven work keys off `now`.
@@ -188,7 +202,10 @@ impl ServerMachine {
     ///
     /// The returned actions (a [`ServerAction::Persist`] of the new
     /// stable record) must be executed before the machine serves input.
-    pub fn new(cfg: MachineConfig, stable: Option<StableState>) -> (ServerMachine, Vec<ServerAction>) {
+    pub fn new(
+        cfg: MachineConfig,
+        stable: Option<StableState>,
+    ) -> (ServerMachine, Vec<ServerAction>) {
         let (epoch, recovery_until, record) = match stable {
             Some(rec) => {
                 // Reboot: bump the epoch and wait out pre-crash leases.
@@ -275,10 +292,35 @@ impl ServerMachine {
                 self.stats.msgs_in += 1;
                 self.handle_msg(now, from, msg, &mut actions);
             }
+            ServerInput::PeerDisconnected { client } => {
+                self.peer_disconnected(client);
+            }
             ServerInput::Tick => {}
         }
         self.pump(now, &mut actions);
         actions
+    }
+
+    /// Live-path connection loss (§3.1.1). Deliberately *minimal*: the
+    /// client keeps every lease it holds (it may be alive behind a
+    /// partition, serving cached reads that stay consistent exactly
+    /// because we keep waiting its leases out), but it joins the
+    /// Unreachable set so its next `REQ_VOL_LEASE` is forced through
+    /// the full reconnection handshake. A client with no server-side
+    /// state is ignored — there is nothing to resynchronize.
+    fn peer_disconnected(&mut self, client: ClientId) {
+        let has_state = self.vol_leases.expiry_of(client).is_some()
+            || self.holdings.get(&client).is_some_and(|h| !h.is_empty())
+            || self.inactive.contains_key(&client);
+        if !has_state {
+            return;
+        }
+        // A half-finished handshake died with the connection; the next
+        // REQ_VOL_LEASE restarts it from the top.
+        self.reconnecting.remove(&client);
+        if self.unreachable.insert(client) {
+            self.stats.disconnects += 1;
+        }
     }
 
     /// Post-input progress: start/advance writes, demote overdue
@@ -595,7 +637,10 @@ impl ServerMachine {
         }
         // Commit.
         let w = self.active_write.take().expect("checked above");
-        let obj = self.objects.get_mut(&w.object).expect("write target exists");
+        let obj = self
+            .objects
+            .get_mut(&w.object)
+            .expect("write target exists");
         obj.version = obj.version.next();
         obj.data = w.data;
         let delay = now.saturating_sub(w.started);
@@ -671,8 +716,10 @@ impl ServerMachine {
                 .map(|i| i.since.saturating_add(d))
                 .min()
         });
-        for (slot, deadline) in [(TimerKind::WriteWait, write_wait), (TimerKind::Demotion, demotion)]
-        {
+        for (slot, deadline) in [
+            (TimerKind::WriteWait, write_wait),
+            (TimerKind::Demotion, demotion),
+        ] {
             let idx = slot as usize;
             if deadline != self.last_timer[idx] {
                 self.last_timer[idx] = deadline;
@@ -731,7 +778,10 @@ mod tests {
         assert!(matches!(
             boot[0],
             ServerAction::Persist {
-                state: StableState { epoch: Epoch(3), .. }
+                state: StableState {
+                    epoch: Epoch(3),
+                    ..
+                }
             }
         ));
         // A write before recovery_until stays queued.
@@ -859,14 +909,17 @@ mod tests {
         // Ack arrives: the write commits in the same step.
         let actions = m.handle(
             Timestamp::from_millis(5),
-            msg(7, ClientMsg::AckInvalidate { object: ObjectId(1) }),
+            msg(
+                7,
+                ClientMsg::AckInvalidate {
+                    object: ObjectId(1),
+                },
+            ),
         );
-        match actions
-            .iter()
-            .find_map(|a| match a {
-                ServerAction::CompleteWrite { outcome } => Some(outcome),
-                _ => None,
-            }) {
+        match actions.iter().find_map(|a| match a {
+            ServerAction::CompleteWrite { outcome } => Some(outcome),
+            _ => None,
+        }) {
             Some(outcome) => {
                 assert_eq!(outcome.invalidations_sent, 1);
                 assert_eq!(outcome.waited_out, 0);
@@ -925,12 +978,10 @@ mod tests {
             .any(|a| matches!(a, ServerAction::CompleteWrite { .. })));
         // At min(t, t_v) = 2 s the holder is waited out.
         let actions = m.handle(Timestamp::from_secs(2), ServerInput::Tick);
-        match actions
-            .iter()
-            .find_map(|a| match a {
-                ServerAction::CompleteWrite { outcome } => Some(outcome),
-                _ => None,
-            }) {
+        match actions.iter().find_map(|a| match a {
+            ServerAction::CompleteWrite { outcome } => Some(outcome),
+            _ => None,
+        }) {
             Some(outcome) => {
                 assert_eq!(outcome.waited_out, 1);
                 assert_eq!(outcome.delay, Duration::from_secs(2));
@@ -994,7 +1045,12 @@ mod tests {
         // Holder acks; the deferred request replays against version 2.
         let actions = m.handle(
             Timestamp::from_millis(1),
-            msg(7, ClientMsg::AckInvalidate { object: ObjectId(1) }),
+            msg(
+                7,
+                ClientMsg::AckInvalidate {
+                    object: ObjectId(1),
+                },
+            ),
         );
         let s = sends(&actions);
         assert_eq!(s.len(), 1);
@@ -1055,9 +1111,112 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // The batch ack completes reconnection with a volume grant.
-        let actions = m.handle(t0, msg(1, ClientMsg::AckVolBatch { volume: VolumeId(0) }));
+        let actions = m.handle(
+            t0,
+            msg(
+                1,
+                ClientMsg::AckVolBatch {
+                    volume: VolumeId(0),
+                },
+            ),
+        );
         assert!(matches!(sends(&actions)[0].1, ServerMsg::VolLease { .. }));
         assert_eq!(m.stats().reconnections, 1);
         assert_eq!(m.stats().unreachable, 0);
+    }
+
+    #[test]
+    fn peer_disconnect_marks_unreachable_but_keeps_leases() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            ServerInput::PeerDisconnected {
+                client: ClientId(7),
+            },
+        );
+        assert_eq!(m.stats().unreachable, 1);
+        assert_eq!(m.stats().disconnects, 1);
+        // Safety: the drop must NOT shorten the write wait — client 7
+        // may still be serving cached reads under its clock-valid
+        // leases behind the partition.
+        let actions = m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+            "write must still wait out the disconnected holder's leases: {actions:?}"
+        );
+        // A repeat disconnect (flapping link) is not double-counted.
+        m.handle(
+            t0,
+            ServerInput::PeerDisconnected {
+                client: ClientId(7),
+            },
+        );
+        assert_eq!(m.stats().disconnects, 1);
+        // On reconnect the client's renewal is forced through the full
+        // handshake even though its epoch is current.
+        let actions = m.handle(
+            Timestamp::from_secs(70),
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        assert!(matches!(
+            sends(&actions)[0].1,
+            ServerMsg::MustRenewAll { .. }
+        ));
+    }
+
+    #[test]
+    fn disconnect_of_stateless_client_is_a_no_op() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        m.handle(
+            Timestamp::ZERO,
+            ServerInput::PeerDisconnected {
+                client: ClientId(3),
+            },
+        );
+        assert_eq!(m.stats().unreachable, 0);
+        assert_eq!(m.stats().disconnects, 0);
     }
 }

@@ -152,7 +152,11 @@ mod tests {
         p.on_read(ts(2), ClientId(2), ObjectId(0), ctx!(u, vers, m));
         let before = m.total_messages();
         p.on_write(ts(3), ObjectId(0), ctx!(u, vers, m));
-        assert_eq!(m.total_messages() - before, 2, "only client 2 is registered");
+        assert_eq!(
+            m.total_messages() - before,
+            2,
+            "only client 2 is registered"
+        );
     }
 
     #[test]

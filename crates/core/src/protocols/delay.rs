@@ -157,7 +157,11 @@ impl DelayedInvalidation {
     ) {
         if ctx.metrics.tracing() {
             let renewal = self.obj_leases[object.raw() as usize].is_valid(client, now);
-            let kind = if renewal { EventKind::LeaseRenewed } else { EventKind::LeaseGranted };
+            let kind = if renewal {
+                EventKind::LeaseRenewed
+            } else {
+                EventKind::LeaseGranted
+            };
             ctx.metrics.emit(Event {
                 object: Some(object),
                 volume: Some(volume),
@@ -194,7 +198,13 @@ impl DelayedInvalidation {
     /// If `client`'s inactivity in `volume` has outlived `d`, demote it:
     /// discard its pending list and lease records (both charged up to the
     /// demotion instant) and add it to the Unreachable set.
-    fn demote_if_due(&mut self, now: Timestamp, client: ClientId, volume: VolumeId, ctx: &mut Ctx<'_>) {
+    fn demote_if_due(
+        &mut self,
+        now: Timestamp,
+        client: ClientId,
+        volume: VolumeId,
+        ctx: &mut Ctx<'_>,
+    ) {
         if self.inactive_discard.is_infinite() {
             return;
         }
@@ -204,9 +214,7 @@ impl DelayedInvalidation {
             .map(|rec| rec.since.saturating_add(self.inactive_discard))
             .filter(|&cutoff| now >= cutoff);
         let Some(cutoff) = due else { return };
-        let rec = self.vols[vi]
-            .take_inactive(client)
-            .expect("checked above");
+        let rec = self.vols[vi].take_inactive(client).expect("checked above");
         let server = ctx.universe.volume(volume).server;
         if ctx.metrics.tracing() {
             ctx.metrics.emit(Event {
@@ -568,7 +576,11 @@ mod tests {
         let before = m.total_messages();
         // Volume lease (10 s) lapsed; object lease (1000 s) still valid.
         write(&mut p, &mut vers, &u, &mut m, ts(100), ObjectId(0));
-        assert_eq!(m.total_messages(), before, "invalidation was queued, not sent");
+        assert_eq!(
+            m.total_messages(),
+            before,
+            "invalidation was queued, not sent"
+        );
         assert_eq!(p.pending_count(ClientId(0), VolumeId(0)), 1);
     }
 

@@ -1,9 +1,9 @@
 //! The client-driven baselines: *Poll Each Read* (§2.1) and *Poll(t)*
 //! (§2.2).
 
+use super::Protocol;
 use crate::cache::ClientCaches;
 use crate::{Ctx, ProtocolKind};
-use super::Protocol;
 use vl_metrics::MessageKind;
 use vl_types::{ClientId, Duration, ObjectId, Timestamp};
 use vl_workload::Universe;
@@ -113,7 +113,10 @@ impl Protocol for Poll {
         // (caches and validations are updated together), so the ZERO
         // default can never masquerade as a real validation here.
         let fresh_enough = cached.is_some()
-            && now < self.validated_slot(client, object).saturating_add(self.timeout);
+            && now
+                < self
+                    .validated_slot(client, object)
+                    .saturating_add(self.timeout);
         if fresh_enough {
             // Serve from cache without contacting the server; this is
             // where staleness sneaks in.

@@ -275,7 +275,12 @@ mod tests {
         let mut p = proto(&u);
         for round in 0u64..30 {
             let t = ts(round * 7);
-            p.on_read(t, ClientId((round % 3) as u32), ObjectId(round % 3), ctx!(u, vers, m));
+            p.on_read(
+                t,
+                ClientId((round % 3) as u32),
+                ObjectId(round % 3),
+                ctx!(u, vers, m),
+            );
             if round % 4 == 0 {
                 let o = ObjectId(round % 3);
                 p.on_write(t + Duration::from_secs(1), o, ctx!(u, vers, m));

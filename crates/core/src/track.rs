@@ -1,8 +1,8 @@
 //! Server-side lease interval tracking with exact state accounting.
 
+use std::collections::BTreeMap;
 use vl_metrics::Metrics;
 use vl_types::{ClientId, ServerId, Timestamp, LEASE_RECORD_BYTES};
-use std::collections::BTreeMap;
 
 /// One client's current lease record: a contiguous validity interval.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -117,7 +117,11 @@ impl LeaseTrack {
             None => false,
             Some(iv) => {
                 let end = iv.expire.min(now.max(iv.start));
-                m.state_held(self.server, LEASE_RECORD_BYTES, end.saturating_sub(iv.start));
+                m.state_held(
+                    self.server,
+                    LEASE_RECORD_BYTES,
+                    end.saturating_sub(iv.start),
+                );
                 iv.expire > now
             }
         }
@@ -147,7 +151,11 @@ impl LeaseTrack {
             if iv.expire > now {
                 true
             } else {
-                m.state_held(server, LEASE_RECORD_BYTES, iv.expire.saturating_sub(iv.start));
+                m.state_held(
+                    server,
+                    LEASE_RECORD_BYTES,
+                    iv.expire.saturating_sub(iv.start),
+                );
                 false
             }
         });

@@ -7,9 +7,7 @@
 use bytes::Bytes;
 use rand::Rng;
 use vl_analytic::{Algorithm, CostParams};
-use vl_core::machine::{
-    MachineConfig, ServerAction, ServerInput, ServerMachine, WriteOutcome,
-};
+use vl_core::machine::{MachineConfig, ServerAction, ServerInput, ServerMachine, WriteOutcome};
 use vl_proto::{ClientMsg, ServerMsg};
 use vl_sim::SimRng;
 use vl_types::{ClientId, Duration, Epoch, ObjectId, ServerId, Timestamp, Version};
@@ -119,8 +117,8 @@ fn run_case(seed: u64) {
     let mut acks: Vec<(Timestamp, ClientId)> = Vec::new();
     for &c in &outstanding {
         if rng.gen_bool(0.5) {
-            let at = enqueued
-                .saturating_add(Duration::from_millis(rng.gen_range(1..tv.as_millis())));
+            let at =
+                enqueued.saturating_add(Duration::from_millis(rng.gen_range(1..tv.as_millis())));
             acks.push((at, c));
         }
     }
@@ -253,12 +251,10 @@ fn silent_holder_is_waited_out_at_exactly_min_t_tv() {
 
     // One tick short of the volume expiry: still blocked.
     let just_before = Timestamp::from_millis(tv.as_millis() - 1);
-    assert!(
-        !server
-            .handle(just_before, ServerInput::Tick)
-            .iter()
-            .any(|a| matches!(a, ServerAction::CompleteWrite { .. }))
-    );
+    assert!(!server
+        .handle(just_before, ServerInput::Tick)
+        .iter()
+        .any(|a| matches!(a, ServerAction::CompleteWrite { .. })));
 
     // At the expiry instant the holder is waited out and the write
     // commits with delay exactly min(t, t_v) = t_v.

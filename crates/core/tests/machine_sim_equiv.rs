@@ -136,9 +136,13 @@ impl<'a> Replay<'a> {
 
     fn client(&mut self, client: ClientId, volume: VolumeId) -> &mut ClientMachine {
         let server = self.universe.volume(volume).server;
-        self.clients
-            .entry((client, volume))
-            .or_insert_with(|| ClientMachine::new(ClientMachineConfig { client, server, volume }))
+        self.clients.entry((client, volume)).or_insert_with(|| {
+            ClientMachine::new(ClientMachineConfig {
+                client,
+                server,
+                volume,
+            })
+        })
     }
 
     fn route_server_actions(&mut self, volume: VolumeId, actions: Vec<ServerAction>) {
@@ -213,7 +217,9 @@ impl<'a> Replay<'a> {
         let volume = self.universe.volume_of(object);
         self.reads += 1;
         self.tick_server(now, volume);
-        let actions = self.client(client, volume).handle(now, ClientInput::Read { object });
+        let actions = self
+            .client(client, volume)
+            .handle(now, ClientInput::Read { object });
         let mut delivered = None;
         let (mut initial_vol, mut initial_obj, mut initial_obj_cached) = (false, false, false);
         for action in actions {
@@ -245,7 +251,10 @@ impl<'a> Replay<'a> {
         while delivered.is_none() {
             assert!(attempts < 4, "read did not settle: c{client:?} {object}");
             attempts += 1;
-            let cm = self.clients.get_mut(&(client, volume)).expect("known client");
+            let cm = self
+                .clients
+                .get_mut(&(client, volume))
+                .expect("known client");
             if let Some(data) = cm.complete_read(now, object) {
                 delivered = Some(data);
                 break;

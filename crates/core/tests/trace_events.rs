@@ -28,9 +28,9 @@ fn run_silent_holder(t: Duration, tv: Duration, sink: &mut dyn TraceSink) {
     let (mut server, _boot) = ServerMachine::new(cfg, None);
     let mut now = Timestamp::ZERO;
     let apply = |server: &mut ServerMachine,
-                     sink: &mut dyn TraceSink,
-                     now: Timestamp,
-                     input: ServerInput|
+                 sink: &mut dyn TraceSink,
+                 now: Timestamp,
+                 input: ServerInput|
      -> bool {
         let mut committed = false;
         for action in server.handle(now, input) {
@@ -63,7 +63,12 @@ fn run_silent_holder(t: Duration, tv: Duration, sink: &mut dyn TraceSink) {
             version: Version::NONE,
         },
     ] {
-        apply(&mut server, sink, now, ServerInput::Msg { from: holder, msg });
+        apply(
+            &mut server,
+            sink,
+            now,
+            ServerInput::Msg { from: holder, msg },
+        );
     }
     // The holder never acks: the write must wait the full min(t, t_v).
     let mut committed = apply(
@@ -77,7 +82,7 @@ fn run_silent_holder(t: Duration, tv: Duration, sink: &mut dyn TraceSink) {
     );
     let deadline = now + t + tv;
     while !committed && now < deadline {
-        now = now + TICK;
+        now += TICK;
         committed = apply(&mut server, sink, now, ServerInput::Tick);
     }
     assert!(committed, "write must commit by lease expiry");
@@ -90,8 +95,7 @@ fn traced_write_delays_respect_the_analytic_ack_wait_bound() {
     let mut sink = JsonlSink::new(Vec::new());
     sink.begin_run("machine: silent holder");
     run_silent_holder(t, tv, &mut sink);
-    let jsonl =
-        String::from_utf8(sink.into_inner().expect("flushes cleanly")).expect("utf8 jsonl");
+    let jsonl = String::from_utf8(sink.into_inner().expect("flushes cleanly")).expect("utf8 jsonl");
 
     // Parse the trace back and fold the write-delay histogram exactly as
     // `vl report` does.

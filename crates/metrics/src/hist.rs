@@ -103,12 +103,20 @@ impl Histogram {
 
     /// Exact smallest sample, or 0 when empty.
     pub fn min(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.min }
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
     }
 
     /// Exact largest sample, or 0 when empty.
     pub fn max(&self) -> u64 {
-        if self.count == 0 { 0 } else { self.max }
+        if self.count == 0 {
+            0
+        } else {
+            self.max
+        }
     }
 
     /// Exact sum of all samples (saturating).

@@ -72,11 +72,18 @@ pub enum EventKind {
     /// A lease-renewal round-trip completed; `value` is the round-trip
     /// time in milliseconds.
     RenewalRtt,
+    /// A client lost its live server connection and entered degraded
+    /// mode (cached reads stay legal until leases lapse); `server` set.
+    Degraded,
+    /// A degraded client's connection came back and the reconnection
+    /// probe ran; `server` set, `value` the spell length in
+    /// milliseconds.
+    Recovered,
 }
 
 impl EventKind {
     /// All kinds, in declaration order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::Message,
         EventKind::LeaseGranted,
         EventKind::LeaseRenewed,
@@ -93,6 +100,8 @@ impl EventKind {
         EventKind::WriteCommitted,
         EventKind::Read,
         EventKind::RenewalRtt,
+        EventKind::Degraded,
+        EventKind::Recovered,
     ];
 
     /// Stable lower-snake identifier used on the wire (JSONL).
@@ -114,6 +123,8 @@ impl EventKind {
             EventKind::WriteCommitted => "write_committed",
             EventKind::Read => "read",
             EventKind::RenewalRtt => "renewal_rtt",
+            EventKind::Degraded => "degraded",
+            EventKind::Recovered => "recovered",
         }
     }
 
@@ -336,7 +347,9 @@ pub struct JsonlSink<W: Write + Send> {
 impl<W: Write + Send> JsonlSink<W> {
     /// Wraps `out` in a buffered JSONL encoder.
     pub fn new(out: W) -> JsonlSink<W> {
-        JsonlSink { out: io::BufWriter::new(out) }
+        JsonlSink {
+            out: io::BufWriter::new(out),
+        }
     }
 
     /// Consumes the sink, flushing and returning the writer.
@@ -416,7 +429,10 @@ mod tests {
             parse_line(lines.next().unwrap()),
             Some(TraceLine::Run("Delay(tv=10s, t=100000s, d=1h)".into()))
         );
-        assert_eq!(parse_line(lines.next().unwrap()), Some(TraceLine::Event(sample())));
+        assert_eq!(
+            parse_line(lines.next().unwrap()),
+            Some(TraceLine::Event(sample()))
+        );
     }
 
     #[test]
@@ -430,7 +446,12 @@ mod tests {
     fn ring_keeps_tail() {
         let mut ring = RingSink::new(2);
         for i in 0..5u64 {
-            let mut e = Event::new(Timestamp::from_millis(i), EventKind::Read, ServerId(0), ClientId(0));
+            let mut e = Event::new(
+                Timestamp::from_millis(i),
+                EventKind::Read,
+                ServerId(0),
+                ClientId(0),
+            );
             e.value = i;
             ring.record(&e);
         }

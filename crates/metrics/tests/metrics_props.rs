@@ -3,7 +3,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use vl_metrics::{LoadTracker, Metrics, MessageKind, StateIntegral};
+use vl_metrics::{LoadTracker, MessageKind, Metrics, StateIntegral};
 use vl_types::{ClientId, Duration, ServerId, Timestamp};
 
 /// The cumulative load histogram agrees with a naive O(n²) count for
@@ -155,7 +155,12 @@ fn histogram_shard_merge_equals_single_threaded() {
     for case in 0..128 {
         let shards = rng.gen_range(1usize..9);
         let samples: Vec<(usize, u64)> = (0..rng.gen_range(0usize..500))
-            .map(|_| (rng.gen_range(0..shards), rng.gen::<u64>() >> rng.gen_range(0u32..64)))
+            .map(|_| {
+                (
+                    rng.gen_range(0..shards),
+                    rng.gen::<u64>() >> rng.gen_range(0u32..64),
+                )
+            })
             .collect();
         let mut single = Histogram::new();
         let mut per_shard = vec![Histogram::new(); shards];

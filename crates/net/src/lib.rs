@@ -39,6 +39,8 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
+pub mod retry;
 pub mod tcp;
 pub mod wire;
 
@@ -70,6 +72,45 @@ pub trait Channel: Send + Sync {
         &self,
         timeout: std::time::Duration,
     ) -> Result<(NodeId, bytes::Bytes), NetError>;
+
+    /// Drains the set of peers whose connection has dropped since the
+    /// last call. Transports without connection state (the in-memory
+    /// router) return nothing; supervised transports ([`tcp::TcpNode`])
+    /// report each lost peer once so drivers can mirror the loss into
+    /// protocol state (the server demotes the client to its Unreachable
+    /// set; the client marks itself degraded).
+    fn take_disconnected(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
+    /// Drains the set of peers whose connection has (re-)established
+    /// since the last call — the signal a client uses to start the
+    /// paper's reconnection handshake. Connectionless transports return
+    /// nothing.
+    fn take_connected(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+}
+
+impl<C: Channel + ?Sized> Channel for std::sync::Arc<C> {
+    fn id(&self) -> NodeId {
+        (**self).id()
+    }
+    fn send(&self, to: NodeId, bytes: bytes::Bytes) -> Result<(), NetError> {
+        (**self).send(to, bytes)
+    }
+    fn recv_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Result<(NodeId, bytes::Bytes), NetError> {
+        (**self).recv_timeout(timeout)
+    }
+    fn take_disconnected(&self) -> Vec<NodeId> {
+        (**self).take_disconnected()
+    }
+    fn take_connected(&self) -> Vec<NodeId> {
+        (**self).take_connected()
+    }
 }
 
 use bytes::Bytes;
@@ -332,10 +373,7 @@ mod tests {
     fn unknown_destination_errors() {
         let net = InMemoryNetwork::new();
         let a = net.endpoint(c(1));
-        assert_eq!(
-            a.send(s(9), Bytes::new()),
-            Err(NetError::UnknownNode(s(9)))
-        );
+        assert_eq!(a.send(s(9), Bytes::new()), Err(NetError::UnknownNode(s(9))));
     }
 
     #[test]

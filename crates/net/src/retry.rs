@@ -1,0 +1,141 @@
+//! Bounded exponential backoff with deterministic, seeded jitter.
+//!
+//! Every live retry loop in the stack — the TCP supervisor's re-dial
+//! schedule, test harnesses polling for convergence — shares this one
+//! policy type so backoff behaviour is tuned in a single place. The
+//! jitter is a pure function of `(seed, attempt)`: two nodes with
+//! different seeds desynchronize their retry storms, while one node
+//! replays the exact same schedule every run — the same determinism
+//! contract the chaos module and the machine fault harness follow.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Duration as StdDuration;
+
+/// A bounded exponential backoff schedule.
+///
+/// Attempt `n` (0-based) waits `base * multiplier^n`, capped at `max`,
+/// then spread by ±`jitter` (a fraction of the delay). After
+/// `max_attempts` the schedule is exhausted and [`RetryPolicy::delay`]
+/// returns `None`; callers that must never give up (the TCP re-dial
+/// supervisor) restart the schedule at its cap.
+///
+/// # Examples
+///
+/// ```
+/// use vl_net::retry::RetryPolicy;
+/// use std::time::Duration;
+///
+/// let p = RetryPolicy::default();
+/// let first = p.delay(0, 42).expect("within budget");
+/// let later = p.delay(5, 42).expect("within budget");
+/// assert!(first < later);
+/// assert!(later <= p.max_delay_with_jitter());
+/// // Deterministic: the same (seed, attempt) always yields the same delay.
+/// assert_eq!(p.delay(3, 7), p.delay(3, 7));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Delay before the first retry.
+    pub base: StdDuration,
+    /// Cap applied to the exponential growth (pre-jitter).
+    pub max: StdDuration,
+    /// Growth factor per attempt.
+    pub multiplier: u32,
+    /// Jitter as a fraction of the computed delay, in `[0, 1]`.
+    pub jitter: f64,
+    /// Attempts before the schedule is exhausted.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 50 ms base, doubling to a 2 s cap, ±20% jitter, 8 attempts.
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            base: StdDuration::from_millis(50),
+            max: StdDuration::from_secs(2),
+            multiplier: 2,
+            jitter: 0.2,
+            max_attempts: 8,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The delay before retry number `attempt` (0-based), or `None` once
+    /// the attempt budget is exhausted. Deterministic in
+    /// `(self, attempt, seed)`.
+    pub fn delay(&self, attempt: u32, seed: u64) -> Option<StdDuration> {
+        if attempt >= self.max_attempts {
+            return None;
+        }
+        let exp = self
+            .multiplier
+            .max(1)
+            .checked_pow(attempt)
+            .map_or(self.max, |f| {
+                self.base.checked_mul(f).unwrap_or(self.max).min(self.max)
+            });
+        if self.jitter <= 0.0 {
+            return Some(exp);
+        }
+        // One RNG per (seed, attempt): replayable without shared state.
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let spread = self.jitter.min(1.0);
+        let factor = 1.0 - spread + rng.gen_range(0.0..(2.0 * spread));
+        Some(exp.mul_f64(factor))
+    }
+
+    /// The largest delay [`delay`](RetryPolicy::delay) can ever return.
+    pub fn max_delay_with_jitter(&self) -> StdDuration {
+        self.max.mul_f64(1.0 + self.jitter.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_exponentially_to_the_cap() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.delay(0, 0), Some(StdDuration::from_millis(50)));
+        assert_eq!(p.delay(1, 0), Some(StdDuration::from_millis(100)));
+        assert_eq!(p.delay(2, 0), Some(StdDuration::from_millis(200)));
+        // 50ms * 2^7 = 6.4s, capped at 2s.
+        assert_eq!(p.delay(7, 0), Some(StdDuration::from_secs(2)));
+        assert_eq!(p.delay(8, 0), None, "budget exhausted");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..p.max_attempts {
+            let a = p.delay(attempt, 99).unwrap();
+            let b = p.delay(attempt, 99).unwrap();
+            assert_eq!(a, b, "same (seed, attempt) must replay");
+            assert!(a <= p.max_delay_with_jitter());
+            let unjittered = RetryPolicy {
+                jitter: 0.0,
+                ..p.clone()
+            }
+            .delay(attempt, 99)
+            .unwrap();
+            assert!(a >= unjittered.mul_f64(1.0 - p.jitter - 1e-9));
+            assert!(a <= unjittered.mul_f64(1.0 + p.jitter + 1e-9));
+        }
+    }
+
+    #[test]
+    fn different_seeds_desynchronize() {
+        let p = RetryPolicy::default();
+        let distinct = (0..8u64)
+            .map(|s| p.delay(3, s).unwrap())
+            .collect::<std::collections::BTreeSet<_>>();
+        assert!(distinct.len() > 1, "jitter should vary by seed");
+    }
+}

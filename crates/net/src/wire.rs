@@ -76,8 +76,20 @@ mod tests {
         w.record(&[0x01]);
         w.record(&[0x83, 1, 2, 3]);
         w.record(&[]); // ignored
-        assert_eq!(w.for_tag(0x01), TagStats { frames: 2, bytes: 4 });
-        assert_eq!(w.for_tag(0x83), TagStats { frames: 1, bytes: 4 });
+        assert_eq!(
+            w.for_tag(0x01),
+            TagStats {
+                frames: 2,
+                bytes: 4
+            }
+        );
+        assert_eq!(
+            w.for_tag(0x83),
+            TagStats {
+                frames: 1,
+                bytes: 4
+            }
+        );
         assert_eq!(w.for_tag(0x55), TagStats::default());
         assert_eq!(w.total_frames(), 3);
         assert_eq!(w.total_bytes(), 8);

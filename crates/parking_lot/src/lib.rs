@@ -146,9 +146,8 @@ mod tests {
         let h = thread::spawn(move || {
             let mut done = p2.0.lock();
             while !*done {
-                let res = p2
-                    .1
-                    .wait_until(&mut done, Instant::now() + Duration::from_secs(5));
+                let res =
+                    p2.1.wait_until(&mut done, Instant::now() + Duration::from_secs(5));
                 assert!(!res.timed_out());
             }
         });

@@ -351,8 +351,12 @@ mod tests {
                 volume: VolumeId(3),
                 leases: vec![],
             },
-            ClientMsg::AckInvalidate { object: ObjectId(5) },
-            ClientMsg::AckVolBatch { volume: VolumeId(7) },
+            ClientMsg::AckInvalidate {
+                object: ObjectId(5),
+            },
+            ClientMsg::AckVolBatch {
+                volume: VolumeId(7),
+            },
         ]
     }
 
@@ -382,8 +386,12 @@ mod tests {
                 epoch: Epoch(0),
                 invalidate: vec![],
             },
-            ServerMsg::Invalidate { object: ObjectId(0) },
-            ServerMsg::MustRenewAll { volume: VolumeId(2) },
+            ServerMsg::Invalidate {
+                object: ObjectId(0),
+            },
+            ServerMsg::MustRenewAll {
+                volume: VolumeId(2),
+            },
             ServerMsg::InvalRenew {
                 volume: VolumeId(2),
                 invalidate: vec![ObjectId(1)],
@@ -431,16 +439,23 @@ mod tests {
 
     #[test]
     fn trailing_garbage_rejected() {
-        let mut bytes = encode_client(&ClientMsg::AckVolBatch { volume: VolumeId(1) }).to_vec();
+        let mut bytes = encode_client(&ClientMsg::AckVolBatch {
+            volume: VolumeId(1),
+        })
+        .to_vec();
         bytes.push(0xFF);
         assert_eq!(decode_client(&bytes), Err(DecodeError::Truncated));
     }
 
     #[test]
     fn wrong_direction_fails_loudly() {
-        let c = encode_client(&ClientMsg::AckInvalidate { object: ObjectId(1) });
+        let c = encode_client(&ClientMsg::AckInvalidate {
+            object: ObjectId(1),
+        });
         assert!(matches!(decode_server(&c), Err(DecodeError::BadTag(_))));
-        let s = encode_server(&ServerMsg::Invalidate { object: ObjectId(1) });
+        let s = encode_server(&ServerMsg::Invalidate {
+            object: ObjectId(1),
+        });
         assert!(matches!(decode_client(&s), Err(DecodeError::BadTag(_))));
     }
 

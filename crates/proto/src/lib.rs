@@ -173,7 +173,9 @@ mod tests {
             epoch: Epoch(0),
         };
         assert_eq!(m.name(), "REQ_VOL_LEASE");
-        let s = ServerMsg::MustRenewAll { volume: VolumeId(1) };
+        let s = ServerMsg::MustRenewAll {
+            volume: VolumeId(1),
+        };
         assert_eq!(s.name(), "MUST_RENEW_ALL");
     }
 }

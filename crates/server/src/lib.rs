@@ -53,7 +53,5 @@ mod server;
 mod stable;
 
 pub use clock::WallClock;
-pub use server::{
-    LeaseServer, ServerConfig, ServerHandle, ServerStats, WriteMode, WriteOutcome,
-};
+pub use server::{LeaseServer, ServerConfig, ServerHandle, ServerStats, WriteMode, WriteOutcome};
 pub use stable::StableRecord;

@@ -299,7 +299,16 @@ impl<C: Clock> Driver<C> {
                 }
             }
 
-            // 2. Network traffic (the 1 ms timeout doubles as the tick,
+            // 2. Transport-level connection losses: demote those clients
+            //    to the unreachable set so the next handshake is a full
+            //    MUST_RENEW_ALL reconnect (leases themselves are untouched).
+            for node in self.endpoint.take_disconnected() {
+                if let NodeId::Client(client) = node {
+                    self.step(ServerInput::PeerDisconnected { client });
+                }
+            }
+
+            // 3. Network traffic (the 1 ms timeout doubles as the tick,
             //    so the machine's timer deadlines never wait long).
             match self.endpoint.recv_timeout(StdDuration::from_millis(1)) {
                 Ok((from, bytes)) => {

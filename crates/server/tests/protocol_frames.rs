@@ -156,7 +156,7 @@ fn stale_copy_invalidated_during_reconnection() {
     acquire_leases(&raw);
     std::thread::sleep(StdDuration::from_millis(400));
     server.write(OBJ, Bytes::from_static(b"v2")); // queued
-    // Force the unreachable path with a stale epoch.
+                                                  // Force the unreachable path with a stale epoch.
     raw.send(&ClientMsg::ReqVolLease {
         volume: VOL,
         epoch: Epoch(99),

@@ -145,9 +145,12 @@ mod tests {
             sim.queue_mut().schedule(Timestamp::from_secs(s), s);
         }
         let mut count = 0;
-        sim.run_until(Timestamp::from_secs(3), |_, _: u64, _: &mut EventQueue<u64>| {
-            count += 1;
-        });
+        sim.run_until(
+            Timestamp::from_secs(3),
+            |_, _: u64, _: &mut EventQueue<u64>| {
+                count += 1;
+            },
+        );
         assert_eq!(count, 3);
         assert_eq!(sim.queue_mut().len(), 2);
     }

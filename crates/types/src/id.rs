@@ -84,8 +84,7 @@ define_id! {
 /// assert!(v.next() > v);
 /// assert!(Version::NONE < Version::FIRST);
 /// ```
-#[derive(
-    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Version(pub u64);
 
 impl Version {
@@ -137,8 +136,7 @@ impl fmt::Display for Version {
 /// let boot1 = boot0.next();
 /// assert!(boot1 > boot0);
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch(pub u64);
 
 impl Epoch {

@@ -278,7 +278,10 @@ mod tests {
     fn remaining_for() {
         let mut set = LeaseSet::new();
         set.grant(ClientId(1), ts(10));
-        assert_eq!(set.remaining_for(ClientId(1), ts(4)), Duration::from_secs(6));
+        assert_eq!(
+            set.remaining_for(ClientId(1), ts(4)),
+            Duration::from_secs(6)
+        );
         assert_eq!(set.remaining_for(ClientId(1), ts(11)), Duration::ZERO);
         assert_eq!(set.remaining_for(ClientId(9), ts(0)), Duration::ZERO);
     }

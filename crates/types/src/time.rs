@@ -20,8 +20,7 @@ use std::ops::{Add, AddAssign, Sub};
 /// assert_eq!(t + Duration::from_secs(5), Timestamp::from_secs(15));
 /// assert_eq!(t.saturating_sub(Timestamp::from_secs(4)), Duration::from_secs(6));
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Timestamp(u64);
 
 /// A span of virtual time, in milliseconds.
@@ -33,8 +32,7 @@ pub struct Timestamp(u64);
 /// assert_eq!(Duration::from_secs(2).as_millis(), 2000);
 /// assert!(Duration::from_secs(1) < Duration::from_secs(2));
 /// ```
-#[derive(
-    Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Duration(u64);
 
 impl Timestamp {

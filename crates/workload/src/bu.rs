@@ -207,10 +207,7 @@ fn parse_line(line: &str) -> Option<(&str, f64, &str, u64)> {
     if url.is_empty() {
         return None;
     }
-    let size = it
-        .next()
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or(0);
+    let size = it.next().and_then(|s| s.parse::<u64>().ok()).unwrap_or(0);
     Some((machine, ts, url, size))
 }
 

@@ -186,7 +186,10 @@ mod tests {
         let total: f64 = (0..1000).map(|k| z.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-9);
         for k in 1..1000 {
-            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12, "pmf not decreasing at {k}");
+            assert!(
+                z.pmf(k) <= z.pmf(k - 1) + 1e-12,
+                "pmf not decreasing at {k}"
+            );
         }
     }
 

@@ -306,8 +306,7 @@ impl TraceGenerator {
             // Stagger client start times so bursts do not align.
             let mut t = exponential(rng, think_ms / 2.0);
             while remaining > 0 && (t as u64) < span_ms {
-                let replay = !history.is_empty()
-                    && rng.gen_range(0.0..1.0) < cfg.revisit_prob;
+                let replay = !history.is_empty() && rng.gen_range(0.0..1.0) < cfg.revisit_prob;
                 let page: Vec<ObjectId> = if replay {
                     history[rng.gen_range(0..history.len())].clone()
                 } else {

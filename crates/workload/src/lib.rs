@@ -41,8 +41,8 @@
 
 pub mod bu;
 pub mod dist;
-pub mod io;
 mod generator;
+pub mod io;
 mod trace;
 mod universe;
 mod writes;

@@ -117,7 +117,10 @@ impl Universe {
     ///
     /// Panics if `volumes_per_server` is zero.
     pub fn reshard(&self, volumes_per_server: u32) -> Universe {
-        assert!(volumes_per_server > 0, "need at least one volume per server");
+        assert!(
+            volumes_per_server > 0,
+            "need at least one volume per server"
+        );
         let mut builder = UniverseBuilder::new();
         let servers = self.server_count() as u32;
         for s in 0..servers {

@@ -105,7 +105,6 @@ pub struct WriteModel {
     config: WriteModelConfig,
 }
 
-
 impl WriteModel {
     /// Assigns classes given objects ranked most-read-first.
     ///

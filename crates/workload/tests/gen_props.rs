@@ -41,7 +41,10 @@ fn generated_traces_are_well_formed() {
             "case {case}"
         );
         for e in trace.events() {
-            assert!((e.object().raw() as usize) < u.object_count(), "case {case}");
+            assert!(
+                (e.object().raw() as usize) < u.object_count(),
+                "case {case}"
+            );
         }
         assert_eq!(
             trace.read_count() + trace.write_count(),

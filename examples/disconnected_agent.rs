@@ -47,7 +47,10 @@ fn main() {
     for &o in &dataset {
         agent.read(o).expect("warm the cache");
     }
-    println!("agent cached {} objects under a 7-day object lease", dataset.len());
+    println!(
+        "agent cached {} objects under a 7-day object lease",
+        dataset.len()
+    );
 
     // The agent falls off the network.
     net.partition(NodeId::Client(agent_id), NodeId::Server(origin));
@@ -74,7 +77,9 @@ fn main() {
     }
     println!(
         "suspect read still available with a warning: {:?}",
-        agent.read_suspect(dataset[0]).map(|b| String::from_utf8_lossy(&b).into_owned())
+        agent
+            .read_suspect(dataset[0])
+            .map(|b| String::from_utf8_lossy(&b).into_owned())
     );
 
     // The agent comes back and is reconciled.

@@ -59,7 +59,10 @@ fn main() {
         );
         // Strong consistency: the very next read everywhere is current.
         for reader in &readers {
-            assert_eq!(reader.read(FRONT_PAGE).unwrap(), Bytes::from(headline.clone()));
+            assert_eq!(
+                reader.read(FRONT_PAGE).unwrap(),
+                Bytes::from(headline.clone())
+            );
         }
     }
 

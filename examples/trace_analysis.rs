@@ -78,7 +78,10 @@ fn main() {
         &mut rng,
     );
     let writes = model.generate(&universe, days, &mut rng);
-    println!("synthesized {} writes over {days:.4} days (rate scale ×{scale:.0})\n", writes.len());
+    println!(
+        "synthesized {} writes over {days:.4} days (rate scale ×{scale:.0})\n",
+        writes.len()
+    );
 
     let mut events = parsed.trace.events().to_vec();
     events.extend(writes);
@@ -86,7 +89,10 @@ fn main() {
 
     let tv = Duration::from_secs(10);
     let t = Duration::from_secs(10_000);
-    println!("{:<24} {:>9} {:>12} {:>9}", "algorithm", "messages", "bytes", "stale %");
+    println!(
+        "{:<24} {:>9} {:>12} {:>9}",
+        "algorithm", "messages", "bytes", "stale %"
+    );
     for kind in [
         ProtocolKind::Poll { timeout: t },
         ProtocolKind::Callback,

@@ -13,12 +13,23 @@ cargo build --release -p vl-bench --bin fig5 >/dev/null
 
 bin=target/release/fig5
 
+# Runs one sweep, prints its wall-clock seconds, and fails loudly if
+# the binary did not report a throughput line — a sweep that "passes"
+# without producing numbers is a broken benchmark, not a fast one.
 run_secs() {
     local n="$1"
-    local start end
+    local start end out
+    out=$(mktemp)
     start=$(date +%s.%N)
-    "$bin" --preset smoke --threads "$n" >/dev/null
+    "$bin" --preset smoke --threads "$n" >"$out"
     end=$(date +%s.%N)
+    if ! grep -q "events/s" "$out"; then
+        echo "error: fig5 produced no throughput line (expected 'events/s'):" >&2
+        cat "$out" >&2
+        rm -f "$out"
+        exit 1
+    fi
+    rm -f "$out"
     echo "$start $end" | awk '{printf "%.3f", $2 - $1}'
 }
 

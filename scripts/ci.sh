@@ -1,17 +1,28 @@
 #!/usr/bin/env bash
-# Full CI gate: release build (all targets, so bench breakage is
-# caught), the complete test suite, a warning-clean rustdoc build,
-# and the smoke benchmark script.
+# Full CI gate: formatting, lint (warnings denied), release build (all
+# targets, so bench breakage is caught), the complete test suite
+# including ignored tests, a warning-clean rustdoc build, and the smoke
+# benchmark script.
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Hung tests must fail the gate, not wedge it. Overridable for slow
+# machines; `timeout` is coreutils, present everywhere CI runs.
+TEST_TIMEOUT="${VL_TEST_TIMEOUT:-900}"
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets (warnings denied)"
+cargo clippy --workspace --all-targets -- -D warnings
+
 echo "==> cargo build --workspace --all-targets --release"
 cargo build --workspace --all-targets --release
 
-echo "==> cargo test -q --workspace"
-cargo test -q --workspace
+echo "==> cargo test -q --workspace -- --include-ignored (timeout ${TEST_TIMEOUT}s)"
+timeout --kill-after=30 "$TEST_TIMEOUT" cargo test -q --workspace -- --include-ignored
 
 echo "==> cargo doc --no-deps (warnings denied)"
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet

@@ -84,10 +84,7 @@ fn partitioned_client_delays_write_at_most_min_lease() {
     // While partitioned, the client's own leases have expired: a strong
     // read refuses to return the (stale) cached copy.
     std::thread::sleep(StdDuration::from_millis(100));
-    assert!(matches!(
-        c1.read(OBJ),
-        Err(ReadError::Unavailable { .. })
-    ));
+    assert!(matches!(c1.read(OBJ), Err(ReadError::Unavailable { .. })));
     // …but the suspect API still hands out the old bytes, flagged.
     assert_eq!(&c1.read_suspect(OBJ).unwrap()[..], b"v1");
 

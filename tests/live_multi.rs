@@ -37,7 +37,11 @@ fn setup() -> (InMemoryNetwork, WallClock, Vec<ServerHandle>, MultiCache) {
             handle
         })
         .collect();
-    let cache = MultiCache::spawn(MultiConfig::new(ME), net.endpoint(NodeId::Client(ME)), clock);
+    let cache = MultiCache::spawn(
+        MultiConfig::new(ME),
+        net.endpoint(NodeId::Client(ME)),
+        clock,
+    );
     (net, clock, servers, cache)
 }
 
@@ -46,7 +50,9 @@ fn reads_across_origins_with_independent_leases() {
     let (_net, _clock, servers, cache) = setup();
     for s in 0..ORIGINS {
         for i in 0..3 {
-            let data = cache.read(ObjectLocation::origin(ServerId(s)), obj(s, i)).unwrap();
+            let data = cache
+                .read(ObjectLocation::origin(ServerId(s)), obj(s, i))
+                .unwrap();
             assert_eq!(&data[..], format!("s{s}o{i}v1").as_bytes());
         }
     }
@@ -55,7 +61,9 @@ fn reads_across_origins_with_independent_leases() {
     let before = cache.stats();
     for s in 0..ORIGINS {
         for i in 0..3 {
-            cache.read(ObjectLocation::origin(ServerId(s)), obj(s, i)).unwrap();
+            cache
+                .read(ObjectLocation::origin(ServerId(s)), obj(s, i))
+                .unwrap();
         }
     }
     let after = cache.stats();
@@ -71,19 +79,27 @@ fn reads_across_origins_with_independent_leases() {
 fn invalidations_route_per_origin() {
     let (_net, _clock, servers, cache) = setup();
     for s in 0..ORIGINS {
-        cache.read(ObjectLocation::origin(ServerId(s)), obj(s, 0)).unwrap();
+        cache
+            .read(ObjectLocation::origin(ServerId(s)), obj(s, 0))
+            .unwrap();
     }
     // Write at origin 1 only.
     let out = servers[1].write(obj(1, 0), Bytes::from_static(b"s1o0v2"));
     assert_eq!(out.invalidations_sent, 1);
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(1)), obj(1, 0)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(1)), obj(1, 0))
+            .unwrap()[..],
         b"s1o0v2"
     );
     // The other origins' copies are untouched cache hits.
     let before = cache.stats().local_reads;
-    cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 0)).unwrap();
-    cache.read(ObjectLocation::origin(ServerId(2)), obj(2, 0)).unwrap();
+    cache
+        .read(ObjectLocation::origin(ServerId(0)), obj(0, 0))
+        .unwrap();
+    cache
+        .read(ObjectLocation::origin(ServerId(2)), obj(2, 0))
+        .unwrap();
     assert_eq!(cache.stats().local_reads - before, 2);
     cache.shutdown();
     for s in servers {
@@ -95,7 +111,9 @@ fn invalidations_route_per_origin() {
 fn partition_isolates_failures_to_one_origin() {
     let (net, _clock, servers, cache) = setup();
     for s in 0..ORIGINS {
-        cache.read(ObjectLocation::origin(ServerId(s)), obj(s, 0)).unwrap();
+        cache
+            .read(ObjectLocation::origin(ServerId(s)), obj(s, 0))
+            .unwrap();
     }
     // Cut origin 0; wait out its short volume lease.
     net.partition(NodeId::Client(ME), NodeId::Server(ServerId(0)));
@@ -109,18 +127,24 @@ fn partition_isolates_failures_to_one_origin() {
     // …while the other origins keep serving with strong consistency.
     servers[2].write(obj(2, 0), Bytes::from_static(b"s2o0v2"));
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(2)), obj(2, 0)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(2)), obj(2, 0))
+            .unwrap()[..],
         b"s2o0v2"
     );
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(1)), obj(1, 0)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(1)), obj(1, 0))
+            .unwrap()[..],
         b"s1o0v1"
     );
 
     // Heal: origin 0 recovers through its volume renewal.
     net.heal(NodeId::Client(ME), NodeId::Server(ServerId(0)));
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 0)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(0)), obj(0, 0))
+            .unwrap()[..],
         b"s0o0v1"
     );
     cache.shutdown();
@@ -132,8 +156,12 @@ fn partition_isolates_failures_to_one_origin() {
 #[test]
 fn unreachable_origin_resyncs_via_must_renew_all() {
     let (net, _clock, servers, cache) = setup();
-    cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 0)).unwrap();
-    cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 1)).unwrap();
+    cache
+        .read(ObjectLocation::origin(ServerId(0)), obj(0, 0))
+        .unwrap();
+    cache
+        .read(ObjectLocation::origin(ServerId(0)), obj(0, 1))
+        .unwrap();
 
     // Partition, then write both objects: the origin waits the client
     // out (obj(0,0) holder) and joins it to the Unreachable set.
@@ -144,11 +172,15 @@ fn unreachable_origin_resyncs_via_must_renew_all() {
     // The next read triggers MUST_RENEW_ALL; the stale copy is dropped
     // and refetched, the fresh one renewed in place.
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 0)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(0)), obj(0, 0))
+            .unwrap()[..],
         b"s0o0v2"
     );
     assert_eq!(
-        &cache.read(ObjectLocation::origin(ServerId(0)), obj(0, 1)).unwrap()[..],
+        &cache
+            .read(ObjectLocation::origin(ServerId(0)), obj(0, 1))
+            .unwrap()[..],
         b"s0o1v1"
     );
     assert!(cache.stats().reconnections >= 1);

@@ -34,7 +34,11 @@ fn restart_bumps_epoch_and_delays_writes_past_old_leases() {
     let path = stable_path("bump.stable");
     let net = InMemoryNetwork::new();
     let clock = WallClock::new();
-    let server = LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+    let server = LeaseServer::spawn(
+        config(path.clone()),
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
     server.create_object(OBJ, Bytes::from_static(b"v1"));
     assert_eq!(server.stats().epoch, Epoch(0));
 
@@ -48,7 +52,11 @@ fn restart_bumps_epoch_and_delays_writes_past_old_leases() {
 
     // Crash immediately: all volatile lease state is lost.
     server.crash();
-    let server = LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+    let server = LeaseServer::spawn(
+        config(path.clone()),
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
     server.create_object(OBJ, Bytes::from_static(b"v1")); // reload "disk"
     assert_eq!(server.stats().epoch, Epoch(1), "epoch bumped on reboot");
 
@@ -83,7 +91,11 @@ fn fresh_copy_survives_recovery_without_refetch() {
     let path = stable_path("renew.stable");
     let net = InMemoryNetwork::new();
     let clock = WallClock::new();
-    let server = LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+    let server = LeaseServer::spawn(
+        config(path.clone()),
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
     server.create_object(OBJ, Bytes::from_static(b"v1"));
     let c1 = CacheClient::spawn(
         ClientConfig::new(ClientId(1), SRV),
@@ -93,13 +105,20 @@ fn fresh_copy_survives_recovery_without_refetch() {
     assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
 
     server.crash();
-    let server = LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+    let server = LeaseServer::spawn(
+        config(path.clone()),
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
     server.create_object(OBJ, Bytes::from_static(b"v1"));
 
     // Wait out the old volume lease so the client must renew.
     std::thread::sleep(StdDuration::from_millis(700));
     assert_eq!(&c1.read(OBJ).unwrap()[..], b"v1");
-    assert!(c1.stats().reconnections >= 1, "epoch mismatch forced re-sync");
+    assert!(
+        c1.stats().reconnections >= 1,
+        "epoch mismatch forced re-sync"
+    );
     assert_eq!(
         c1.stats().batched_invalidations,
         0,
@@ -115,7 +134,11 @@ fn first_boot_with_stable_storage_starts_at_epoch_zero() {
     let path = stable_path("firstboot.stable");
     let net = InMemoryNetwork::new();
     let clock = WallClock::new();
-    let server = LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+    let server = LeaseServer::spawn(
+        config(path.clone()),
+        net.endpoint(NodeId::Server(SRV)),
+        clock,
+    );
     assert_eq!(server.stats().epoch, Epoch(0));
     server.create_object(OBJ, Bytes::from_static(b"v1"));
     // No pre-boot leases: writes are immediate.
@@ -131,8 +154,11 @@ fn double_crash_keeps_bumping_epochs() {
     let net = InMemoryNetwork::new();
     let clock = WallClock::new();
     for expected in 0..3u64 {
-        let server =
-            LeaseServer::spawn(config(path.clone()), net.endpoint(NodeId::Server(SRV)), clock);
+        let server = LeaseServer::spawn(
+            config(path.clone()),
+            net.endpoint(NodeId::Server(SRV)),
+            clock,
+        );
         assert_eq!(server.stats().epoch, Epoch(expected));
         // Grant at least one volume lease so the record is persisted.
         server.create_object(OBJ, Bytes::from_static(b"x"));

@@ -139,7 +139,11 @@ fn simulation_is_deterministic() {
         let a = SimulationBuilder::new(kind).run(&trace);
         let b = SimulationBuilder::new(kind).run(&trace);
         assert_eq!(a.summary, b.summary, "case {case}");
-        assert_eq!(a.metrics.total_bytes(), b.metrics.total_bytes(), "case {case}");
+        assert_eq!(
+            a.metrics.total_bytes(),
+            b.metrics.total_bytes(),
+            "case {case}"
+        );
     }
 }
 
@@ -171,8 +175,7 @@ fn waiting_lease_only_removes_messages() {
         let trace = build(&arb_trace(&mut rng));
         let t = Duration::from_secs(120);
         let lease = SimulationBuilder::new(ProtocolKind::Lease { timeout: t }).run(&trace);
-        let wait =
-            SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: t }).run(&trace);
+        let wait = SimulationBuilder::new(ProtocolKind::WaitingLease { timeout: t }).run(&trace);
         assert!(
             wait.summary.messages <= lease.summary.messages,
             "case {case}"

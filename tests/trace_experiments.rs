@@ -91,7 +91,10 @@ fn figure5_shape_holds() {
         .iter()
         .map(|&t| messages(&trace, ProtocolKind::Lease { timeout: secs(t) }))
         .collect();
-    assert!(lease[0] > lease[1], "renewals dominate at small t: {lease:?}");
+    assert!(
+        lease[0] > lease[1],
+        "renewals dominate at small t: {lease:?}"
+    );
 
     let delay: Vec<u64> = sweep
         .iter()
@@ -125,7 +128,10 @@ fn poll_staleness_grows_with_window() {
     let (m_long, s_long) = run(100_000);
     assert!(m_long < m_short);
     assert!(s_long > s_short);
-    assert!(s_long > 0.0, "a day-plus window across writes must go stale");
+    assert!(
+        s_long > 0.0,
+        "a day-plus window across writes must go stale"
+    );
 }
 
 /// BU-format text parses into a trace that runs through the write model
