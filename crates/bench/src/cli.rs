@@ -3,7 +3,10 @@
 //! Every binary accepts:
 //!
 //! ```text
-//! --preset smoke|medium|paper   workload scale (default: medium)
+//! --preset smoke|medium|paper   workload scale (default: medium;
+//!                               `full` is an alias for `paper`)
+//! --scale N                     multiply the preset's objects and
+//!                               reads by N (10 ≈ a 10x BU-size trace)
 //! --seed N                      override the workload seed
 //! --csv PATH                    also write the rows as CSV
 //! --threads N                   sweep worker threads (default: all
@@ -40,6 +43,7 @@ pub struct CommonArgs {
 /// malformed invocation.
 pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
     let mut preset = WorkloadPreset::Medium;
+    let mut scale: u32 = 1;
     let mut seed: Option<u64> = None;
     let mut csv: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
@@ -51,7 +55,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
         match arg.as_str() {
             "--help" | "-h" => {
                 println!(
-                    "usage: {binary} [--preset smoke|medium|paper] [--seed N] [--csv PATH] [--threads N] [--trace-out PATH]{extra_help}"
+                    "usage: {binary} [--preset smoke|medium|paper|full] [--scale N] [--seed N] [--csv PATH] [--threads N] [--trace-out PATH]{extra_help}"
                 );
                 exit(0);
             }
@@ -60,13 +64,22 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
                 preset = match v.as_str() {
                     "smoke" => WorkloadPreset::Smoke,
                     "medium" => WorkloadPreset::Medium,
-                    "paper" => WorkloadPreset::Paper,
+                    // "full" reads better in benchmark scripts: the whole
+                    // paper-scale workload, nothing held back.
+                    "paper" | "full" => WorkloadPreset::Paper,
                     other => {
-                        eprintln!("unknown preset '{other}' (want smoke|medium|paper)");
+                        eprintln!("unknown preset '{other}' (want smoke|medium|paper|full)");
                         exit(2);
                     }
                 };
             }
+            "--scale" => match args.next().and_then(|s| s.parse().ok()) {
+                Some(n) if n >= 1 => scale = n,
+                _ => {
+                    eprintln!("--scale needs a positive integer");
+                    exit(2);
+                }
+            },
             "--seed" => match args.next().and_then(|s| s.parse().ok()) {
                 Some(s) => seed = Some(s),
                 None => {
@@ -98,7 +111,7 @@ pub fn parse(binary: &str, extra_help: &str) -> CommonArgs {
             other => rest.push(other.to_owned()),
         }
     }
-    let mut config = WorkloadConfig::preset(preset);
+    let mut config = WorkloadConfig::preset(preset).scaled(scale);
     if let Some(s) = seed {
         config.seed = s;
     }

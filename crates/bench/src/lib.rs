@@ -74,13 +74,28 @@ impl SweepStats {
 
     /// One printable summary line.
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} simulations · {} events · {:.3}s wall · {:.0} events/s · {} thread(s)",
             self.simulations,
             self.events_processed,
             self.elapsed.as_secs_f64(),
             self.events_per_sec(),
             self.threads
-        )
+        );
+        if let Some(rss) = peak_rss_bytes() {
+            line.push_str(&format!(" · {:.1} MiB peak rss", rss as f64 / (1 << 20) as f64));
+        }
+        line
     }
+}
+
+/// The process's peak resident set size in bytes (Linux `VmHWM`), or
+/// `None` where `/proc` is unavailable. Printed with every sweep so the
+/// `--scale` memory experiments (EXPERIMENTS.md "Raw speed") need no
+/// external profiler.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kib: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kib * 1024)
 }

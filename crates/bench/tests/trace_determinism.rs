@@ -21,6 +21,14 @@ fn traced_kinds() -> Vec<ProtocolKind> {
             object_timeout: secs(1_000),
             inactive_discard: vl_types::Duration::MAX,
         },
+        // Finite discard exercises the full delayed-invalidation arc —
+        // queued batches, demotions, reconnections — whose grouped
+        // deliveries must be as replay-stable as plain sends.
+        ProtocolKind::DelayedInvalidation {
+            volume_timeout: secs(10),
+            object_timeout: secs(1_000),
+            inactive_discard: secs(3_600),
+        },
     ]
 }
 
@@ -54,8 +62,12 @@ fn jsonl_trace_is_byte_identical_across_thread_counts() {
     );
     assert_eq!(
         text.lines().filter(|l| l.starts_with("{\"run\":")).count(),
-        3,
+        4,
         "one label line per traced protocol"
+    );
+    assert!(
+        text.contains("\"inval_batch\""),
+        "the delayed-invalidation runs must emit batched deliveries"
     );
     for threads in [2, 8] {
         let parallel = write_with_threads(threads, "b");

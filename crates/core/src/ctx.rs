@@ -58,6 +58,51 @@ impl<'a> Ctx<'a> {
             .count_msg(kind, server, client, CONTROL_MSG_BYTES + extra_bytes, now);
     }
 
+    /// Records a request/reply pair of control messages against an
+    /// explicit server in one metrics pass — every renewal, fetch, and
+    /// invalidate/ack exchange is such a pair, so the protocols' hot
+    /// paths use this instead of two [`send_to_server`] calls.
+    ///
+    /// [`send_to_server`]: Ctx::send_to_server
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_pair_to_server(
+        &mut self,
+        kind_a: MessageKind,
+        extra_a: u64,
+        kind_b: MessageKind,
+        extra_b: u64,
+        server: ServerId,
+        client: ClientId,
+        now: Timestamp,
+    ) {
+        self.metrics.count_msg_pair(
+            kind_a,
+            CONTROL_MSG_BYTES + extra_a,
+            kind_b,
+            CONTROL_MSG_BYTES + extra_b,
+            server,
+            client,
+            now,
+        );
+    }
+
+    /// Like [`send_pair_to_server`](Ctx::send_pair_to_server) but routed
+    /// through `object`'s hosting server, resolved once.
+    #[allow(clippy::too_many_arguments)]
+    pub fn send_pair(
+        &mut self,
+        kind_a: MessageKind,
+        extra_a: u64,
+        kind_b: MessageKind,
+        extra_b: u64,
+        object: ObjectId,
+        client: ClientId,
+        now: Timestamp,
+    ) {
+        let server = self.universe.server_of(object);
+        self.send_pair_to_server(kind_a, extra_a, kind_b, extra_b, server, client, now);
+    }
+
     /// Payload size of `object`, for data-carrying replies.
     pub fn payload(&self, object: ObjectId) -> u64 {
         self.universe.object(object).size_bytes

@@ -57,6 +57,7 @@ mod cache;
 mod ctx;
 mod engine;
 mod kind;
+mod mem;
 pub mod machine;
 mod protocols;
 mod track;
@@ -69,4 +70,4 @@ pub use protocols::{
     new_protocol, Callback, DelayedInvalidation, ObjectLease, Poll, PollEachRead, Protocol,
     VolumeLease,
 };
-pub use track::LeaseTrack;
+pub use track::{LeaseTrack, VolumeLeaseTable};

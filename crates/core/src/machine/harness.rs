@@ -135,6 +135,11 @@ pub struct FaultReport {
     pub invariant_checks: u64,
     /// Reconnection exchanges completed by the server.
     pub reconnections: u64,
+    /// Grouped delivery events scheduled for server fan-outs (≥ 2
+    /// surviving messages collapsed into one queue entry).
+    pub batched_deliveries: u64,
+    /// Total messages carried inside those grouped deliveries.
+    pub batched_messages: u64,
     /// Invariant violations (empty on a correct protocol).
     pub violations: Vec<String>,
     /// The full deterministic event log.
@@ -150,6 +155,15 @@ enum Ev {
     ToClient {
         to: ClientId,
         msg: ServerMsg,
+    },
+    /// One grouped delivery for a server fan-out: a volume-wide write
+    /// that invalidates N holders schedules a single queue entry
+    /// carrying all surviving messages (in send order) instead of N
+    /// per-holder events. Drop/partition rolls were already taken at
+    /// route time, in the same order as unbatched routing, so runs are
+    /// byte-identical to per-event delivery.
+    Batch {
+        msgs: Vec<(ClientId, ServerMsg)>,
     },
     ReadRetry {
         client: ClientId,
@@ -296,6 +310,16 @@ impl Harness {
                 let actions = self.clients[to.0 as usize].handle(now, ClientInput::Msg(msg));
                 self.apply_client_actions(to, actions);
                 self.try_complete_reads(to);
+            }
+            Ev::Batch { msgs } => {
+                // Deliver in send order — exactly the order N separate
+                // ToClient entries would have popped in.
+                for (to, msg) in msgs {
+                    let now = self.clock.now();
+                    let actions = self.clients[to.0 as usize].handle(now, ClientInput::Msg(msg));
+                    self.apply_client_actions(to, actions);
+                    self.try_complete_reads(to);
+                }
             }
             Ev::ReadRetry {
                 client,
@@ -511,10 +535,20 @@ impl Harness {
 
     fn apply_server_actions(&mut self, actions: Vec<ServerAction>) {
         let now = self.clock.now();
+        // Consecutive sends share one delivery instant (constant
+        // latency), so a fan-out becomes one grouped queue entry. Any
+        // non-send action flushes the run first, preserving the exact
+        // FIFO interleaving per-event scheduling would have produced.
+        let mut batch: Vec<(ClientId, ServerMsg)> = Vec::new();
         for action in actions {
             match action {
-                ServerAction::Send { to, msg } => self.route_to_client(to, msg),
+                ServerAction::Send { to, msg } => {
+                    if self.admit_to_client(&to, &msg) {
+                        batch.push((to, msg));
+                    }
+                }
                 ServerAction::SetTimer { at, .. } => {
+                    self.flush_batch(&mut batch);
                     self.queue.schedule(at.max(now), Ev::Tick);
                 }
                 ServerAction::Persist { state } => {
@@ -561,9 +595,45 @@ impl Harness {
                 }
             }
         }
+        self.flush_batch(&mut batch);
         if let Some(s) = &self.server {
             self.report.reconnections = s.stats().reconnections;
         }
+    }
+
+    /// Rolls the fault model for one server→client message at route
+    /// time (keeping the RNG draw order identical to unbatched
+    /// routing); `true` means it survives and may join a batch.
+    fn admit_to_client(&mut self, to: &ClientId, msg: &ServerMsg) -> bool {
+        if self.partitioned.contains(to) || self.rng.gen_bool(self.cfg.drop_prob) {
+            self.report.messages_dropped += 1;
+            self.note(format!("drop server->{to} {msg:?}"));
+            return false;
+        }
+        true
+    }
+
+    /// Schedules the collected fan-out as one queue entry (or a plain
+    /// per-message event when only one message survived) and clears the
+    /// buffer.
+    fn flush_batch(&mut self, batch: &mut Vec<(ClientId, ServerMsg)>) {
+        if batch.is_empty() {
+            return;
+        }
+        let at = self.clock.now() + self.cfg.latency;
+        if batch.len() == 1 {
+            let (to, msg) = batch.pop().expect("len checked");
+            self.queue.schedule(at, Ev::ToClient { to, msg });
+            return;
+        }
+        self.report.batched_deliveries += 1;
+        self.report.batched_messages += batch.len() as u64;
+        self.queue.schedule(
+            at,
+            Ev::Batch {
+                msgs: std::mem::take(batch),
+            },
+        );
     }
 
     fn apply_client_actions(&mut self, client: ClientId, actions: Vec<ClientAction>) {
@@ -591,15 +661,6 @@ impl Harness {
         self.queue.schedule(at, Ev::ToServer { from, msg });
     }
 
-    fn route_to_client(&mut self, to: ClientId, msg: ServerMsg) {
-        if self.partitioned.contains(&to) || self.rng.gen_bool(self.cfg.drop_prob) {
-            self.report.messages_dropped += 1;
-            self.note(format!("drop server->{to} {msg:?}"));
-            return;
-        }
-        let at = self.clock.now() + self.cfg.latency;
-        self.queue.schedule(at, Ev::ToClient { to, msg });
-    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,21 @@
+//! Cache-control intrinsics behind a portable face.
+
+/// Best-effort prefetch of the cache line holding `p` into L1.
+///
+/// Purely a scheduling hint: no observable effect on results, and it
+/// compiles to nothing on architectures without a stable prefetch
+/// intrinsic.
+#[inline(always)]
+pub(crate) fn prefetch<T>(p: &T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        std::arch::x86_64::_mm_prefetch(
+            (p as *const T).cast::<i8>(),
+            std::arch::x86_64::_MM_HINT_T0,
+        );
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+    }
+}

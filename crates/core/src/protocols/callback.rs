@@ -22,6 +22,8 @@ pub struct Callback {
     /// Per object: who holds a callback (a never-expiring "lease").
     callbacks: Vec<LeaseTrack>,
     caches: ClientCaches,
+    /// Scratch holder list reused by every `on_write`.
+    holders: Vec<ClientId>,
 }
 
 impl Callback {
@@ -31,9 +33,10 @@ impl Callback {
             callbacks: universe
                 .objects()
                 .iter()
-                .map(|o| LeaseTrack::new(o.server))
+                .map(|o| LeaseTrack::new_in(o.server, o.volume))
                 .collect(),
             caches: ClientCaches::new(),
+            holders: Vec::new(),
         }
     }
 }
@@ -41,6 +44,14 @@ impl Callback {
 impl Protocol for Callback {
     fn kind(&self) -> ProtocolKind {
         ProtocolKind::Callback
+    }
+
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        crate::mem::prefetch(&self.callbacks[object.raw() as usize]);
+        if let Some(client) = client {
+            self.caches.warm(client, object);
+        }
     }
 
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
@@ -52,29 +63,42 @@ impl Protocol for Callback {
             return;
         }
         // Fetch and register a callback.
-        ctx.send(MessageKind::DataFetch, object, client, 0, now);
-        ctx.send(
+        let track = &mut self.callbacks[object.raw() as usize];
+        let (volume, server) = (track.home_volume(), track.server());
+        ctx.send_pair_to_server(
+            MessageKind::DataFetch,
+            0,
             MessageKind::DataReply,
-            object,
-            client,
             ctx.payload(object),
+            server,
+            client,
             now,
         );
-        self.callbacks[object.raw() as usize].grant(client, now, Timestamp::MAX, ctx.metrics);
-        self.caches
-            .put(client, object, ctx.universe.volume_of(object), current);
+        track.grant(client, now, Timestamp::MAX, ctx.metrics);
+        self.caches.put(client, object, volume, current);
         ctx.read_done(now, client, object, false);
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let track = &mut self.callbacks[object.raw() as usize];
-        let volume = ctx.universe.volume_of(object);
-        for client in track.valid_holders(now) {
-            ctx.send(MessageKind::Invalidate, object, client, 0, now);
-            ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
-            track.revoke(client, now, ctx.metrics);
+        let oi = object.raw() as usize;
+        let volume = self.callbacks[oi].home_volume();
+        let server = self.callbacks[oi].server();
+        let mut holders = std::mem::take(&mut self.holders);
+        self.callbacks[oi].valid_holders_into(now, &mut holders);
+        for &client in &holders {
+            ctx.send_pair_to_server(
+                MessageKind::Invalidate,
+                0,
+                MessageKind::AckInvalidate,
+                0,
+                server,
+                client,
+                now,
+            );
+            self.callbacks[oi].revoke(client, now, ctx.metrics);
             self.caches.drop_copy(client, object, volume);
         }
+        self.holders = holders;
         ctx.metrics.record_write_delay(Duration::ZERO);
     }
 

@@ -19,11 +19,10 @@
 
 use super::Protocol;
 use crate::cache::ClientCaches;
-use crate::track::LeaseTrack;
+use crate::track::{LeaseTrack, VolumeLeaseTable};
 use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
-use std::collections::BTreeSet;
 use vl_metrics::{Event, EventKind, MessageKind};
-use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId, LEASE_RECORD_BYTES};
+use vl_types::{ClientId, Duration, ObjectId, Timestamp, Version, VolumeId, LEASE_RECORD_BYTES};
 use vl_workload::Universe;
 
 /// One queued object invalidation for an inactive client.
@@ -46,16 +45,17 @@ struct InactiveRec {
 /// All three sets are indexed densely by client id (grown on demand):
 /// the engine consults them on every read and write of the volume, and
 /// the client id space is small and bounded by the trace, so flat slots
-/// beat tree lookups on the hot path. Only the per-client holdings keep
-/// an inner `BTreeSet` — demotion iterates it, and the deterministic
+/// beat tree lookups on the hot path. The per-client holdings are
+/// sorted vectors — demotion iterates them, and the deterministic
 /// ascending order matters for byte-identical reports.
 #[derive(Clone, Debug, Default)]
 struct VolumeState {
     inactive: Vec<Option<InactiveRec>>,
     unreachable: Vec<bool>,
-    /// Which objects each client holds leases on — consulted when a
-    /// demotion must discard a client's lease records wholesale.
-    holdings: Vec<BTreeSet<ObjectId>>,
+    /// Which objects each client holds leases on (ascending) —
+    /// consulted when a demotion must discard a client's lease records
+    /// wholesale.
+    holdings: Vec<Vec<ObjectId>>,
 }
 
 fn slot<T: Default + Clone>(v: &mut Vec<T>, client: ClientId) -> &mut T {
@@ -86,7 +86,7 @@ impl VolumeState {
         *slot(&mut self.unreachable, client) = value;
     }
 
-    fn take_holdings(&mut self, client: ClientId) -> BTreeSet<ObjectId> {
+    fn take_holdings(&mut self, client: ClientId) -> Vec<ObjectId> {
         self.holdings
             .get_mut(client.raw() as usize)
             .map(std::mem::take)
@@ -101,9 +101,13 @@ pub struct DelayedInvalidation {
     object_timeout: Duration,
     inactive_discard: Duration,
     obj_leases: Vec<LeaseTrack>,
-    vol_leases: Vec<LeaseTrack>,
+    vol_leases: VolumeLeaseTable,
     vols: Vec<VolumeState>,
     caches: ClientCaches,
+    /// Scratch holder list reused by every `on_write`.
+    holders: Vec<ClientId>,
+    /// Scratch leaseSet buffer reused by every reconnection.
+    lease_set: Vec<ObjectId>,
 }
 
 impl DelayedInvalidation {
@@ -122,15 +126,15 @@ impl DelayedInvalidation {
             obj_leases: universe
                 .objects()
                 .iter()
-                .map(|o| LeaseTrack::new(o.server))
+                .map(|o| LeaseTrack::new_in(o.server, o.volume))
                 .collect(),
-            vol_leases: universe
-                .volumes()
-                .iter()
-                .map(|v| LeaseTrack::new(v.server))
-                .collect(),
+            vol_leases: VolumeLeaseTable::new(
+                universe.volumes().iter().map(|v| v.server).collect(),
+            ),
             vols: vec![VolumeState::default(); universe.volume_count()],
             caches: ClientCaches::new(),
+            holders: Vec::new(),
+            lease_set: Vec::new(),
         }
     }
 
@@ -147,6 +151,9 @@ impl DelayedInvalidation {
             .map_or(0, |r| r.pending.len())
     }
 
+    /// Grants (or extends) `client`'s object lease, records the holding,
+    /// and refreshes the cached copy, returning the version that copy
+    /// replaced so callers can size piggybacked data without re-probing.
     fn grant_object(
         &mut self,
         now: Timestamp,
@@ -154,7 +161,7 @@ impl DelayedInvalidation {
         object: ObjectId,
         volume: VolumeId,
         ctx: &mut Ctx<'_>,
-    ) {
+    ) -> Option<Version> {
         if ctx.metrics.tracing() {
             let renewal = self.obj_leases[object.raw() as usize].is_valid(client, now);
             let kind = if renewal {
@@ -174,8 +181,12 @@ impl DelayedInvalidation {
             now.saturating_add(self.object_timeout),
             ctx.metrics,
         );
-        slot(&mut self.vols[volume.raw() as usize].holdings, client).insert(object);
-        self.caches.put(client, object, volume, ctx.version(object));
+        let held = slot(&mut self.vols[volume.raw() as usize].holdings, client);
+        if let Err(i) = held.binary_search(&object) {
+            held.insert(i, object);
+        }
+        self.caches
+            .put_fetch(client, object, volume, ctx.version(object))
     }
 
     fn revoke_object(
@@ -187,11 +198,13 @@ impl DelayedInvalidation {
         ctx: &mut Ctx<'_>,
     ) {
         self.obj_leases[object.raw() as usize].revoke(client, at, ctx.metrics);
-        if let Some(set) = self.vols[volume.raw() as usize]
+        if let Some(held) = self.vols[volume.raw() as usize]
             .holdings
             .get_mut(client.raw() as usize)
         {
-            set.remove(&object);
+            if let Ok(i) = held.binary_search(&object) {
+                held.remove(i);
+            }
         }
     }
 
@@ -215,7 +228,7 @@ impl DelayedInvalidation {
             .filter(|&cutoff| now >= cutoff);
         let Some(cutoff) = due else { return };
         let rec = self.vols[vi].take_inactive(client).expect("checked above");
-        let server = ctx.universe.volume(volume).server;
+        let server = self.vol_leases.server(volume);
         if ctx.metrics.tracing() {
             ctx.metrics.emit(Event {
                 volume: Some(volume),
@@ -234,7 +247,7 @@ impl DelayedInvalidation {
                 cutoff.saturating_sub(p.enqueued),
             );
         }
-        let held: Vec<ObjectId> = self.vols[vi].take_holdings(client).into_iter().collect();
+        let held = self.vols[vi].take_holdings(client);
         for object in held {
             self.obj_leases[object.raw() as usize].revoke(client, cutoff, ctx.metrics);
             if ctx.metrics.tracing() {
@@ -255,8 +268,9 @@ impl DelayedInvalidation {
     /// reply, `ACK_INVALIDATE`, and the final `VOL_LEASE` grant.
     fn reconnect(&mut self, now: Timestamp, client: ClientId, volume: VolumeId, ctx: &mut Ctx<'_>) {
         let vi = volume.raw() as usize;
-        let server = ctx.universe.volume(volume).server;
-        let cached = self.caches.cached_in_volume(client, volume);
+        let server = self.vol_leases.server(volume);
+        let mut cached = std::mem::take(&mut self.lease_set);
+        self.caches.cached_in_volume_into(client, volume, &mut cached);
         let list_bytes = cached.len() as u64 * LIST_ENTRY_BYTES;
 
         ctx.send_to_server(MessageKind::VolLeaseRequest, server, client, 0, now);
@@ -272,7 +286,7 @@ impl DelayedInvalidation {
         ctx.send_to_server(MessageKind::AckInvalidate, server, client, 0, now);
         ctx.send_to_server(MessageKind::VolLeaseGrant, server, client, 0, now);
 
-        for object in cached {
+        for &object in &cached {
             let fresh = self.caches.version_of(client, object) == Some(ctx.version(object));
             if fresh {
                 // Renew the lease on the still-current copy.
@@ -282,6 +296,7 @@ impl DelayedInvalidation {
                 self.caches.drop_copy(client, object, volume);
             }
         }
+        self.lease_set = cached;
         self.vols[vi].set_unreachable(client, false);
         if ctx.metrics.tracing() {
             ctx.metrics.emit(Event {
@@ -293,8 +308,9 @@ impl DelayedInvalidation {
                 ..Event::new(now, EventKind::VolumeLeaseGranted, server, client)
             });
         }
-        self.vol_leases[vi].grant(
+        self.vol_leases.grant(
             client,
+            volume,
             now,
             now.saturating_add(self.volume_timeout),
             ctx.metrics,
@@ -311,8 +327,18 @@ impl Protocol for DelayedInvalidation {
         }
     }
 
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        crate::mem::prefetch(&self.obj_leases[object.raw() as usize]);
+        if let Some(client) = client {
+            self.caches.warm(client, object);
+        }
+    }
+
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let volume = ctx.universe.volume_of(object);
+        // The object's volume rides in its lease track's cache line, so
+        // the hot path never touches the universe tables.
+        let volume = self.obj_leases[object.raw() as usize].home_volume();
         let vi = volume.raw() as usize;
         self.demote_if_due(now, client, volume, ctx);
 
@@ -322,24 +348,35 @@ impl Protocol for DelayedInvalidation {
             // lease (reconnection renewed it only if the copy was fresh).
         }
 
-        let vol_ok = self.vol_leases[vi].is_valid(client, now);
+        let vol_ok = self.vol_leases.is_valid(client, volume, now);
         let obj_ok = self.obj_leases[object.raw() as usize].is_valid(client, now);
-        let current = ctx.version(object);
-        let cached = self.caches.version_of(client, object);
 
         match (vol_ok, obj_ok) {
             (true, true) => {
-                debug_assert_eq!(cached, Some(current));
+                // Valid leases guarantee freshness; probing the cache
+                // here would be pure hot-path cost.
+                debug_assert_eq!(
+                    self.caches.version_of(client, object),
+                    Some(ctx.version(object))
+                );
             }
             (true, false) => {
-                ctx.send(MessageKind::ObjLeaseRequest, object, client, 0, now);
-                let data = if cached == Some(current) {
+                let server = self.obj_leases[object.raw() as usize].server();
+                let cached = self.grant_object(now, client, object, volume, ctx);
+                let data = if cached == Some(ctx.version(object)) {
                     0
                 } else {
                     ctx.payload(object)
                 };
-                ctx.send(MessageKind::ObjLeaseGrant, object, client, data, now);
-                self.grant_object(now, client, object, volume, ctx);
+                ctx.send_pair_to_server(
+                    MessageKind::ObjLeaseRequest,
+                    0,
+                    MessageKind::ObjLeaseGrant,
+                    data,
+                    server,
+                    client,
+                    now,
+                );
             }
             (false, _) => {
                 // Volume renewal; delivers any pending invalidations
@@ -349,16 +386,9 @@ impl Protocol for DelayedInvalidation {
                     .take_inactive(client)
                     .map(|r| r.pending)
                     .unwrap_or_default();
-                let server = ctx.universe.volume(volume).server;
+                let server = self.vol_leases.server(volume);
                 let pending_bytes = pending.len() as u64 * LIST_ENTRY_BYTES;
 
-                ctx.send_to_server(
-                    MessageKind::VolLeaseRequest,
-                    server,
-                    client,
-                    if obj_ok { 0 } else { LIST_ENTRY_BYTES },
-                    now,
-                );
                 for p in &pending {
                     ctx.metrics.state_held(
                         server,
@@ -367,19 +397,28 @@ impl Protocol for DelayedInvalidation {
                     );
                     self.caches.drop_copy(client, p.object, volume);
                 }
-                // Re-evaluate the object after applying pending drops.
-                let cached = self.caches.version_of(client, object);
+                // Re-evaluate the object after applying pending drops;
+                // granting first hands back the version the refreshed
+                // copy replaced, so no second cache probe is needed.
+                let current = ctx.version(object);
                 let need_obj = !obj_ok;
+                let cached = if need_obj {
+                    self.grant_object(now, client, object, volume, ctx)
+                } else {
+                    self.caches.version_of(client, object)
+                };
                 let data = if need_obj && cached != Some(current) {
                     ctx.payload(object)
                 } else {
                     0
                 };
-                ctx.send_to_server(
+                ctx.send_pair_to_server(
+                    MessageKind::VolLeaseRequest,
+                    if obj_ok { 0 } else { LIST_ENTRY_BYTES },
                     MessageKind::VolLeaseGrant,
+                    pending_bytes + if need_obj { LIST_ENTRY_BYTES } else { 0 } + data,
                     server,
                     client,
-                    pending_bytes + if need_obj { LIST_ENTRY_BYTES } else { 0 } + data,
                     now,
                 );
                 if !pending.is_empty() {
@@ -404,15 +443,14 @@ impl Protocol for DelayedInvalidation {
                         ..Event::new(now, EventKind::VolumeLeaseGranted, server, client)
                     });
                 }
-                self.vol_leases[vi].grant(
+                self.vol_leases.grant(
                     client,
+                    volume,
                     now,
                     now.saturating_add(self.volume_timeout),
                     ctx.metrics,
                 );
-                if need_obj {
-                    self.grant_object(now, client, object, volume, ctx);
-                } else {
+                if !need_obj {
                     debug_assert_eq!(cached, Some(current));
                 }
             }
@@ -421,20 +459,30 @@ impl Protocol for DelayedInvalidation {
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let volume = ctx.universe.volume_of(object);
+        let volume = self.obj_leases[object.raw() as usize].home_volume();
         let vi = volume.raw() as usize;
         let (mut sent, mut queued) = (0u64, 0u64);
-        for client in self.obj_leases[object.raw() as usize].valid_holders(now) {
+        let mut holders = std::mem::take(&mut self.holders);
+        self.obj_leases[object.raw() as usize].valid_holders_into(now, &mut holders);
+        for &client in &holders {
             self.demote_if_due(now, client, volume, ctx);
             if self.vols[vi].is_unreachable(client) {
                 // Its lease records were discarded at demotion; if the
                 // demotion just happened this holder no longer exists.
                 continue;
             }
-            if self.vol_leases[vi].is_valid(client, now) {
+            if self.vol_leases.is_valid(client, volume, now) {
                 // Active client: invalidate immediately.
-                ctx.send(MessageKind::Invalidate, object, client, 0, now);
-                ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
+                let server = self.vol_leases.server(volume);
+                ctx.send_pair_to_server(
+                    MessageKind::Invalidate,
+                    0,
+                    MessageKind::AckInvalidate,
+                    0,
+                    server,
+                    client,
+                    now,
+                );
                 self.revoke_object(now, client, object, volume, ctx);
                 self.caches.drop_copy(client, object, volume);
                 sent += 1;
@@ -453,7 +501,7 @@ impl Protocol for DelayedInvalidation {
                 }
             } else {
                 // Volume lapsed: queue the invalidation instead.
-                let since = self.vol_leases[vi].expiry_of(client).unwrap_or(now);
+                let since = self.vol_leases.expiry_of(client, volume).unwrap_or(now);
                 self.revoke_object(now, client, object, volume, ctx);
                 slot(&mut self.vols[vi].inactive, client)
                     .get_or_insert_with(|| InactiveRec {
@@ -476,6 +524,7 @@ impl Protocol for DelayedInvalidation {
                 }
             }
         }
+        self.holders = holders;
         self.obj_leases[object.raw() as usize].sweep_expired(now, ctx.metrics);
         if ctx.metrics.tracing() {
             let server = ctx.universe.volume(volume).server;
@@ -498,9 +547,10 @@ impl Protocol for DelayedInvalidation {
     }
 
     fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>) {
-        for track in self.obj_leases.iter_mut().chain(self.vol_leases.iter_mut()) {
+        for track in self.obj_leases.iter_mut() {
             track.finalize(end, ctx.metrics);
         }
+        self.vol_leases.finalize(end, ctx.metrics);
         for (vi, vol) in self.vols.iter_mut().enumerate() {
             let server = ctx.universe.volume(VolumeId(vi as u32)).server;
             // Slot order is ascending client id — the same iteration

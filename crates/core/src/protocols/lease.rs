@@ -29,6 +29,8 @@ pub struct ObjectLease {
     notify: bool,
     leases: Vec<LeaseTrack>,
     caches: ClientCaches,
+    /// Scratch holder list reused by every `on_write`.
+    holders: Vec<ClientId>,
 }
 
 impl ObjectLease {
@@ -40,9 +42,10 @@ impl ObjectLease {
             leases: universe
                 .objects()
                 .iter()
-                .map(|o| LeaseTrack::new(o.server))
+                .map(|o| LeaseTrack::new_in(o.server, o.volume))
                 .collect(),
             caches: ClientCaches::new(),
+            holders: Vec::new(),
         }
     }
 
@@ -59,22 +62,24 @@ impl ObjectLease {
     /// trip and piggybacking data when the cached copy is out of date.
     fn renew(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
         let current = ctx.version(object);
-        let cached = self.caches.version_of(client, object);
-        ctx.send(MessageKind::ObjLeaseRequest, object, client, 0, now);
+        let track = &mut self.leases[object.raw() as usize];
+        let (volume, server) = (track.home_volume(), track.server());
+        track.grant(client, now, now.saturating_add(self.timeout), ctx.metrics);
+        let cached = self.caches.put_fetch(client, object, volume, current);
         let data = if cached == Some(current) {
             0
         } else {
             ctx.payload(object)
         };
-        ctx.send(MessageKind::ObjLeaseGrant, object, client, data, now);
-        self.leases[object.raw() as usize].grant(
+        ctx.send_pair_to_server(
+            MessageKind::ObjLeaseRequest,
+            0,
+            MessageKind::ObjLeaseGrant,
+            data,
+            server,
             client,
             now,
-            now.saturating_add(self.timeout),
-            ctx.metrics,
         );
-        self.caches
-            .put(client, object, ctx.universe.volume_of(object), current);
     }
 }
 
@@ -88,6 +93,14 @@ impl Protocol for ObjectLease {
             ProtocolKind::WaitingLease {
                 timeout: self.timeout,
             }
+        }
+    }
+
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        crate::mem::prefetch(&self.leases[object.raw() as usize]);
+        if let Some(client) = client {
+            self.caches.warm(client, object);
         }
     }
 
@@ -106,13 +119,23 @@ impl Protocol for ObjectLease {
     }
 
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let track = &mut self.leases[object.raw() as usize];
-        let volume = ctx.universe.volume_of(object);
+        let oi = object.raw() as usize;
+        let volume = self.leases[oi].home_volume();
+        let server = self.leases[oi].server();
+        let mut holders = std::mem::take(&mut self.holders);
+        self.leases[oi].valid_holders_into(now, &mut holders);
         if self.notify {
-            for client in track.valid_holders(now) {
-                ctx.send(MessageKind::Invalidate, object, client, 0, now);
-                ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
-                track.revoke(client, now, ctx.metrics);
+            for &client in &holders {
+                ctx.send_pair_to_server(
+                    MessageKind::Invalidate,
+                    0,
+                    MessageKind::AckInvalidate,
+                    0,
+                    server,
+                    client,
+                    now,
+                );
+                self.leases[oi].revoke(client, now, ctx.metrics);
                 self.caches.drop_copy(client, object, volume);
             }
             ctx.metrics.record_write_delay(Duration::ZERO);
@@ -121,20 +144,20 @@ impl Protocol for ObjectLease {
             // nothing. The record occupies server memory to its natural
             // expiry, and each holder's copy is dead once the write
             // commits.
-            let wait = track
-                .valid_holders(now)
+            let wait = holders
                 .iter()
-                .filter_map(|&c| track.expiry_of(c))
+                .filter_map(|&c| self.leases[oi].expiry_of(c))
                 .max()
                 .map_or(Duration::ZERO, |e| e.saturating_sub(now));
-            for client in track.valid_holders(now) {
-                track.close_at_expiry(client, ctx.metrics);
+            for &client in &holders {
+                self.leases[oi].close_at_expiry(client, ctx.metrics);
                 self.caches.drop_copy(client, object, volume);
             }
             ctx.metrics.record_write_delay(wait);
         }
+        self.holders = holders;
         // Lapsed records are server garbage; reclaim while we are here.
-        track.sweep_expired(now, ctx.metrics);
+        self.leases[oi].sweep_expired(now, ctx.metrics);
     }
 
     fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>) {

@@ -32,6 +32,14 @@ pub trait Protocol: Debug {
     /// Which algorithm (and parameters) this is.
     fn kind(&self) -> ProtocolKind;
 
+    /// Hints that the *next-but-a-few* trace event touches `object`
+    /// (read by `client`, or a write when `client` is `None`): the
+    /// implementation prefetches whatever per-object bookkeeping that
+    /// event will probe. Must have no observable effect — it is called
+    /// speculatively from the engine's lookahead. Default: no hint.
+    #[inline]
+    fn warm(&self, _client: Option<ClientId>, _object: ObjectId) {}
+
     /// Client `client` reads `object` at `now`.
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>);
 

@@ -29,19 +29,33 @@ impl Protocol for PollEachRead {
         ProtocolKind::PollEachRead
     }
 
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        if let Some(client) = client {
+            self.caches.warm(client, object);
+        }
+    }
+
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
         let current = ctx.version(object);
-        let cached = self.caches.version_of(client, object);
-        ctx.send(MessageKind::PollRequest, object, client, 0, now);
+        let cached = self
+            .caches
+            .put_fetch(client, object, ctx.universe.volume_of(object), current);
         // The reply carries data only when the cached copy is out of date.
         let data = if cached == Some(current) {
             0
         } else {
             ctx.payload(object)
         };
-        ctx.send(MessageKind::PollReply, object, client, data, now);
-        self.caches
-            .put(client, object, ctx.universe.volume_of(object), current);
+        ctx.send_pair(
+            MessageKind::PollRequest,
+            0,
+            MessageKind::PollReply,
+            data,
+            object,
+            client,
+            now,
+        );
         ctx.read_done(now, client, object, false);
     }
 
@@ -60,42 +74,22 @@ impl Protocol for PollEachRead {
 #[derive(Debug)]
 pub struct Poll {
     timeout: Duration,
+    /// Each cache entry carries its last-validated stamp, so one probe
+    /// answers both "do I have a copy?" and "is it still trusted?" and
+    /// memory stays proportional to copies actually cached rather than
+    /// the dense clients × objects matrix (which at 10x trace scale
+    /// would dwarf the simulated state it models).
     caches: ClientCaches,
-    /// Objects in the universe; sizes each client's validation row.
-    objects: usize,
-    /// Last validation instant, client-major: `validated[client][object]`.
-    ///
-    /// Dense because every (client, object) pair a trace touches gets
-    /// validated at least once, so the hot-path lookup on each read is a
-    /// two-index load instead of a hash probe. `Timestamp::ZERO` doubles
-    /// as "never validated": a slot is only consulted when the client
-    /// holds a cached copy, which implies a validation actually happened.
-    validated: Vec<Vec<Timestamp>>,
 }
 
 impl Poll {
-    /// Creates the protocol with trust window `timeout`, sized for
-    /// `universe`. A zero timeout degenerates to [`PollEachRead`], as in
-    /// the paper.
-    pub fn new(timeout: Duration, universe: &Universe) -> Poll {
+    /// Creates the protocol with trust window `timeout`. A zero timeout
+    /// degenerates to [`PollEachRead`], as in the paper.
+    pub fn new(timeout: Duration, _universe: &Universe) -> Poll {
         Poll {
             timeout,
             caches: ClientCaches::new(),
-            objects: universe.object_count(),
-            validated: Vec::new(),
         }
-    }
-
-    fn validated_slot(&mut self, client: ClientId, object: ObjectId) -> &mut Timestamp {
-        let c = client.raw() as usize;
-        if self.validated.len() <= c {
-            self.validated.resize(c + 1, Vec::new());
-        }
-        let row = &mut self.validated[c];
-        if row.is_empty() {
-            row.resize(self.objects, Timestamp::ZERO);
-        }
-        &mut row[object.raw() as usize]
     }
 }
 
@@ -106,33 +100,46 @@ impl Protocol for Poll {
         }
     }
 
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        if let Some(client) = client {
+            self.caches.warm(client, object);
+        }
+    }
+
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
         let current = ctx.version(object);
-        let cached = self.caches.version_of(client, object);
-        // `cached.is_some()` guarantees the slot was genuinely written
-        // (caches and validations are updated together), so the ZERO
-        // default can never masquerade as a real validation here.
-        let fresh_enough = cached.is_some()
-            && now
-                < self
-                    .validated_slot(client, object)
-                    .saturating_add(self.timeout);
-        if fresh_enough {
-            // Serve from cache without contacting the server; this is
-            // where staleness sneaks in.
-            ctx.read_done(now, client, object, cached != Some(current));
-            return;
+        let entry = self.caches.entry_of(client, object);
+        let cached = entry.map(|(v, _)| v);
+        if let Some((version, validated)) = entry {
+            if now < validated.saturating_add(self.timeout) {
+                // Serve from cache without contacting the server; this is
+                // where staleness sneaks in.
+                ctx.read_done(now, client, object, version != current);
+                return;
+            }
         }
-        ctx.send(MessageKind::PollRequest, object, client, 0, now);
         let data = if cached == Some(current) {
             0
         } else {
             ctx.payload(object)
         };
-        ctx.send(MessageKind::PollReply, object, client, data, now);
-        self.caches
-            .put(client, object, ctx.universe.volume_of(object), current);
-        *self.validated_slot(client, object) = now;
+        ctx.send_pair(
+            MessageKind::PollRequest,
+            0,
+            MessageKind::PollReply,
+            data,
+            object,
+            client,
+            now,
+        );
+        self.caches.put_validated(
+            client,
+            object,
+            ctx.universe.volume_of(object),
+            current,
+            now,
+        );
         ctx.read_done(now, client, object, false);
     }
 

@@ -2,10 +2,10 @@
 
 use super::Protocol;
 use crate::cache::ClientCaches;
-use crate::track::LeaseTrack;
+use crate::track::{LeaseTrack, VolumeLeaseTable};
 use crate::{Ctx, ProtocolKind, LIST_ENTRY_BYTES};
 use vl_metrics::MessageKind;
-use vl_types::{ClientId, Duration, ObjectId, Timestamp, VolumeId};
+use vl_types::{ClientId, Duration, ObjectId, Timestamp, Version, VolumeId};
 use vl_workload::Universe;
 
 /// Volume leases: a client reads from cache only while it holds valid
@@ -23,8 +23,11 @@ pub struct VolumeLease {
     volume_timeout: Duration,
     object_timeout: Duration,
     obj_leases: Vec<LeaseTrack>,
-    vol_leases: Vec<LeaseTrack>,
+    vol_leases: VolumeLeaseTable,
     caches: ClientCaches,
+    /// Scratch holder list reused by every `on_write` (no per-write
+    /// allocation on the hot path).
+    holders: Vec<ClientId>,
 }
 
 impl VolumeLease {
@@ -41,14 +44,13 @@ impl VolumeLease {
             obj_leases: universe
                 .objects()
                 .iter()
-                .map(|o| LeaseTrack::new(o.server))
+                .map(|o| LeaseTrack::new_in(o.server, o.volume))
                 .collect(),
-            vol_leases: universe
-                .volumes()
-                .iter()
-                .map(|v| LeaseTrack::new(v.server))
-                .collect(),
+            vol_leases: VolumeLeaseTable::new(
+                universe.volumes().iter().map(|v| v.server).collect(),
+            ),
             caches: ClientCaches::new(),
+            holders: Vec::new(),
         }
     }
 
@@ -59,30 +61,35 @@ impl VolumeLease {
         volume: VolumeId,
         ctx: &mut Ctx<'_>,
     ) {
-        self.vol_leases[volume.raw() as usize].grant(
+        self.vol_leases.grant(
             client,
+            volume,
             now,
             now.saturating_add(self.volume_timeout),
             ctx.metrics,
         );
     }
 
+    /// Grants (or extends) `client`'s object lease and refreshes its
+    /// cached copy, returning the version that copy replaced so the
+    /// caller can size the piggybacked data without a second probe.
     fn grant_object(
         &mut self,
         now: Timestamp,
         client: ClientId,
         object: ObjectId,
         ctx: &mut Ctx<'_>,
-    ) {
+    ) -> Option<Version> {
         let current = ctx.version(object);
-        self.obj_leases[object.raw() as usize].grant(
+        let track = &mut self.obj_leases[object.raw() as usize];
+        let volume = track.home_volume();
+        track.grant(
             client,
             now,
             now.saturating_add(self.object_timeout),
             ctx.metrics,
         );
-        self.caches
-            .put(client, object, ctx.universe.volume_of(object), current);
+        self.caches.put_fetch(client, object, volume, current)
     }
 }
 
@@ -94,63 +101,88 @@ impl Protocol for VolumeLease {
         }
     }
 
+    #[inline]
+    fn warm(&self, client: Option<ClientId>, object: ObjectId) {
+        crate::mem::prefetch(&self.obj_leases[object.raw() as usize]);
+        if let Some(client) = client {
+            self.caches.warm(client, object);
+        }
+    }
+
     fn on_read(&mut self, now: Timestamp, client: ClientId, object: ObjectId, ctx: &mut Ctx<'_>) {
-        let volume = ctx.universe.volume_of(object);
-        let vol_ok = self.vol_leases[volume.raw() as usize].is_valid(client, now);
-        let obj_ok = self.obj_leases[object.raw() as usize].is_valid(client, now);
-        let current = ctx.version(object);
-        let cached = self.caches.version_of(client, object);
+        // The object's volume and server ride in its lease track's cache
+        // line, so the hot path never touches the universe tables.
+        let track = &self.obj_leases[object.raw() as usize];
+        let (volume, server) = (track.home_volume(), track.server());
+        let vol_ok = self.vol_leases.is_valid(client, volume, now);
+        let obj_ok = track.is_valid(client, now);
 
         match (vol_ok, obj_ok) {
             (true, true) => {
                 // Both leases valid ⇒ the copy is guaranteed current.
-                debug_assert_eq!(cached, Some(current));
+                // (Probing the cache here would be pure hot-path cost.)
+                debug_assert_eq!(
+                    self.caches.version_of(client, object),
+                    Some(ctx.version(object))
+                );
             }
             (true, false) => {
                 // Renew just the object lease.
-                ctx.send(MessageKind::ObjLeaseRequest, object, client, 0, now);
-                let data = if cached == Some(current) {
+                let cached = self.grant_object(now, client, object, ctx);
+                let data = if cached == Some(ctx.version(object)) {
                     0
                 } else {
                     ctx.payload(object)
                 };
-                ctx.send(MessageKind::ObjLeaseGrant, object, client, data, now);
-                self.grant_object(now, client, object, ctx);
+                ctx.send_pair_to_server(
+                    MessageKind::ObjLeaseRequest,
+                    0,
+                    MessageKind::ObjLeaseGrant,
+                    data,
+                    server,
+                    client,
+                    now,
+                );
             }
             (false, true) => {
                 // Renew just the volume lease. The object lease is valid,
                 // which in the basic algorithm means the server kept
                 // invalidating it even while the volume lease was lapsed,
                 // so the cached copy is still current.
-                ctx.send(MessageKind::VolLeaseRequest, object, client, 0, now);
-                ctx.send(MessageKind::VolLeaseGrant, object, client, 0, now);
+                ctx.send_pair_to_server(
+                    MessageKind::VolLeaseRequest,
+                    0,
+                    MessageKind::VolLeaseGrant,
+                    0,
+                    server,
+                    client,
+                    now,
+                );
                 self.grant_volume(now, client, volume, ctx);
-                debug_assert_eq!(cached, Some(current));
+                debug_assert_eq!(
+                    self.caches.version_of(client, object),
+                    Some(ctx.version(object))
+                );
             }
             (false, false) => {
                 // One round trip renews both (the request names the volume
                 // and the object; the grant carries both lease records).
-                ctx.send(
-                    MessageKind::ObjLeaseRequest,
-                    object,
-                    client,
-                    LIST_ENTRY_BYTES,
-                    now,
-                );
-                let data = if cached == Some(current) {
+                self.grant_volume(now, client, volume, ctx);
+                let cached = self.grant_object(now, client, object, ctx);
+                let data = if cached == Some(ctx.version(object)) {
                     0
                 } else {
                     ctx.payload(object)
                 };
-                ctx.send(
+                ctx.send_pair_to_server(
+                    MessageKind::ObjLeaseRequest,
+                    LIST_ENTRY_BYTES,
                     MessageKind::ObjLeaseGrant,
-                    object,
-                    client,
                     LIST_ENTRY_BYTES + data,
+                    server,
+                    client,
                     now,
                 );
-                self.grant_volume(now, client, volume, ctx);
-                self.grant_object(now, client, object, ctx);
             }
         }
         ctx.read_done(now, client, object, false);
@@ -159,22 +191,34 @@ impl Protocol for VolumeLease {
     fn on_write(&mut self, now: Timestamp, object: ObjectId, ctx: &mut Ctx<'_>) {
         // The basic algorithm notifies every valid object-lease holder,
         // whether or not its volume lease is current (write cost C_o).
-        let track = &mut self.obj_leases[object.raw() as usize];
-        let volume = ctx.universe.volume_of(object);
-        for client in track.valid_holders(now) {
-            ctx.send(MessageKind::Invalidate, object, client, 0, now);
-            ctx.send(MessageKind::AckInvalidate, object, client, 0, now);
-            track.revoke(client, now, ctx.metrics);
+        let oi = object.raw() as usize;
+        let volume = self.obj_leases[oi].home_volume();
+        let server = self.obj_leases[oi].server();
+        let mut holders = std::mem::take(&mut self.holders);
+        self.obj_leases[oi].valid_holders_into(now, &mut holders);
+        for &client in &holders {
+            ctx.send_pair_to_server(
+                MessageKind::Invalidate,
+                0,
+                MessageKind::AckInvalidate,
+                0,
+                server,
+                client,
+                now,
+            );
+            self.obj_leases[oi].revoke(client, now, ctx.metrics);
             self.caches.drop_copy(client, object, volume);
         }
-        track.sweep_expired(now, ctx.metrics);
+        self.holders = holders;
+        self.obj_leases[oi].sweep_expired(now, ctx.metrics);
         ctx.metrics.record_write_delay(Duration::ZERO);
     }
 
     fn finalize(&mut self, end: Timestamp, ctx: &mut Ctx<'_>) {
-        for track in self.obj_leases.iter_mut().chain(self.vol_leases.iter_mut()) {
+        for track in self.obj_leases.iter_mut() {
             track.finalize(end, ctx.metrics);
         }
+        self.vol_leases.finalize(end, ctx.metrics);
     }
 }
 

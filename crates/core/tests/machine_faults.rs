@@ -81,6 +81,44 @@ fn many_seeds_uphold_both_invariants() {
 }
 
 #[test]
+fn fan_out_writes_batch_invalidations_deterministically() {
+    // Many clients sharing few objects, writes common and faults rare:
+    // most writes find several lease holders, so the server's
+    // invalidation fan-out regularly emits grouped deliveries instead of
+    // one queue entry per holder.
+    let mut cfg = FaultConfig::new(7);
+    cfg.clients = 12;
+    cfg.objects = 3;
+    cfg.steps = 1500;
+    cfg.write_fraction = 0.30;
+    cfg.drop_prob = 0.01;
+    cfg.client_crash_prob = 0.0005;
+    cfg.server_crash_prob = 0.0005;
+    cfg.partition_prob = 0.001;
+    let first = run(&cfg);
+    let second = run(&cfg);
+
+    assert!(
+        first.batched_deliveries > 0,
+        "fan-out writes never produced a grouped delivery: {first:?}"
+    );
+    assert!(
+        first.batched_messages >= 2 * first.batched_deliveries,
+        "a batch must carry at least two messages: {first:?}"
+    );
+    // Grouping the queue entries must not perturb the schedule: the run
+    // stays byte-identical and both safety invariants keep holding.
+    assert_eq!(first.log, second.log, "batched replay must be identical");
+    assert_eq!(first.batched_deliveries, second.batched_deliveries);
+    assert!(
+        first.violations.is_empty(),
+        "safety violations under batching:\n{}",
+        first.violations.join("\n")
+    );
+    assert!(first.writes_completed > 100, "too few writes: {first:?}");
+}
+
+#[test]
 fn heavier_loss_still_safe() {
     let mut cfg = FaultConfig::new(42);
     cfg.steps = 1000;

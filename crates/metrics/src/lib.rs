@@ -167,6 +167,41 @@ impl Metrics {
         }
     }
 
+    /// Records a request/reply pair between the same `server` and
+    /// `client` at `now` in one pass over the per-server and per-client
+    /// tallies. Observably identical to two [`count_msg`] calls — this
+    /// exists because every lease renewal and fetch is such a pair, and
+    /// the tally pass is a measurable slice of the simulator hot loop.
+    ///
+    /// [`count_msg`]: Metrics::count_msg
+    #[allow(clippy::too_many_arguments)]
+    pub fn count_msg_pair(
+        &mut self,
+        kind_a: MessageKind,
+        bytes_a: u64,
+        kind_b: MessageKind,
+        bytes_b: u64,
+        server: ServerId,
+        client: ClientId,
+        now: Timestamp,
+    ) {
+        self.msgs.record(kind_a, bytes_a);
+        self.msgs.record(kind_b, bytes_b);
+        bump(&mut self.per_server_msgs, server.raw() as usize, 2);
+        bump(&mut self.per_server_bytes, server.raw() as usize, bytes_a + bytes_b);
+        bump(&mut self.per_client_msgs, client.raw() as usize, 2);
+        self.load.record_n(server, now, 2);
+        if let Some(sink) = &mut self.sink {
+            for (kind, bytes) in [(kind_a, bytes_a), (kind_b, bytes_b)] {
+                sink.record(&Event {
+                    msg: Some(kind),
+                    value: bytes,
+                    ..Event::new(now, EventKind::Message, server, client)
+                });
+            }
+        }
+    }
+
     /// Records a client read: `stale` is whether the returned copy was
     /// outdated at read time.
     pub fn record_read(&mut self, stale: bool) {

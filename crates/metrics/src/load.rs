@@ -44,13 +44,18 @@ impl LoadTracker {
 
     /// Records one message at `server` at time `now`.
     pub fn record(&mut self, server: ServerId, now: Timestamp) {
+        self.record_n(server, now, 1);
+    }
+
+    /// Records `n` messages at `server` at time `now` in one pass.
+    pub fn record_n(&mut self, server: ServerId, now: Timestamp, n: u64) {
         if let Some(i) = self.index_of(server) {
             let sec = now.as_secs() as usize;
             let slots = &mut self.counts[i];
             if slots.len() <= sec {
                 slots.resize(sec + 1, 0);
             }
-            slots[sec] += 1;
+            slots[sec] += n;
         }
     }
 

@@ -40,6 +40,6 @@ pub mod rng;
 pub mod runner;
 
 pub use clock::{Clock, VirtualClock};
-pub use queue::EventQueue;
+pub use queue::{EventHandle, EventQueue};
 pub use rng::SimRng;
 pub use runner::{EventHandler, Simulator};

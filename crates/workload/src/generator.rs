@@ -128,6 +128,22 @@ impl WorkloadConfig {
         }
     }
 
+    /// Returns this configuration scaled to roughly `factor`× the trace
+    /// volume: `factor`× the objects and `factor`× the target reads over
+    /// the same client population and span.
+    ///
+    /// Scaling the object universe rather than just replaying more reads
+    /// keeps the Zipf popularity shape and the per-object read:write
+    /// ratio intact, so `paper().scaled(10)` stands in for a BU-style
+    /// trace ten times the size — the regime where the paper's 16-byte
+    /// per-lease-record state model starts to dominate server memory.
+    #[must_use]
+    pub fn scaled(mut self, factor: u32) -> WorkloadConfig {
+        self.objects *= u64::from(factor);
+        self.target_reads *= u64::from(factor);
+        self
+    }
+
     /// Shorthand for [`WorkloadPreset::Smoke`].
     pub fn smoke() -> WorkloadConfig {
         WorkloadConfig::preset(WorkloadPreset::Smoke)
