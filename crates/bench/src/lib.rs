@@ -83,7 +83,10 @@ impl SweepStats {
             self.threads
         );
         if let Some(rss) = peak_rss_bytes() {
-            line.push_str(&format!(" · {:.1} MiB peak rss", rss as f64 / (1 << 20) as f64));
+            line.push_str(&format!(
+                " · {:.1} MiB peak rss",
+                rss as f64 / (1 << 20) as f64
+            ));
         }
         line
     }

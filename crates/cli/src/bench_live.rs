@@ -1,0 +1,329 @@
+//! `vl bench-live` — end-to-end load test of the readiness transport.
+//!
+//! Spawns a real `vl serve` child process, connects `--clients` live
+//! [`CacheClient`]s to it over loopback TCP (a handful of shared
+//! [`Reactor`]s multiplex all the sockets), and drives volume-lease
+//! renewals for `--duration-s` seconds. A renewal is a read issued
+//! while the client's leases have lapsed — the paper's steady-state
+//! volume-lease traffic — and its full round trip (request, server
+//! machine, response, wakeup) is timed.
+//!
+//! Two processes are used because the file-descriptor ceiling is per
+//! process: 10 000 connections need ~10 000 fds on each side, and both
+//! sides together would not fit under one default `RLIMIT_NOFILE`.
+//!
+//! Results land in a JSON file (default `BENCH_live.json`) next to the
+//! simulator's `BENCH_sweep.json`, and a human `renewals/s` line is
+//! printed for CI to grep.
+
+use crate::Args;
+use std::io::Write as _;
+use std::process::{exit, Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vl_client::{CacheClient, ClientConfig};
+use vl_metrics::Histogram;
+use vl_net::poll::{PollConfig, Reactor};
+use vl_net::NodeId;
+use vl_server::WallClock;
+use vl_types::{ClientId, ObjectId, ServerId};
+
+struct BenchOpts {
+    clients: u32,
+    duration: Duration,
+    tv_ms: u64,
+    object_lease_ms: u64,
+    objects: u64,
+    workers: usize,
+    reactors: usize,
+    out: String,
+    /// External server to target; `None` spawns a child `vl serve`.
+    addr: Option<String>,
+}
+
+pub fn run(args: &Args) {
+    let opts = BenchOpts {
+        clients: args.parsed("--clients", 10_000u32),
+        duration: Duration::from_secs(args.parsed("--duration-s", 10u64)),
+        tv_ms: args.parsed("--tv-ms", 3_000u64),
+        object_lease_ms: args.parsed("--object-lease-ms", 120_000u64),
+        objects: args.parsed("--objects", 64u64),
+        workers: args.parsed("--workers", 32usize),
+        reactors: args.parsed("--reactors", 4usize),
+        out: args.value("--out").unwrap_or("BENCH_live.json").to_string(),
+        addr: args.value("--addr").map(String::from),
+    };
+
+    let (addr, mut child) = match &opts.addr {
+        Some(a) => (a.clone(), None),
+        None => {
+            let (addr, child) = spawn_server(&opts);
+            (addr, Some(child))
+        }
+    };
+    let addr: std::net::SocketAddr = addr.parse().unwrap_or_else(|e| {
+        eprintln!("bad server address {addr}: {e}");
+        exit(2)
+    });
+
+    println!(
+        "bench-live: {} clients -> {} over {} reactors, {} workers, t_v={} ms, {} s",
+        opts.clients,
+        addr,
+        opts.reactors,
+        opts.workers,
+        opts.tv_ms,
+        opts.duration.as_secs()
+    );
+
+    // One reactor per ~2.5k connections; long transport idle deadline
+    // so keepalive traffic does not drown the renewal signal.
+    let poll_cfg = PollConfig {
+        idle_deadline: Some(Duration::from_secs(60)),
+        dial_timeout: Duration::from_secs(10),
+        hello_timeout: Duration::from_secs(20),
+        ..PollConfig::default()
+    };
+    let reactors: Vec<Reactor> = (0..opts.reactors.max(1))
+        .map(|_| Reactor::spawn(poll_cfg.clone()).expect("spawn reactor"))
+        .collect();
+
+    // Dial + spawn all clients from a few threads; each client's
+    // receive loop parks on a 1 s tick, so idle clients cost no CPU.
+    let connect_t0 = Instant::now();
+    let dial_threads = 8u32;
+    let clients: Vec<CacheClient> = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..dial_threads {
+            let reactors = &reactors;
+            let opts = &opts;
+            handles.push(scope.spawn(move || {
+                let mut mine = Vec::new();
+                let mut id = t;
+                while id < opts.clients {
+                    let node = reactors[id as usize % reactors.len()].node(NodeId::Client(
+                        ClientId(id + 1), // ClientId(0) is reserved for server events
+                    ));
+                    if let Err(e) = node.dial(addr) {
+                        eprintln!("client {id} cannot connect: {e}");
+                        exit(1)
+                    }
+                    let mut cfg = ClientConfig::new(ClientId(id + 1), ServerId(0));
+                    cfg.link_tick = Duration::from_secs(1);
+                    mine.push((id, CacheClient::spawn(cfg, node, WallClock::new())));
+                    id += dial_threads;
+                }
+                mine
+            }));
+        }
+        let mut all: Vec<(u32, CacheClient)> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_by_key(|(id, _)| *id);
+        all.into_iter().map(|(_, c)| c).collect()
+    });
+    let connect_secs = connect_t0.elapsed().as_secs_f64();
+    println!(
+        "connected {} clients in {:.1} s ({:.0} dials/s)",
+        clients.len(),
+        connect_secs,
+        clients.len() as f64 / connect_secs.max(1e-9)
+    );
+
+    // Warm-up: every client acquires its object + volume lease once, so
+    // the measured window sees steady-state renewals, not cold misses.
+    let clients = Arc::new(clients);
+    let objects = opts.objects.max(1);
+    sweep(&clients, opts.workers, |i, c| {
+        let _ = c.read(ObjectId(i as u64 % objects));
+    });
+
+    // Measured window: workers sweep their shard, timing a renewal
+    // round trip whenever a client's leases have lapsed.
+    let stop = Arc::new(AtomicBool::new(false));
+    let renewals = Arc::new(AtomicU64::new(0));
+    let reads = Arc::new(AtomicU64::new(0));
+    let failures = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+    let mut worker_handles = Vec::new();
+    for w in 0..opts.workers.max(1) {
+        let clients = Arc::clone(&clients);
+        let stop = Arc::clone(&stop);
+        let renewals = Arc::clone(&renewals);
+        let reads = Arc::clone(&reads);
+        let failures = Arc::clone(&failures);
+        let workers = opts.workers.max(1);
+        worker_handles.push(std::thread::spawn(move || {
+            let mut hist = Histogram::new(); // microseconds
+            while !stop.load(Ordering::Relaxed) {
+                let mut renewed_this_pass = false;
+                for i in (w..clients.len()).step_by(workers) {
+                    if stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let c = &clients[i];
+                    let obj = ObjectId(i as u64 % objects);
+                    reads.fetch_add(1, Ordering::Relaxed);
+                    if c.holds_valid_leases(obj) {
+                        // Cache hit under valid leases: free, not timed.
+                        let _ = c.read_suspect(obj);
+                        continue;
+                    }
+                    let t = Instant::now();
+                    match c.read(obj) {
+                        Ok(_) => {
+                            hist.record(t.elapsed().as_micros() as u64);
+                            renewals.fetch_add(1, Ordering::Relaxed);
+                            renewed_this_pass = true;
+                        }
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if !renewed_this_pass {
+                    // Whole shard holds valid leases; sleep a slice of
+                    // t_v instead of spinning the sweep.
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+            hist
+        }));
+    }
+    std::thread::sleep(opts.duration);
+    stop.store(true, Ordering::Relaxed);
+    let mut hist = Histogram::new();
+    for h in worker_handles {
+        hist.merge(&h.join().unwrap());
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    let renewals = renewals.load(Ordering::Relaxed);
+    let reads = reads.load(Ordering::Relaxed);
+    let failures = failures.load(Ordering::Relaxed);
+    let rps = renewals as f64 / elapsed;
+    let ms = |v: u64| v as f64 / 1000.0;
+    let loop_stats = reactors[0].loop_stats();
+
+    println!(
+        "renewals/s: {rps:.0}   (p50 {:.2} ms, p90 {:.2} ms, p99 {:.2} ms, max {:.2} ms)",
+        ms(hist.percentile(0.50)),
+        ms(hist.percentile(0.90)),
+        ms(hist.percentile(0.99)),
+        ms(hist.max()),
+    );
+    println!(
+        "{renewals} renewals, {reads} reads, {failures} failures in {elapsed:.1} s; \
+         reactor0: {} wakeups, {} frames in, {} frames out",
+        loop_stats.wakeups, loop_stats.frames_in, loop_stats.frames_out
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {},\n  \"connections\": {},\n  \"reactors\": {},\n  \
+         \"workers\": {},\n  \"tv_ms\": {},\n  \"object_lease_ms\": {},\n  \
+         \"duration_s\": {:.3},\n  \"connect_s\": {:.3},\n  \"renewals\": {},\n  \
+         \"renewals_per_sec\": {:.1},\n  \"reads\": {},\n  \"failures\": {},\n  \
+         \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}, \
+         \"max\": {:.3}, \"mean\": {:.3}}},\n  \"reactor0\": {{\"wakeups\": {}, \
+         \"io_events\": {}, \"frames_in\": {}, \"frames_out\": {}}}\n}}\n",
+        opts.clients,
+        clients.len(),
+        opts.reactors,
+        opts.workers,
+        opts.tv_ms,
+        opts.object_lease_ms,
+        elapsed,
+        connect_secs,
+        renewals,
+        rps,
+        reads,
+        failures,
+        ms(hist.percentile(0.50)),
+        ms(hist.percentile(0.90)),
+        ms(hist.percentile(0.99)),
+        ms(hist.max()),
+        hist.mean() / 1000.0,
+        loop_stats.wakeups,
+        loop_stats.io_events,
+        loop_stats.frames_in,
+        loop_stats.frames_out,
+    );
+    match std::fs::File::create(&opts.out).and_then(|mut f| f.write_all(json.as_bytes())) {
+        Ok(()) => println!("wrote {}", opts.out),
+        Err(e) => {
+            eprintln!("cannot write {}: {e}", opts.out);
+            exit(1)
+        }
+    }
+
+    if let Some(child) = &mut child {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    // 10k clients mean 10k receive threads; an orderly shutdown joins
+    // them one by one for no benefit. Exit hard instead.
+    exit(if renewals == 0 { 1 } else { 0 });
+}
+
+/// One parallel pass over every client (used for lease warm-up).
+fn sweep(clients: &Arc<Vec<CacheClient>>, workers: usize, f: impl Fn(usize, &CacheClient) + Sync) {
+    std::thread::scope(|scope| {
+        for w in 0..workers.max(1) {
+            let clients = Arc::clone(clients);
+            let f = &f;
+            scope.spawn(move || {
+                for i in (w..clients.len()).step_by(workers.max(1)) {
+                    f(i, &clients[i]);
+                }
+            });
+        }
+    });
+}
+
+/// Spawns `vl serve` as a child on an ephemeral port and returns the
+/// address it bound. The child is killed when the bench exits.
+fn spawn_server(opts: &BenchOpts) -> (String, Child) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let port_file = std::env::temp_dir().join(format!("vl-bench-port-{}", std::process::id()));
+    let _ = std::fs::remove_file(&port_file);
+    let child = Command::new(exe)
+        .args([
+            "serve",
+            "--addr",
+            "127.0.0.1:0",
+            "--objects",
+            &opts.objects.to_string(),
+            "--volume-lease-ms",
+            &opts.tv_ms.to_string(),
+            "--object-lease-ms",
+            &opts.object_lease_ms.to_string(),
+            "--idle-ms",
+            "60000",
+            "--port-file",
+            port_file.to_str().expect("utf-8 temp path"),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap_or_else(|e| {
+            eprintln!("cannot spawn server child: {e}");
+            exit(1)
+        });
+    let deadline = Instant::now() + Duration::from_secs(15);
+    let port: u16 = loop {
+        if let Ok(s) = std::fs::read_to_string(&port_file) {
+            if let Ok(p) = s.trim().parse() {
+                break p;
+            }
+        }
+        if Instant::now() > deadline {
+            eprintln!("server child never wrote {}", port_file.display());
+            exit(1)
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let _ = std::fs::remove_file(&port_file);
+    (format!("127.0.0.1:{port}"), child)
+}

@@ -50,6 +50,7 @@
 //! and `report` folds a JSONL trace with the same `vl-metrics`
 //! histograms the simulator records into.
 
+mod bench_live;
 mod report;
 
 use bytes::Bytes;
@@ -68,13 +69,15 @@ fn usage() -> ! {
         "usage:\n  vl serve --addr HOST:PORT [--objects N] [--volume-lease-ms N] \
          [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
          [--trace-out PATH] [--chaos-profile off|drops|delays|partitions|havoc] \
-         [--chaos-seed N]\n  \
+         [--chaos-seed N] [--port-file PATH] [--idle-ms N] [--queue-cap N]\n  \
          vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
          vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--trace-out PATH]\n  \
          vl sim --chaos-profile NAME [--chaos-seed N] [--steps N]\n  \
-         vl report --trace PATH [--top N]"
+         vl report --trace PATH [--top N]\n  \
+         vl bench-live [--clients N] [--duration-s N] [--tv-ms N] [--workers N] \
+         [--reactors N] [--out PATH] [--addr HOST:PORT]"
     );
     exit(2)
 }
@@ -132,6 +135,7 @@ fn main() {
         "gen" => gen(&args),
         "sim" => sim(&args),
         "report" => report_cmd(&args),
+        "bench-live" => bench_live::run(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
             eprintln!("unknown subcommand '{other}'");
@@ -383,7 +387,16 @@ fn serve(args: &Args) {
         stable_path: args.value("--stable").map(Into::into),
         ..ServerConfig::new(server_id)
     };
-    let node = match TcpNode::listen(NodeId::Server(server_id), addr) {
+    let mut tcp_cfg = vl_net::tcp::TcpConfig::default();
+    if let Some(ms) = args.value("--idle-ms") {
+        let ms: u64 = ms.parse().unwrap_or_else(|_| {
+            eprintln!("--idle-ms must be an integer (0 disables the idle deadline)");
+            exit(2)
+        });
+        tcp_cfg.idle_deadline = (ms > 0).then(|| StdDuration::from_millis(ms));
+    }
+    tcp_cfg.queue_cap = args.parsed("--queue-cap", tcp_cfg.queue_cap);
+    let node = match TcpNode::listen_with(NodeId::Server(server_id), addr, tcp_cfg) {
         Ok(n) => n,
         Err(e) => {
             eprintln!("cannot listen on {addr}: {e}");
@@ -391,6 +404,17 @@ fn serve(args: &Args) {
         }
     };
     let bound = node.local_addr().expect("listening");
+    // With `--addr 127.0.0.1:0` the kernel picks the port; a parent
+    // process (the live benchmark, scripts) learns it from this file.
+    if let Some(path) = args.value("--port-file") {
+        let tmp = format!("{path}.tmp");
+        if let Err(e) = std::fs::write(&tmp, format!("{}\n", bound.port()))
+            .and_then(|()| std::fs::rename(&tmp, path))
+        {
+            eprintln!("cannot write --port-file {path}: {e}");
+            exit(1)
+        }
+    }
     let endpoint: Arc<dyn Channel> = match chaos_opts(args) {
         None => Arc::new(node),
         Some((profile, seed)) => {

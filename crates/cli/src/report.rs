@@ -36,6 +36,16 @@ pub struct RunSummary {
     pub inval_batch: Histogram,
     /// Events per volume, keyed by raw volume id.
     pub volume_events: BTreeMap<u64, u64>,
+    /// Transport send-queue depth samples (from `send_queue` events).
+    pub queue_depth: Histogram,
+    /// Worst send-queue peak depth seen for any peer.
+    pub queue_peak: u64,
+    /// Latest cumulative overflow-drop count per client (from
+    /// `queue_drop` events; the counters are monotonic, so the last
+    /// sample per peer is the total).
+    pub queue_drops: BTreeMap<u64, u64>,
+    /// Latest cumulative kernel-backpressure count per client.
+    pub backpressure: BTreeMap<u64, u64>,
 }
 
 impl RunSummary {
@@ -61,6 +71,15 @@ impl RunSummary {
             }
             EventKind::WriteCommitted => self.write_delay_ms.record(ev.value),
             EventKind::InvalidationBatch => self.inval_batch.record(ev.value),
+            EventKind::SendQueue => {
+                self.queue_depth.record(ev.value);
+                self.queue_peak = self.queue_peak.max(ev.extra);
+            }
+            EventKind::QueueDrop => {
+                let client = u64::from(ev.client.raw());
+                self.queue_drops.insert(client, ev.value);
+                self.backpressure.insert(client, ev.extra);
+            }
             _ => {}
         }
     }
@@ -143,6 +162,16 @@ pub fn render(s: &RunSummary, top: usize) -> String {
             s.inval_batch.mean()
         );
     }
+    if !s.queue_depth.is_empty() {
+        let drops: u64 = s.queue_drops.values().sum();
+        let bp: u64 = s.backpressure.values().sum();
+        let _ = writeln!(
+            out,
+            "  transport queues: depth {} peak={} dropped={drops} backpressure={bp}",
+            s.queue_depth.summary_line(),
+            s.queue_peak
+        );
+    }
     if !s.volume_events.is_empty() {
         let hot: Vec<String> = s
             .hottest_volumes(top)
@@ -188,6 +217,28 @@ mod tests {
         let text = render(lease, 3);
         assert!(text.contains("run: Lease(100)"));
         assert!(text.contains("reads: 2 (1 stale)"));
+    }
+
+    #[test]
+    fn transport_queue_events_fold_into_a_section() {
+        let jsonl = concat!(
+            "{\"at_ms\":1,\"kind\":\"send_queue\",\"server\":0,\"client\":1,\"value\":3,\"extra\":10}\n",
+            "{\"at_ms\":1,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"value\":2,\"extra\":5}\n",
+            // Later sample for the same client: cumulative counters
+            // supersede, not add.
+            "{\"at_ms\":2,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"value\":4,\"extra\":6}\n",
+            "{\"at_ms\":2,\"kind\":\"queue_drop\",\"server\":0,\"client\":2,\"value\":1,\"extra\":0}\n",
+        );
+        let (runs, skipped) = summarize(Cursor::new(jsonl)).unwrap();
+        assert_eq!(skipped, 0);
+        let run = &runs[0];
+        assert_eq!(run.queue_depth.count(), 1);
+        assert_eq!(run.queue_peak, 10);
+        assert_eq!(run.queue_drops.values().sum::<u64>(), 5);
+        assert_eq!(run.backpressure.values().sum::<u64>(), 6);
+        let text = render(run, 3);
+        assert!(text.contains("transport queues:"), "{text}");
+        assert!(text.contains("dropped=5 backpressure=6"), "{text}");
     }
 
     #[test]

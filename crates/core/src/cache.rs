@@ -97,7 +97,11 @@ impl CacheTable {
             // Keep at least 1/8 of the slots EMPTY so probes terminate;
             // double only when genuinely over half full, otherwise the
             // rebuild just clears tombstones.
-            let new_cap = if (self.live + 1) * 2 > cap { cap * 2 } else { cap };
+            let new_cap = if (self.live + 1) * 2 > cap {
+                cap * 2
+            } else {
+                cap
+            };
             self.rehash(new_cap);
         }
         let mask = self.keys.len() - 1;
@@ -194,7 +198,8 @@ impl ClientCaches {
     /// Stores (or refreshes) `client`'s copy of `object`. An existing
     /// entry's validation stamp is preserved.
     pub fn put(&mut self, client: ClientId, object: ObjectId, volume: VolumeId, version: Version) {
-        self.table_mut(client).upsert(object.raw(), volume, version, None);
+        self.table_mut(client)
+            .upsert(object.raw(), volume, version, None);
     }
 
     /// Stores (or refreshes) `client`'s copy of `object` and returns
@@ -210,7 +215,8 @@ impl ClientCaches {
         volume: VolumeId,
         version: Version,
     ) -> Option<Version> {
-        self.table_mut(client).upsert(object.raw(), volume, version, None)
+        self.table_mut(client)
+            .upsert(object.raw(), volume, version, None)
     }
 
     /// Like [`put`](ClientCaches::put), but also records `now` as the
@@ -348,7 +354,13 @@ mod tests {
     #[test]
     fn validation_stamps_survive_plain_puts() {
         let mut c = ClientCaches::new();
-        c.put_validated(ClientId(0), ObjectId(1), VolumeId(0), Version(1), Timestamp::from_millis(500));
+        c.put_validated(
+            ClientId(0),
+            ObjectId(1),
+            VolumeId(0),
+            Version(1),
+            Timestamp::from_millis(500),
+        );
         assert_eq!(
             c.entry_of(ClientId(0), ObjectId(1)),
             Some((Version(1), Timestamp::from_millis(500)))
@@ -359,7 +371,13 @@ mod tests {
             c.entry_of(ClientId(0), ObjectId(1)),
             Some((Version(2), Timestamp::from_millis(500)))
         );
-        c.put_validated(ClientId(0), ObjectId(1), VolumeId(0), Version(2), Timestamp::from_millis(900));
+        c.put_validated(
+            ClientId(0),
+            ObjectId(1),
+            VolumeId(0),
+            Version(2),
+            Timestamp::from_millis(900),
+        );
         assert_eq!(
             c.entry_of(ClientId(0), ObjectId(1)),
             Some((Version(2), Timestamp::from_millis(900)))

@@ -77,7 +77,9 @@ fn drive<P: Protocol>(
         }
     }
     let end = trace.end_time();
-    with_ctx(universe, versions, metrics, |ctx| protocol.finalize(end, ctx));
+    with_ctx(universe, versions, metrics, |ctx| {
+        protocol.finalize(end, ctx)
+    });
 }
 
 /// Configures and runs one simulation.

@@ -57,8 +57,8 @@ mod cache;
 mod ctx;
 mod engine;
 mod kind;
-mod mem;
 pub mod machine;
+mod mem;
 mod protocols;
 mod track;
 

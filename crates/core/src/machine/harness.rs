@@ -660,7 +660,6 @@ impl Harness {
         let at = self.clock.now() + self.cfg.latency;
         self.queue.schedule(at, Ev::ToServer { from, msg });
     }
-
 }
 
 #[cfg(test)]

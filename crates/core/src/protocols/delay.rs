@@ -270,7 +270,8 @@ impl DelayedInvalidation {
         let vi = volume.raw() as usize;
         let server = self.vol_leases.server(volume);
         let mut cached = std::mem::take(&mut self.lease_set);
-        self.caches.cached_in_volume_into(client, volume, &mut cached);
+        self.caches
+            .cached_in_volume_into(client, volume, &mut cached);
         let list_bytes = cached.len() as u64 * LIST_ENTRY_BYTES;
 
         ctx.send_to_server(MessageKind::VolLeaseRequest, server, client, 0, now);

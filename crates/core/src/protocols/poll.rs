@@ -133,13 +133,8 @@ impl Protocol for Poll {
             client,
             now,
         );
-        self.caches.put_validated(
-            client,
-            object,
-            ctx.universe.volume_of(object),
-            current,
-            now,
-        );
+        self.caches
+            .put_validated(client, object, ctx.universe.volume_of(object), current, now);
         ctx.read_done(now, client, object, false);
     }
 

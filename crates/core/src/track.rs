@@ -223,7 +223,9 @@ impl LeaseTrack {
 
     /// The recorded expiry for `client`, even if past.
     pub fn expiry_of(&self, client: ClientId) -> Option<Timestamp> {
-        self.find(client).ok().map(|i| self.store.records()[i].expire)
+        self.find(client)
+            .ok()
+            .map(|i| self.store.records()[i].expire)
     }
 
     /// Clients with leases valid strictly after `now`, ascending.
@@ -313,7 +315,11 @@ impl LeaseTrack {
     pub fn finalize(&mut self, end: Timestamp, m: &mut Metrics) {
         for r in self.store.records() {
             let close = r.expire.min(end).max(r.start);
-            m.state_held(self.server, LEASE_RECORD_BYTES, close.saturating_sub(r.start));
+            m.state_held(
+                self.server,
+                LEASE_RECORD_BYTES,
+                close.saturating_sub(r.start),
+            );
         }
         self.store.truncate(0);
     }

@@ -1,0 +1,628 @@
+//! Minimal epoll + eventfd readiness shim, raw syscalls only.
+//!
+//! The workspace builds offline, so there is no `libc`, `mio`, or
+//! `polling` to lean on. This crate is the same move as the other
+//! in-tree shims (`crates/rand`, `crates/crossbeam`, ...): the exact
+//! API subset the project needs, implemented against what the platform
+//! already guarantees — here, the Linux syscall ABI, entered through
+//! `std::arch::asm!`. Everything above the syscall boundary (socket
+//! creation, fd lifecycle, nonblocking mode) goes through `std`, so
+//! the unsafe surface is four thin syscall wrappers.
+//!
+//! Exports: [`Poller`] (an epoll instance with add/modify/delete and a
+//! blocking [`Poller::wait`] that takes an optional timeout), [`Waker`]
+//! (an eventfd registered with a poller so other threads can interrupt
+//! a wait), [`Interest`] / [`PollEvent`] (readiness flags in and out),
+//! and [`relisten`] (re-issue `listen(2)` on a bound std listener to
+//! deepen its accept backlog for connect storms).
+//!
+//! Only Linux on x86_64/aarch64 is supported — the CI container and
+//! every target this repo runs on. Other platforms get a stub whose
+//! constructors return [`io::ErrorKind::Unsupported`], keeping the
+//! workspace compiling (the simulator and in-memory transport never
+//! touch this crate).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::fmt;
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// Readiness to register interest in, for [`Poller::add`] /
+/// [`Poller::modify`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the steady state of an open connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Readable and writable — while a write buffer is backed up.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness event out of [`Poller::wait`].
+#[derive(Clone, Copy, Debug)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (includes peer half-close: `EPOLLRDHUP`).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error or hangup — the owner should read to collect the error
+    /// and tear the connection down.
+    pub error: bool,
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use super::*;
+
+    // epoll_ctl ops.
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+
+    // Event mask bits (uapi/linux/eventpoll.h).
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // eventfd2 flags: EFD_CLOEXEC = O_CLOEXEC, EFD_NONBLOCK = O_NONBLOCK.
+    const EFD_CLOEXEC: u64 = 0o2000000;
+    const EFD_NONBLOCK: u64 = 0o4000;
+    const EPOLL_CLOEXEC: u64 = 0o2000000;
+
+    /// The kernel's `struct epoll_event`. Packed on x86_64 only — the
+    /// one ABI where the kernel declares it `__attribute__((packed))`.
+    #[cfg(target_arch = "x86_64")]
+    #[repr(C, packed)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(not(target_arch = "x86_64"))]
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const EPOLL_CREATE1: u64 = 291;
+        pub const EPOLL_CTL: u64 = 233;
+        pub const EPOLL_PWAIT: u64 = 281;
+        pub const EVENTFD2: u64 = 290;
+        pub const LISTEN: u64 = 50;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const EPOLL_CREATE1: u64 = 20;
+        pub const EPOLL_CTL: u64 = 21;
+        pub const EPOLL_PWAIT: u64 = 22;
+        pub const EVENTFD2: u64 = 19;
+        pub const LISTEN: u64 = 201;
+    }
+
+    /// Raw 4-argument syscall. Returns the kernel's raw result: `>= 0`
+    /// on success, `-errno` on failure.
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as i64 => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: u64, a: u64, b: u64, c: u64, d: u64, e: u64, f: u64) -> i64 {
+        let ret: i64;
+        std::arch::asm!(
+            "svc 0",
+            in("x8") n,
+            inlateout("x0") a as i64 => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: i64) -> io::Result<i64> {
+        if ret < 0 {
+            Err(io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret)
+        }
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP;
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    /// An epoll instance. Level-triggered; interest is per-fd and
+    /// identified by a caller-chosen `u64` token.
+    pub struct Poller {
+        epfd: OwnedFd,
+    }
+
+    impl fmt::Debug for Poller {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Poller")
+                .field("epfd", &self.epfd.as_raw_fd())
+                .finish()
+        }
+    }
+
+    impl Poller {
+        /// A fresh epoll instance (`EPOLL_CLOEXEC`).
+        pub fn new() -> io::Result<Poller> {
+            let fd = check(unsafe { syscall6(nr::EPOLL_CREATE1, EPOLL_CLOEXEC, 0, 0, 0, 0, 0) })?;
+            // SAFETY: the kernel just returned this fd to us; nothing
+            // else owns it.
+            Ok(Poller {
+                epfd: unsafe { OwnedFd::from_raw_fd(fd as RawFd) },
+            })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, ev: Option<EpollEvent>) -> io::Result<()> {
+            let ptr = ev
+                .as_ref()
+                .map_or(std::ptr::null(), |e| e as *const EpollEvent);
+            check(unsafe {
+                syscall6(
+                    nr::EPOLL_CTL,
+                    self.epfd.as_raw_fd() as u64,
+                    op as u64,
+                    fd as u64,
+                    ptr as u64,
+                    0,
+                    0,
+                )
+            })?;
+            Ok(())
+        }
+
+        /// Registers `fd` with the given token and interest.
+        pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_ADD,
+                fd,
+                Some(EpollEvent {
+                    events: mask_of(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Re-arms `fd` with new interest (token may change too).
+        pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_MOD,
+                fd,
+                Some(EpollEvent {
+                    events: mask_of(interest),
+                    data: token,
+                }),
+            )
+        }
+
+        /// Removes `fd` from the interest set. (Closing the fd does the
+        /// same implicitly; this is for fds that outlive the interest.)
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, None)
+        }
+
+        /// Blocks until readiness or timeout. `None` blocks
+        /// indefinitely. Clears and refills `events`; returns the event
+        /// count (0 on timeout). `EINTR` is retried internally.
+        pub fn wait(
+            &self,
+            events: &mut Vec<PollEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            events.clear();
+            let timeout_ms: i64 = match timeout {
+                None => -1,
+                // Round up so a 100µs timeout still sleeps, rather
+                // than degenerating into a busy-loop at 0ms.
+                Some(d) => d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i64,
+            };
+            const CAP: usize = 1024;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+            let n = loop {
+                let ret = unsafe {
+                    syscall6(
+                        nr::EPOLL_PWAIT,
+                        self.epfd.as_raw_fd() as u64,
+                        raw.as_mut_ptr() as u64,
+                        CAP as u64,
+                        timeout_ms as u64,
+                        0, // sigmask: NULL — plain epoll_wait semantics
+                        0,
+                    )
+                };
+                match check(ret) {
+                    Ok(n) => break n as usize,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(e),
+                }
+            };
+            for ev in &raw[..n] {
+                let bits = ev.events;
+                events.push(PollEvent {
+                    token: ev.data,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP) != 0,
+                });
+            }
+            Ok(n)
+        }
+    }
+
+    /// An eventfd registered with a [`Poller`], for cross-thread wakes.
+    ///
+    /// `wake` is async-signal-thread-safe in the only sense that
+    /// matters here: any thread may call it while the loop thread is
+    /// blocked in [`Poller::wait`]; the wait returns with the waker's
+    /// token readable. The loop must [`Waker::drain`] it before
+    /// sleeping again (level-triggered).
+    pub struct Waker {
+        fd: OwnedFd,
+    }
+
+    impl fmt::Debug for Waker {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Waker")
+                .field("fd", &self.fd.as_raw_fd())
+                .finish()
+        }
+    }
+
+    impl Waker {
+        /// A fresh nonblocking eventfd, registered readable on
+        /// `poller` under `token`.
+        pub fn new(poller: &Poller, token: u64) -> io::Result<Waker> {
+            let fd = check(unsafe {
+                syscall6(nr::EVENTFD2, 0, EFD_CLOEXEC | EFD_NONBLOCK, 0, 0, 0, 0)
+            })?;
+            // SAFETY: fresh fd from the kernel, exclusively ours.
+            let fd = unsafe { OwnedFd::from_raw_fd(fd as RawFd) };
+            poller.add(fd.as_raw_fd(), token, Interest::READ)?;
+            Ok(Waker { fd })
+        }
+
+        /// Makes the poller's next (or current) wait return.
+        pub fn wake(&self) -> io::Result<()> {
+            let one: u64 = 1;
+            let buf = one.to_ne_bytes();
+            // Direct write(2): `File` would want ownership of the fd.
+            let ret = unsafe {
+                syscall6(
+                    sys_write_nr(),
+                    self.fd.as_raw_fd() as u64,
+                    buf.as_ptr() as u64,
+                    8,
+                    0,
+                    0,
+                    0,
+                )
+            };
+            // EAGAIN means the counter is already at max — the wake is
+            // already pending, which is all we wanted.
+            match check(ret) {
+                Ok(_) => Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                Err(e) => Err(e),
+            }
+        }
+
+        /// Clears pending wakes so level-triggered polling quiesces.
+        pub fn drain(&self) {
+            let mut buf = [0u8; 8];
+            // Nonblocking read; EAGAIN (nothing pending) is fine.
+            let _ = unsafe {
+                syscall6(
+                    sys_read_nr(),
+                    self.fd.as_raw_fd() as u64,
+                    buf.as_mut_ptr() as u64,
+                    8,
+                    0,
+                    0,
+                    0,
+                )
+            };
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    const fn sys_write_nr() -> u64 {
+        1
+    }
+    #[cfg(target_arch = "x86_64")]
+    const fn sys_read_nr() -> u64 {
+        0
+    }
+    #[cfg(target_arch = "aarch64")]
+    const fn sys_write_nr() -> u64 {
+        64
+    }
+    #[cfg(target_arch = "aarch64")]
+    const fn sys_read_nr() -> u64 {
+        63
+    }
+
+    /// Re-issues `listen(2)` on an already-listening socket to deepen
+    /// its accept backlog (std's `TcpListener::bind` hardcodes 128,
+    /// which a 10k-connection storm overflows). Best-effort: the
+    /// kernel clamps to `net.core.somaxconn`.
+    pub fn relisten(listener: &std::net::TcpListener, backlog: i32) -> io::Result<()> {
+        check(unsafe {
+            syscall6(
+                nr::LISTEN,
+                listener.as_raw_fd() as u64,
+                backlog.max(0) as u64,
+                0,
+                0,
+                0,
+                0,
+            )
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(not(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+)))]
+mod sys {
+    use super::*;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "vl-epoll supports Linux x86_64/aarch64 only",
+        )
+    }
+
+    /// Stub poller for unsupported platforms: constructors fail.
+    #[derive(Debug)]
+    pub struct Poller {}
+
+    impl Poller {
+        /// Always fails off-Linux.
+        pub fn new() -> io::Result<Poller> {
+            Err(unsupported())
+        }
+        /// Unreachable (no `Poller` can exist off-Linux).
+        pub fn add(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        /// Unreachable.
+        pub fn modify(&self, _fd: RawFd, _token: u64, _interest: Interest) -> io::Result<()> {
+            Err(unsupported())
+        }
+        /// Unreachable.
+        pub fn delete(&self, _fd: RawFd) -> io::Result<()> {
+            Err(unsupported())
+        }
+        /// Unreachable.
+        pub fn wait(
+            &self,
+            _events: &mut Vec<PollEvent>,
+            _timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            Err(unsupported())
+        }
+    }
+
+    /// Stub waker for unsupported platforms.
+    #[derive(Debug)]
+    pub struct Waker {}
+
+    impl Waker {
+        /// Always fails off-Linux.
+        pub fn new(_poller: &Poller, _token: u64) -> io::Result<Waker> {
+            Err(unsupported())
+        }
+        /// Unreachable.
+        pub fn wake(&self) -> io::Result<()> {
+            Err(unsupported())
+        }
+        /// Unreachable.
+        pub fn drain(&self) {}
+    }
+
+    /// No-op off-Linux.
+    pub fn relisten(_listener: &std::net::TcpListener, _backlog: i32) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+pub use sys::{relisten, Poller, Waker};
+
+#[cfg(all(
+    test,
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_expires_without_events() {
+        let p = Poller::new().unwrap();
+        let mut evs = Vec::new();
+        let t0 = Instant::now();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(40))).unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(35), "woke too early");
+    }
+
+    #[test]
+    fn zero_timeout_is_a_nonblocking_poll() {
+        let p = Poller::new().unwrap();
+        let mut evs = Vec::new();
+        let t0 = Instant::now();
+        let n = p.wait(&mut evs, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn socket_becomes_readable_when_peer_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        p.add(rx.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(50))).unwrap();
+        assert_eq!(n, 0, "no data yet: must time out");
+
+        tx.write_all(b"ping").unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].token, 7);
+        assert!(evs[0].readable);
+
+        // Level-triggered: still readable until drained.
+        let n = p.wait(&mut evs, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 1);
+        let mut buf = [0u8; 16];
+        let mut rx_nb = &rx;
+        assert_eq!(rx_nb.read(&mut buf).unwrap(), 4);
+        let n = p.wait(&mut evs, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0, "drained: quiesces");
+    }
+
+    #[test]
+    fn writable_interest_fires_and_can_be_modified_away() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let _rx = listener.accept().unwrap();
+        tx.set_nonblocking(true).unwrap();
+
+        let p = Poller::new().unwrap();
+        p.add(tx.as_raw_fd(), 3, Interest::READ_WRITE).unwrap();
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert!(n >= 1 && evs[0].writable, "fresh socket is writable");
+
+        p.modify(tx.as_raw_fd(), 3, Interest::READ).unwrap();
+        let n = p.wait(&mut evs, Some(Duration::from_millis(40))).unwrap();
+        assert_eq!(n, 0, "writable interest dropped: quiesces");
+
+        p.delete(tx.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_reports_readable_for_eof() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let tx = TcpStream::connect(addr).unwrap();
+        let (rx, _) = listener.accept().unwrap();
+        rx.set_nonblocking(true).unwrap();
+        let p = Poller::new().unwrap();
+        p.add(rx.as_raw_fd(), 9, Interest::READ).unwrap();
+        drop(tx);
+        let mut evs = Vec::new();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(2))).unwrap();
+        assert!(n >= 1);
+        assert!(evs[0].readable, "EOF must surface as readable");
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocked_wait_from_another_thread() {
+        let p = std::sync::Arc::new(Poller::new().unwrap());
+        let w = std::sync::Arc::new(Waker::new(&p, u64::MAX).unwrap());
+
+        let w2 = std::sync::Arc::clone(&w);
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            w2.wake().unwrap();
+        });
+
+        let mut evs = Vec::new();
+        let t0 = Instant::now();
+        let n = p.wait(&mut evs, Some(Duration::from_secs(10))).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(evs[0].token, u64::MAX);
+        assert!(t0.elapsed() < Duration::from_secs(5), "woke via eventfd");
+        h.join().unwrap();
+
+        // Coalescing: many wakes, one drain.
+        w.wake().unwrap();
+        w.wake().unwrap();
+        w.drain();
+        let n = p.wait(&mut evs, Some(Duration::ZERO)).unwrap();
+        assert_eq!(n, 0, "drained waker quiesces");
+    }
+
+    #[test]
+    fn relisten_deepens_backlog_on_a_bound_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        relisten(&listener, 4096).unwrap();
+        // Still accepts connections afterwards.
+        let addr = listener.local_addr().unwrap();
+        let _tx = TcpStream::connect(addr).unwrap();
+        let (_rx, _) = listener.accept().unwrap();
+    }
+}

@@ -188,7 +188,11 @@ impl Metrics {
         self.msgs.record(kind_a, bytes_a);
         self.msgs.record(kind_b, bytes_b);
         bump(&mut self.per_server_msgs, server.raw() as usize, 2);
-        bump(&mut self.per_server_bytes, server.raw() as usize, bytes_a + bytes_b);
+        bump(
+            &mut self.per_server_bytes,
+            server.raw() as usize,
+            bytes_a + bytes_b,
+        );
         bump(&mut self.per_client_msgs, client.raw() as usize, 2);
         self.load.record_n(server, now, 2);
         if let Some(sink) = &mut self.sink {

@@ -79,11 +79,19 @@ pub enum EventKind {
     /// probe ran; `server` set, `value` the spell length in
     /// milliseconds.
     Recovered,
+    /// Transport send-queue gauge for one peer, sampled periodically by
+    /// the live server loop; `value` is the current depth, `extra` the
+    /// peak depth since the link was created.
+    SendQueue,
+    /// Transport loss/pressure counters for one peer (cumulative);
+    /// `value` is frames dropped to queue overflow, `extra` the number
+    /// of times the kernel socket pushed back mid-flush.
+    QueueDrop,
 }
 
 impl EventKind {
     /// All kinds, in declaration order.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::Message,
         EventKind::LeaseGranted,
         EventKind::LeaseRenewed,
@@ -102,6 +110,8 @@ impl EventKind {
         EventKind::RenewalRtt,
         EventKind::Degraded,
         EventKind::Recovered,
+        EventKind::SendQueue,
+        EventKind::QueueDrop,
     ];
 
     /// Stable lower-snake identifier used on the wire (JSONL).
@@ -125,6 +135,8 @@ impl EventKind {
             EventKind::RenewalRtt => "renewal_rtt",
             EventKind::Degraded => "degraded",
             EventKind::Recovered => "recovered",
+            EventKind::SendQueue => "send_queue",
+            EventKind::QueueDrop => "queue_drop",
         }
     }
 

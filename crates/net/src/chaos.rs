@@ -12,6 +12,14 @@
 //! The wrapper injects faults on the **send** side only: wrapping each
 //! node's endpoint is enough to perturb every link, and the receive
 //! path stays a plain delegation so blocking semantics are untouched.
+//! This holds for the readiness transport too: a wrapped `TcpNode` or
+//! `PollNode` still runs its own epoll loop untouched — chaos verdicts
+//! apply *before* a frame is handed to the nonblocking send queue, so
+//! drops/delays/resets compose with (rather than interfere with) the
+//! loop's keepalives, re-dials, and backpressure accounting. The
+//! delayed-release thread calls the inner channel's `send` later,
+//! which is safe because the readiness transports' send path is a
+//! thread-safe command enqueue.
 //!
 //! Determinism contract: the RNG verdict is drawn for *every* send, in
 //! send order, before any wall-clock state (partition windows, reset
@@ -576,6 +584,12 @@ impl Channel for ChaosEndpoint {
 
     fn take_connected(&self) -> Vec<NodeId> {
         self.inner.take_connected()
+    }
+
+    fn wire_stats(&self) -> Option<crate::WireStats> {
+        // Queue accounting describes the real transport underneath;
+        // chaos drops happen before frames reach those queues.
+        self.inner.wire_stats()
     }
 }
 

@@ -40,11 +40,12 @@
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
+pub mod poll;
 pub mod retry;
 pub mod tcp;
 pub mod wire;
 
-pub use wire::{TagStats, WireStats};
+pub use wire::{QueueStats, TagStats, WireStats};
 
 /// A bidirectional message channel with node addressing — the interface
 /// the live server and client stack is written against. Implemented by
@@ -90,6 +91,14 @@ pub trait Channel: Send + Sync {
     fn take_connected(&self) -> Vec<NodeId> {
         Vec::new()
     }
+
+    /// Snapshot of wire-level accounting — per-tag delivery counts and
+    /// per-peer send-queue depth/drop/backpressure counters — when the
+    /// transport keeps any. Drivers surface this through tracing so
+    /// `vl report` can summarize transport pressure.
+    fn wire_stats(&self) -> Option<WireStats> {
+        None
+    }
 }
 
 impl<C: Channel + ?Sized> Channel for std::sync::Arc<C> {
@@ -110,6 +119,9 @@ impl<C: Channel + ?Sized> Channel for std::sync::Arc<C> {
     }
     fn take_connected(&self) -> Vec<NodeId> {
         (**self).take_connected()
+    }
+    fn wire_stats(&self) -> Option<WireStats> {
+        (**self).wire_stats()
     }
 }
 

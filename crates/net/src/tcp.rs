@@ -5,46 +5,33 @@
 //! transport-agnostic. A sanity cap rejects absurd lengths from corrupt
 //! or hostile peers before any allocation happens.
 //!
-//! # Supervision
+//! Since the readiness refactor, [`TcpNode`] is a thin compatibility
+//! wrapper: it owns a private single-threaded [`poll::Reactor`] and
+//! delegates everything to a [`poll::PollNode`] attached to it. The
+//! supervision contract is unchanged — identity hello, keepalives,
+//! idle/mid-frame deadlines, automatic re-dial with backoff, bounded
+//! send queues draining in order, connect/disconnect events reported
+//! once — but it is now enforced by one epoll loop instead of a
+//! thread per peer plus a polling supervisor. The chaos suite
+//! (`tests/live_faults.rs`) runs against this wrapper unchanged.
 //!
-//! A [`TcpNode`] keeps a state entry per peer, not just a socket:
-//!
-//! * **Dead-peer detection** — readers poll with a short read timeout
-//!   ([`TcpConfig::read_tick`]) instead of blocking forever, enforce a
-//!   completion deadline on partially-read frames, and reap peers that
-//!   stay silent past [`TcpConfig::idle_deadline`]. Zero-length frames
-//!   are keepalives: the supervisor emits them on live connections and
-//!   readers swallow them, so an idle-but-healthy link never trips the
-//!   deadline.
-//! * **Automatic re-dial** — peers added by [`TcpNode::dial`] or
-//!   [`TcpNode::set_peer_addr`] are re-dialed after a drop on the
-//!   [`RetryPolicy`] schedule (seeded jitter,
-//!   never gives up — after the budget it retries at the cap).
-//! * **Send queues** — [`Channel::send`] to a known-but-down peer
-//!   queues the frame (bounded, oldest dropped first) and the queue
-//!   drains in order when the connection comes back, instead of
-//!   erroring or silently losing everything.
-//! * **Connection events** — [`Channel::take_disconnected`] /
-//!   [`Channel::take_connected`] report each transition once, so the
-//!   lease drivers can mirror link state into protocol state (server →
-//!   Unreachable set, client → degraded mode + reconnection handshake).
+//! The blocking [`read_frame`]/[`write_frame`] pair stays here: it
+//! frames the hello exchange on outbound dials and serves as the
+//! oracle the incremental [`crate::wire::FrameDecoder`] is
+//! property-tested against.
 
+use crate::poll::{self, PollConfig, PollNode, Reactor};
 use crate::retry::RetryPolicy;
-use crate::{Channel, NetError, NodeId};
+use crate::wire;
+use crate::{Channel, NetError, NodeId, WireStats};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::{Duration as StdDuration, Instant};
-use vl_types::{ClientId, ServerId};
+use std::net::SocketAddr;
+use std::time::Duration as StdDuration;
 
 /// Maximum accepted frame payload (64 MiB), matching the codec's field
 /// cap.
-pub const MAX_FRAME_LEN: u32 = 64 << 20;
+pub const MAX_FRAME_LEN: u32 = wire::MAX_FRAME_LEN;
 
 /// Writes one frame to `w`.
 ///
@@ -101,43 +88,21 @@ pub fn read_frame<R: Read>(r: &mut R) -> io::Result<Bytes> {
     Ok(Bytes::from(payload))
 }
 
-fn encode_hello(id: NodeId) -> Bytes {
-    let (kind, raw) = match id {
-        NodeId::Client(c) => (0u8, c.raw()),
-        NodeId::Server(s) => (1u8, s.raw()),
-    };
-    let mut v = Vec::with_capacity(5);
-    v.push(kind);
-    v.extend_from_slice(&raw.to_le_bytes());
-    Bytes::from(v)
-}
-
-fn decode_hello(bytes: &Bytes) -> io::Result<NodeId> {
-    if bytes.len() != 5 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "hello frame must be 5 bytes",
-        ));
-    }
-    let raw = u32::from_le_bytes(bytes[1..5].try_into().expect("len checked"));
-    match bytes[0] {
-        0 => Ok(NodeId::Client(ClientId(raw))),
-        1 => Ok(NodeId::Server(ServerId(raw))),
-        k => Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("unknown node kind {k}"),
-        )),
-    }
-}
-
 /// Tuning for a [`TcpNode`]'s supervision layer.
+///
+/// `read_tick` and `supervise_every` date from the thread-per-peer
+/// design, where they set the polling cadence of reader and
+/// supervisor threads. The readiness loop has no polling cadence —
+/// it blocks in `epoll_wait` until readiness or a computed deadline —
+/// so both fields are accepted for compatibility and otherwise
+/// ignored.
 #[derive(Clone, Debug)]
 pub struct TcpConfig {
-    /// Granularity of reader-thread read timeouts; bounds how long
-    /// shutdown and dead-peer checks can lag.
+    /// Legacy reader-poll granularity. Ignored: the loop is
+    /// readiness-driven and has no read tick.
     pub read_tick: StdDuration,
     /// A peer silent (no frames, not even keepalives) for this long is
-    /// declared dead. `None` disables the deadline.
+    /// declared dead. `None` disables the deadline (and keepalives).
     pub idle_deadline: Option<StdDuration>,
     /// A frame whose first byte arrived must complete within this, or
     /// the peer is declared dead (guards against mid-frame stalls).
@@ -148,8 +113,8 @@ pub struct TcpConfig {
     /// Per-peer send-queue bound; the oldest frame is dropped on
     /// overflow (loss, as on any network).
     pub queue_cap: usize,
-    /// How often the supervisor thread runs (re-dials, queue drains,
-    /// keepalives).
+    /// Legacy supervisor cadence. Ignored: re-dials and keepalives are
+    /// scheduled as loop timers.
     pub supervise_every: StdDuration,
     /// TCP connect timeout for (re-)dials.
     pub dial_timeout: StdDuration,
@@ -172,60 +137,17 @@ impl Default for TcpConfig {
     }
 }
 
-/// Per-peer supervision state.
-struct Peer {
-    /// Live connection, if any. Invariant: when `Some`, `queue` is
-    /// empty except transiently inside the peers lock.
-    stream: Option<TcpStream>,
-    /// Frames awaiting a connection, oldest first.
-    queue: VecDeque<Bytes>,
-    /// Re-dial target; `None` for inbound-only peers (they must dial
-    /// us back).
-    addr: Option<SocketAddr>,
-    /// Connection generation: bumped on every (re)connect so stale
-    /// reader threads cannot clobber a newer connection's state.
-    gen: u64,
-    /// Consecutive failed dial attempts since the last success.
-    attempt: u32,
-    /// Earliest time for the next dial attempt.
-    next_dial: Option<Instant>,
-    /// A dial for this peer is in flight on the supervisor thread.
-    dialing: bool,
-    /// When we last sent a keepalive.
-    last_ka: Instant,
-}
-
-impl Peer {
-    fn new() -> Peer {
-        Peer {
-            stream: None,
-            queue: VecDeque::new(),
-            addr: None,
-            gen: 0,
-            attempt: 0,
-            next_dial: None,
-            dialing: false,
-            last_ka: Instant::now(),
+impl TcpConfig {
+    fn to_poll(&self) -> PollConfig {
+        PollConfig {
+            idle_deadline: self.idle_deadline,
+            frame_deadline: self.frame_deadline,
+            redial: self.redial.clone(),
+            queue_cap: self.queue_cap,
+            dial_timeout: self.dial_timeout,
+            hello_timeout: self.hello_timeout,
+            ..PollConfig::default()
         }
-    }
-}
-
-struct TcpShared {
-    id: NodeId,
-    cfg: TcpConfig,
-    inbox_tx: Sender<(NodeId, Bytes)>,
-    peers: Mutex<HashMap<NodeId, Peer>>,
-    // Lock order: `peers` is never held while taking `conn_up` or
-    // `conn_down`.
-    conn_up: Mutex<Vec<NodeId>>,
-    conn_down: Mutex<Vec<NodeId>>,
-    closed: AtomicBool,
-}
-
-fn id_seed(id: NodeId) -> u64 {
-    match id {
-        NodeId::Client(c) => u64::from(c.raw()),
-        NodeId::Server(s) => 0x8000_0000_0000_0000 | u64::from(s.raw()),
     }
 }
 
@@ -234,6 +156,11 @@ fn id_seed(id: NodeId) -> u64 {
 /// connection starts with a 5-byte identity hello, after which frames
 /// flow in both directions. Dropped connections to dial-able peers are
 /// re-established automatically and queued sends drain on reconnect.
+///
+/// Each `TcpNode` owns a private [`Reactor`] (one epoll loop thread +
+/// one dialer thread). To run many nodes over a few shared loops —
+/// the 10k-client benchmark — use [`Reactor`] and [`PollNode`]
+/// directly.
 ///
 /// # Examples
 ///
@@ -249,43 +176,19 @@ fn id_seed(id: NodeId) -> u64 {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct TcpNode {
-    id: NodeId,
-    shared: Arc<TcpShared>,
-    inbox: Receiver<(NodeId, Bytes)>,
-    local_addr: Option<SocketAddr>,
+    node: PollNode,
+    /// Kept so the reactor outlives the node; dropping the `TcpNode`
+    /// drops both, which shuts the loop down and closes every socket.
+    _reactor: Reactor,
 }
 
 impl std::fmt::Debug for TcpNode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TcpNode")
-            .field("id", &self.id)
-            .field("addr", &self.local_addr)
-            .field("peers", &self.shared.peers.lock().len())
-            .finish()
+        f.debug_struct("TcpNode").field("node", &self.node).finish()
     }
 }
 
 impl TcpNode {
-    fn new(id: NodeId, cfg: TcpConfig, local_addr: Option<SocketAddr>) -> TcpNode {
-        let (tx, rx) = unbounded();
-        let shared = Arc::new(TcpShared {
-            id,
-            cfg,
-            inbox_tx: tx,
-            peers: Mutex::new(HashMap::new()),
-            conn_up: Mutex::new(Vec::new()),
-            conn_down: Mutex::new(Vec::new()),
-            closed: AtomicBool::new(false),
-        });
-        spawn_supervisor(&shared);
-        TcpNode {
-            id,
-            shared,
-            inbox: rx,
-            local_addr,
-        }
-    }
-
     /// Binds `addr` and accepts peers in the background, with default
     /// supervision tuning.
     ///
@@ -302,41 +205,17 @@ impl TcpNode {
     ///
     /// Propagates bind failures.
     pub fn listen_with(id: NodeId, addr: &str, cfg: TcpConfig) -> io::Result<TcpNode> {
-        let listener = TcpListener::bind(addr)?;
-        listener.set_nonblocking(true)?;
-        let local = listener.local_addr()?;
-        let node = TcpNode::new(id, cfg, Some(local));
-        let shared = Arc::clone(&node.shared);
-        std::thread::Builder::new()
-            .name(format!("tcp-accept-{id}"))
-            .spawn(move || {
-                while !shared.closed.load(Ordering::SeqCst) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            // Handshake on its own thread: a peer that
-                            // connects and stalls its hello must not
-                            // block the accept loop.
-                            let shared = Arc::clone(&shared);
-                            let _ = std::thread::Builder::new()
-                                .name(format!("tcp-hello-{id}"))
-                                .spawn(move || {
-                                    let _ = handshake_inbound(stream, &shared);
-                                });
-                        }
-                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                            std::thread::sleep(StdDuration::from_millis(10));
-                        }
-                        Err(_) => break,
-                    }
-                }
-            })
-            .expect("spawn accept thread");
-        Ok(node)
+        let reactor = Reactor::spawn(cfg.to_poll())?;
+        let node = reactor.listen(id, addr)?;
+        Ok(TcpNode {
+            node,
+            _reactor: reactor,
+        })
     }
 
     /// Connects to a listening node with default supervision tuning.
     /// The address is remembered: if the connection later drops, the
-    /// supervisor re-dials it automatically.
+    /// loop re-dials it automatically.
     ///
     /// # Errors
     ///
@@ -351,401 +230,80 @@ impl TcpNode {
     ///
     /// Propagates connect/handshake failures on the initial dial.
     pub fn dial_with(id: NodeId, addr: SocketAddr, cfg: TcpConfig) -> io::Result<TcpNode> {
-        let node = TcpNode::new(id, cfg.clone(), None);
-        let (peer_id, stream) = dial_sync(id, addr, &cfg)?;
-        node.shared
-            .peers
-            .lock()
-            .entry(peer_id)
-            .or_insert_with(Peer::new)
-            .addr = Some(addr);
-        register_connection(&node.shared, peer_id, stream);
-        Ok(node)
+        let reactor = Reactor::spawn(cfg.to_poll())?;
+        let node = reactor.node(id);
+        node.dial(addr)?;
+        Ok(TcpNode {
+            node,
+            _reactor: reactor,
+        })
     }
 
     /// The bound address, when listening.
     pub fn local_addr(&self) -> Option<SocketAddr> {
-        self.local_addr
+        self.node.local_addr()
     }
 
-    /// Points supervision for `peer` at `addr`: the supervisor dials it
-    /// as soon as the peer has no live connection. This is the
+    /// Points supervision for `peer` at `addr`: the loop dials it as
+    /// soon as the peer has no live connection. This is the
     /// service-discovery hook — a restarted server that comes back on a
     /// new address is reached by updating the mapping here; queued
     /// sends drain once the new connection is up.
     pub fn set_peer_addr(&self, peer: NodeId, addr: SocketAddr) {
-        let mut peers = self.shared.peers.lock();
-        let p = peers.entry(peer).or_insert_with(Peer::new);
-        p.addr = Some(addr);
-        p.attempt = 0;
-        p.next_dial = Some(Instant::now());
+        self.node.set_peer_addr(peer, addr);
     }
 
     /// Whether `peer` currently has a live connection.
     pub fn is_connected(&self, peer: NodeId) -> bool {
-        self.shared
-            .peers
-            .lock()
-            .get(&peer)
-            .is_some_and(|p| p.stream.is_some())
+        self.node.is_connected(peer)
     }
-}
 
-/// Synchronous connect + hello exchange; returns the peer's identity.
-fn dial_sync(my_id: NodeId, addr: SocketAddr, cfg: &TcpConfig) -> io::Result<(NodeId, TcpStream)> {
-    let mut stream = TcpStream::connect_timeout(&addr, cfg.dial_timeout)?;
-    stream.set_read_timeout(Some(cfg.hello_timeout))?;
-    stream.set_write_timeout(Some(cfg.hello_timeout))?;
-    write_frame(&mut stream, &encode_hello(my_id))?;
-    let peer_id = decode_hello(&read_frame(&mut stream)?)?;
-    Ok((peer_id, stream))
-}
-
-fn handshake_inbound(mut stream: TcpStream, shared: &Arc<TcpShared>) -> io::Result<()> {
-    stream.set_read_timeout(Some(shared.cfg.hello_timeout))?;
-    stream.set_write_timeout(Some(shared.cfg.hello_timeout))?;
-    let peer_id = decode_hello(&read_frame(&mut stream)?)?;
-    write_frame(&mut stream, &encode_hello(shared.id))?;
-    register_connection(shared, peer_id, stream);
-    Ok(())
-}
-
-/// Installs a fresh connection for `peer_id`: bumps the generation,
-/// replaces any old stream, drains the send backlog in order, emits a
-/// connect event, and spawns the generation-tagged reader.
-fn register_connection(shared: &Arc<TcpShared>, peer_id: NodeId, stream: TcpStream) {
-    let Ok(reader) = stream.try_clone() else {
-        return;
-    };
-    if reader.set_read_timeout(Some(shared.cfg.read_tick)).is_err()
-        || stream
-            .set_write_timeout(Some(shared.cfg.frame_deadline))
-            .is_err()
-    {
-        return;
+    /// Snapshot of wire accounting: per-tag delivery counts plus
+    /// per-peer send-queue depth/drop/backpressure counters.
+    pub fn wire_stats(&self) -> WireStats {
+        self.node.wire_stats()
     }
-    let gen;
-    let drained_ok;
-    {
-        let mut peers = shared.peers.lock();
-        let p = peers.entry(peer_id).or_insert_with(Peer::new);
-        if let Some(old) = p.stream.take() {
-            let _ = old.shutdown(std::net::Shutdown::Both);
-        }
-        p.gen += 1;
-        gen = p.gen;
-        p.stream = Some(stream);
-        p.attempt = 0;
-        p.dialing = false;
-        p.next_dial = None;
-        p.last_ka = Instant::now();
-        drained_ok = drain_queue(p);
-        if !drained_ok {
-            p.next_dial = Some(Instant::now());
-        }
-    }
-    if drained_ok {
-        shared.conn_up.lock().push(peer_id);
-        spawn_reader(shared, peer_id, gen, reader);
-    } else {
-        // The fresh connection died during the drain; the reader clone
-        // shares the shut-down socket, so don't bother starting it.
-        let _ = reader.shutdown(std::net::Shutdown::Both);
-    }
-}
 
-/// Writes the peer's backlog to its live stream, in order. On failure
-/// the unsent frame is put back and the stream is torn down. Returns
-/// whether the stream is still alive. Caller holds the peers lock.
-fn drain_queue(p: &mut Peer) -> bool {
-    while let Some(frame) = p.queue.pop_front() {
-        let Some(stream) = p.stream.as_mut() else {
-            p.queue.push_front(frame);
-            return false;
-        };
-        if write_frame(stream, &frame).is_err() {
-            p.queue.push_front(frame);
-            if let Some(s) = p.stream.take() {
-                let _ = s.shutdown(std::net::Shutdown::Both);
-            }
-            return false;
-        }
+    /// Snapshot of the owning loop's wakeup/event counters.
+    pub fn loop_stats(&self) -> poll::LoopStats {
+        self.node.loop_stats()
     }
-    p.stream.is_some()
-}
-
-/// Tears down `peer_id`'s connection if it is still generation `gen`,
-/// scheduling an immediate re-dial and emitting one disconnect event.
-/// Stale generations (a newer connection already replaced this one) are
-/// ignored.
-fn mark_down(shared: &Arc<TcpShared>, peer_id: NodeId, gen: u64) {
-    let had_stream = {
-        let mut peers = shared.peers.lock();
-        match peers.get_mut(&peer_id) {
-            Some(p) if p.gen == gen => match p.stream.take() {
-                Some(s) => {
-                    let _ = s.shutdown(std::net::Shutdown::Both);
-                    p.attempt = 0;
-                    p.next_dial = Some(Instant::now());
-                    true
-                }
-                None => false,
-            },
-            _ => false,
-        }
-    };
-    if had_stream {
-        shared.conn_down.lock().push(peer_id);
-    }
-}
-
-/// Reads one frame, tolerating read-tick timeouts. Returns `Ok(None)`
-/// when a timeout fired before *any* byte of the frame arrived (caller
-/// checks the idle deadline); a frame that started but stalls past
-/// `frame_deadline` is an error.
-fn read_frame_step(r: &mut TcpStream, frame_deadline: StdDuration) -> io::Result<Option<Bytes>> {
-    let mut len_buf = [0u8; 4];
-    let mut started: Option<Instant> = None;
-    read_exact_step(r, &mut len_buf, &mut started, frame_deadline)?;
-    if started.is_none() {
-        return Ok(None);
-    }
-    let len = u32::from_le_bytes(len_buf);
-    if len > MAX_FRAME_LEN {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("frame length {len} exceeds cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len as usize];
-    read_exact_step(r, &mut payload, &mut started, frame_deadline)?;
-    Ok(Some(Bytes::from(payload)))
-}
-
-/// `read_exact` that treats a timeout with zero bytes read so far
-/// (`*started == None`) as a clean return, and enforces `deadline` from
-/// the first byte onward.
-fn read_exact_step(
-    r: &mut TcpStream,
-    buf: &mut [u8],
-    started: &mut Option<Instant>,
-    deadline: StdDuration,
-) -> io::Result<()> {
-    let mut got = 0;
-    while got < buf.len() {
-        match r.read(&mut buf[got..]) {
-            Ok(0) => {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "peer closed mid-frame",
-                ))
-            }
-            Ok(n) => {
-                got += n;
-                started.get_or_insert_with(Instant::now);
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                match started {
-                    None => return Ok(()),
-                    Some(t0) if t0.elapsed() > deadline => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::TimedOut,
-                            "frame stalled past deadline",
-                        ))
-                    }
-                    Some(_) => continue,
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(())
-}
-
-fn spawn_reader(shared: &Arc<TcpShared>, peer_id: NodeId, gen: u64, mut reader: TcpStream) {
-    let shared = Arc::clone(shared);
-    std::thread::Builder::new()
-        .name(format!("tcp-read-{}-from-{peer_id}", shared.id))
-        .spawn(move || {
-            let mut last_activity = Instant::now();
-            loop {
-                if shared.closed.load(Ordering::SeqCst) {
-                    return; // node shutdown, not a peer death
-                }
-                match read_frame_step(&mut reader, shared.cfg.frame_deadline) {
-                    Ok(Some(frame)) => {
-                        last_activity = Instant::now();
-                        // Empty frames are keepalives: link-level only.
-                        if !frame.is_empty() && shared.inbox_tx.send((peer_id, frame)).is_err() {
-                            return;
-                        }
-                    }
-                    Ok(None) => {
-                        if shared
-                            .cfg
-                            .idle_deadline
-                            .is_some_and(|d| last_activity.elapsed() > d)
-                        {
-                            break; // silent peer: declare it dead
-                        }
-                    }
-                    Err(_) => break,
-                }
-            }
-            mark_down(&shared, peer_id, gen);
-        })
-        .expect("spawn reader thread");
-}
-
-/// The per-node supervisor: re-dials down peers on the retry schedule,
-/// drains any residual queues, and emits keepalives so idle links
-/// don't trip the peer's idle deadline.
-fn spawn_supervisor(shared: &Arc<TcpShared>) {
-    let shared = Arc::clone(shared);
-    std::thread::Builder::new()
-        .name(format!("tcp-supervise-{}", shared.id))
-        .spawn(move || loop {
-            std::thread::sleep(shared.cfg.supervise_every);
-            if shared.closed.load(Ordering::SeqCst) {
-                return;
-            }
-            let now = Instant::now();
-            let ka_every = shared.cfg.idle_deadline.map(|d| d / 3);
-            let mut dials: Vec<(NodeId, SocketAddr, u32)> = Vec::new();
-            let mut downs: Vec<NodeId> = Vec::new();
-            {
-                let mut peers = shared.peers.lock();
-                for (id, p) in peers.iter_mut() {
-                    if p.stream.is_some() {
-                        if !p.queue.is_empty() && !drain_queue(p) {
-                            p.next_dial = Some(now);
-                            downs.push(*id);
-                            continue;
-                        }
-                        if let Some(every) = ka_every {
-                            if p.last_ka.elapsed() >= every {
-                                p.last_ka = now;
-                                let stream = p.stream.as_mut().expect("checked above");
-                                if write_frame(stream, &Bytes::new()).is_err() {
-                                    if let Some(s) = p.stream.take() {
-                                        let _ = s.shutdown(std::net::Shutdown::Both);
-                                    }
-                                    p.next_dial = Some(now);
-                                    downs.push(*id);
-                                }
-                            }
-                        }
-                    } else if !p.dialing {
-                        if let Some(addr) = p.addr {
-                            if p.next_dial.is_none_or(|t| t <= now) {
-                                p.dialing = true;
-                                dials.push((*id, addr, p.attempt));
-                            }
-                        }
-                    }
-                }
-            }
-            if !downs.is_empty() {
-                shared.conn_down.lock().extend(downs);
-            }
-            for (peer, addr, attempt) in dials {
-                match dial_sync(shared.id, addr, &shared.cfg) {
-                    Ok((_, stream)) => register_connection(&shared, peer, stream),
-                    Err(_) => {
-                        let seed = id_seed(shared.id) ^ id_seed(peer).rotate_left(17);
-                        let delay = shared
-                            .cfg
-                            .redial
-                            .delay(attempt, seed)
-                            .unwrap_or(shared.cfg.redial.max);
-                        let mut peers = shared.peers.lock();
-                        if let Some(p) = peers.get_mut(&peer) {
-                            p.dialing = false;
-                            p.attempt = attempt.saturating_add(1);
-                            p.next_dial = Some(Instant::now() + delay);
-                        }
-                    }
-                }
-            }
-        })
-        .expect("spawn supervisor thread");
 }
 
 impl Channel for TcpNode {
     fn id(&self) -> NodeId {
-        self.id
+        self.node.id()
     }
 
     fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
-        let went_down = {
-            let mut peers = self.shared.peers.lock();
-            let Some(p) = peers.get_mut(&to) else {
-                return Err(NetError::UnknownNode(to));
-            };
-            if p.stream.is_some() && p.queue.is_empty() {
-                let stream = p.stream.as_mut().expect("checked above");
-                if write_frame(stream, &bytes).is_ok() {
-                    false
-                } else {
-                    // Broken pipe: tear down, queue the frame for the
-                    // next connection instead of losing it.
-                    if let Some(s) = p.stream.take() {
-                        let _ = s.shutdown(std::net::Shutdown::Both);
-                    }
-                    p.attempt = 0;
-                    p.next_dial = Some(Instant::now());
-                    p.queue.push_back(bytes);
-                    true
-                }
-            } else {
-                if p.queue.len() >= self.shared.cfg.queue_cap {
-                    p.queue.pop_front(); // bounded: oldest frame is lost
-                }
-                p.queue.push_back(bytes);
-                false
-            }
-        };
-        if went_down {
-            self.shared.conn_down.lock().push(to);
-        }
-        Ok(())
+        self.node.send(to, bytes)
     }
 
     fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
-        self.inbox.recv_timeout(timeout).map_err(|e| match e {
-            RecvTimeoutError::Timeout => NetError::Timeout,
-            RecvTimeoutError::Disconnected => NetError::Disconnected,
-        })
+        self.node.recv_timeout(timeout)
     }
 
     fn take_disconnected(&self) -> Vec<NodeId> {
-        std::mem::take(&mut *self.shared.conn_down.lock())
+        self.node.take_disconnected()
     }
 
     fn take_connected(&self) -> Vec<NodeId> {
-        std::mem::take(&mut *self.shared.conn_up.lock())
+        self.node.take_connected()
     }
-}
 
-impl Drop for TcpNode {
-    fn drop(&mut self) {
-        self.shared.closed.store(true, Ordering::SeqCst);
-        // Unblock reader threads parked inside a read tick.
-        for (_, peer) in self.shared.peers.lock().iter_mut() {
-            if let Some(stream) = peer.stream.take() {
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-            }
-        }
+    fn wire_stats(&self) -> Option<WireStats> {
+        Some(self.node.wire_stats())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::poll::{decode_hello, encode_hello};
+    use std::net::{TcpListener, TcpStream};
     use std::thread;
+    use std::time::Instant;
+    use vl_types::{ClientId, ServerId};
 
     #[test]
     fn roundtrip_through_a_buffer() {
@@ -939,6 +497,12 @@ mod tests {
         for i in 0..3u32 {
             client.send(srv_id, Bytes::from(vec![i as u8])).unwrap();
         }
+        // `send` posts a command the loop drains asynchronously, so
+        // wait for the accounting rather than asserting a snapshot.
+        assert!(
+            wait_for(|| client.wire_stats().queue(srv_id).depth >= 3, 5),
+            "queue depth must surface through WireStats"
+        );
 
         // Restart on a NEW port (the old one may sit in TIME_WAIT) and
         // point supervision at it — the service-discovery step.
@@ -953,6 +517,10 @@ mod tests {
         assert!(client.is_connected(srv_id));
         assert!(client.take_connected().contains(&srv_id));
         assert!(client.take_disconnected().contains(&srv_id));
+        assert!(
+            wait_for(|| client.wire_stats().queue(srv_id).depth == 0, 5),
+            "drained"
+        );
     }
 
     #[test]

@@ -1,0 +1,229 @@
+//! Regression tests for the readiness event loop itself — wakeup
+//! discipline, shared-reactor multiplexing, and backpressure
+//! accounting. These pin the properties that motivated replacing the
+//! thread-per-peer transport: an idle server must *block*, not poll.
+
+use bytes::Bytes;
+use std::time::{Duration, Instant};
+use vl_net::poll::{PollConfig, Reactor};
+use vl_net::retry::RetryPolicy;
+use vl_net::{Channel, NodeId};
+use vl_types::{ClientId, ServerId};
+
+fn srv(n: u32) -> NodeId {
+    NodeId::Server(ServerId(n))
+}
+
+fn cli(n: u32) -> NodeId {
+    NodeId::Client(ClientId(n))
+}
+
+fn wait_for<F: FnMut() -> bool>(mut cond: F, secs: u64) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+/// The pinned-CPU regression: a server holding open-but-quiet
+/// connections must park in `epoll_wait`, not spin a poll tick. With
+/// the idle deadline disabled there is no timer to serve, so over a
+/// two-second window the loop should wake at most a handful of times
+/// (stragglers from connection setup), never the hundreds a 20 ms
+/// tick would produce.
+#[test]
+fn idle_loop_blocks_instead_of_polling() {
+    let cfg = PollConfig {
+        idle_deadline: None, // no keepalives, no sweep timer
+        ..PollConfig::default()
+    };
+    let server_reactor = Reactor::spawn(cfg.clone()).unwrap();
+    let server = server_reactor.listen(srv(0), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let client_reactor = Reactor::spawn(cfg).unwrap();
+    let mut clients = Vec::new();
+    for i in 0..100 {
+        let c = client_reactor.node(cli(i));
+        c.dial(addr).unwrap();
+        clients.push(c);
+    }
+    let mut ups = 0usize;
+    assert!(
+        wait_for(
+            || {
+                ups += server.take_connected().len();
+                ups == 100
+            },
+            10
+        ),
+        "all 100 connections must come up (got {ups})"
+    );
+
+    // Let connection-setup stragglers (hello replies, event
+    // bookkeeping) fully drain before sampling.
+    std::thread::sleep(Duration::from_millis(300));
+    let before = server_reactor.loop_stats();
+    std::thread::sleep(Duration::from_secs(2));
+    let after = server_reactor.loop_stats();
+
+    let wakeups = after.wakeups - before.wakeups;
+    assert!(
+        wakeups <= 5,
+        "idle loop with 100 quiet connections woke {wakeups} times in 2 s; \
+         it must block in epoll_wait (a 20 ms poll tick would be ~100)"
+    );
+    drop(clients);
+}
+
+/// Even with keepalives enabled, wakeups must scale with the keepalive
+/// cadence, not with a fixed poll tick: one sweep services every
+/// connection's keepalive in a single wakeup.
+#[test]
+fn keepalive_wakeups_are_batched_not_per_connection() {
+    let cfg = PollConfig {
+        idle_deadline: Some(Duration::from_secs(3)), // keepalive every 1 s
+        ..PollConfig::default()
+    };
+    let server_reactor = Reactor::spawn(cfg.clone()).unwrap();
+    let server = server_reactor.listen(srv(0), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let client_reactor = Reactor::spawn(cfg).unwrap();
+    let clients: Vec<_> = (0..50)
+        .map(|i| {
+            let c = client_reactor.node(cli(i));
+            c.dial(addr).unwrap();
+            c
+        })
+        .collect();
+    let mut ups = 0usize;
+    assert!(wait_for(
+        || {
+            ups += server.take_connected().len();
+            ups == 50
+        },
+        10
+    ));
+
+    std::thread::sleep(Duration::from_millis(300));
+    let before = server_reactor.loop_stats();
+    std::thread::sleep(Duration::from_secs(2));
+    let after = server_reactor.loop_stats();
+
+    // ~2 keepalive sweeps of our own + ~2 × 50 inbound keepalive
+    // frames from clients, which arrive clustered (each client
+    // reactor sends all its keepalives in one sweep, so they land in
+    // few epoll batches). Allow generous slack; the failure mode this
+    // guards against is per-connection timers (≥ 100 wakeups just for
+    // our own keepalives) or a poll tick (~100 wakeups flat).
+    let wakeups = after.wakeups - before.wakeups;
+    assert!(
+        wakeups < 60,
+        "keepalive upkeep for 50 connections took {wakeups} wakeups in 2 s; \
+         sweeps must be batched"
+    );
+    drop(clients);
+}
+
+/// Many nodes multiplexed onto ONE reactor — the shape the live
+/// benchmark uses — must still route frames by identity.
+#[test]
+fn shared_reactor_multiplexes_many_nodes() {
+    let reactor = Reactor::spawn(PollConfig::default()).unwrap();
+    let server = reactor.listen(srv(0), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr().unwrap();
+
+    let clients: Vec<_> = (0..20)
+        .map(|i| {
+            let c = reactor.node(cli(i));
+            c.dial(addr).unwrap();
+            c
+        })
+        .collect();
+
+    for (i, c) in clients.iter().enumerate() {
+        c.send(srv(0), Bytes::from(vec![i as u8])).unwrap();
+    }
+    let mut seen = [false; 20];
+    for _ in 0..20 {
+        let (from, frame) = server.recv_timeout(Duration::from_secs(5)).unwrap();
+        let NodeId::Client(ClientId(n)) = from else {
+            panic!("unexpected sender {from:?}");
+        };
+        assert_eq!(&frame[..], &[n as u8], "frame must match its sender");
+        seen[n as usize] = true;
+    }
+    assert!(
+        seen.iter().all(|&s| s),
+        "every client heard from exactly once"
+    );
+
+    // And the reverse direction: server addresses each client.
+    for (i, c) in clients.iter().enumerate() {
+        server
+            .send(cli(i as u32), Bytes::from(vec![0xF0, i as u8]))
+            .unwrap();
+        let (from, frame) = c.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(from, srv(0));
+        assert_eq!(&frame[..], &[0xF0, i as u8]);
+    }
+}
+
+/// Overflowing a bounded send queue while the peer is down must drop
+/// the oldest frames and account for it; reconnecting drains the
+/// survivors in order.
+#[test]
+fn queue_overflow_drops_oldest_and_counts() {
+    let cfg = PollConfig {
+        queue_cap: 4,
+        redial: RetryPolicy {
+            base: Duration::from_millis(20),
+            max: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        },
+        ..PollConfig::default()
+    };
+    let reactor = Reactor::spawn(cfg.clone()).unwrap();
+    let client = reactor.node(cli(1));
+
+    let server = Reactor::spawn(cfg.clone()).unwrap();
+    let server_node = server.listen(srv(0), "127.0.0.1:0").unwrap();
+    let addr = server_node.local_addr().unwrap();
+    client.dial(addr).unwrap();
+    assert!(wait_for(|| client.is_connected(srv(0)), 5));
+
+    drop(server_node);
+    drop(server);
+    assert!(
+        wait_for(|| !client.is_connected(srv(0)), 5),
+        "client must notice the server dying"
+    );
+
+    // 6 sends into a cap-4 queue: 0 and 1 fall off the front.
+    for i in 0..6u8 {
+        client.send(srv(0), Bytes::from(vec![i])).unwrap();
+    }
+    // Sends are commands drained by the loop; wait for it to catch up.
+    assert!(
+        wait_for(|| client.wire_stats().queue(srv(0)).enqueued == 6, 5),
+        "loop must drain the send commands"
+    );
+    let q = client.wire_stats().queue(srv(0));
+    assert_eq!(q.depth, 4);
+    assert_eq!(q.dropped_overflow, 2, "oldest two dropped");
+
+    let revived = Reactor::spawn(cfg).unwrap();
+    let revived_node = revived.listen(srv(0), "127.0.0.1:0").unwrap();
+    client.set_peer_addr(srv(0), revived_node.local_addr().unwrap());
+
+    for expect in 2..6u8 {
+        let (_, frame) = revived_node.recv_timeout(Duration::from_secs(5)).unwrap();
+        assert_eq!(&frame[..], &[expect], "survivors drain in order");
+    }
+    assert_eq!(client.wire_stats().queue(srv(0)).depth, 0);
+}

@@ -7,22 +7,31 @@
 //! them to the machine with the current wall-clock time, and executes
 //! the returned [`ServerAction`]s — encoding replies, persisting the
 //! stable record, and completing writer rendezvous.
+//!
+//! The driver is timer-accurate, not tick-driven: it honours the
+//! machine's [`ServerAction::SetTimer`] deadlines and sleeps until the
+//! earliest one (or a coarse safety cap) instead of waking every
+//! millisecond. Commands, frames, and disconnect notices are merged
+//! onto one channel by a forwarder thread, so the loop parks on a
+//! single blocking receive in between deadlines.
 
 use crate::stable::StableRecord;
 use bytes::Bytes;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration as StdDuration;
 use vl_core::machine::{
-    events, MachineConfig, ServerAction, ServerInput, ServerMachine, StableState,
+    events, MachineConfig, ServerAction, ServerInput, ServerMachine, StableState, TimerKind,
 };
+use vl_metrics::trace::{Event as TraceEvent, EventKind};
 use vl_metrics::TraceSink;
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::codec;
-use vl_types::{Clock, Duration, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_types::{ClientId, Clock, Duration, ObjectId, ServerId, Timestamp, Version, VolumeId};
 
 pub use vl_core::machine::{ServerStats, WriteMode, WriteOutcome};
 
@@ -97,6 +106,22 @@ enum Command {
     Shutdown,
 }
 
+/// Everything that can wake the driver, merged onto one channel (the
+/// channel shim has no `select`, so the forwarder thread funnels
+/// endpoint traffic into the same queue the handle's commands use).
+enum Event {
+    Cmd(Command),
+    /// A frame arrived from `from`.
+    Net {
+        from: NodeId,
+        bytes: Bytes,
+    },
+    /// The transport reported `client`'s connection down.
+    Down(ClientId),
+    /// The endpoint is gone (replaced or network dropped).
+    NetDead,
+}
+
 /// Spawns [`ServerHandle`]s. See the crate docs for the protocol.
 #[derive(Debug)]
 pub struct LeaseServer;
@@ -138,9 +163,47 @@ impl LeaseServer {
     ) -> ServerHandle {
         let endpoint: Arc<dyn Channel> = Arc::new(endpoint);
         let (tx, rx) = unbounded();
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Forwarder: pumps endpoint frames and disconnect notices into
+        // the unified event queue so the driver can block on one
+        // receive. Exits when the driver raises `stop` (checked at
+        // receive-timeout granularity) or the endpoint dies.
+        {
+            let endpoint = Arc::clone(&endpoint);
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("vl-server-{}-net", config.server))
+                .spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        for node in endpoint.take_disconnected() {
+                            if let NodeId::Client(client) = node {
+                                if tx.send(Event::Down(client)).is_err() {
+                                    return;
+                                }
+                            }
+                        }
+                        match endpoint.recv_timeout(StdDuration::from_millis(100)) {
+                            Ok((from, bytes)) => {
+                                if tx.send(Event::Net { from, bytes }).is_err() {
+                                    return;
+                                }
+                            }
+                            Err(NetError::Timeout) => {}
+                            Err(_) => {
+                                let _ = tx.send(Event::NetDead);
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn server net thread");
+        }
+
         let thread = std::thread::Builder::new()
             .name(format!("vl-server-{}", config.server))
-            .spawn(move || Driver::new(config, endpoint, clock, rx, sink).run())
+            .spawn(move || Driver::new(config, endpoint, clock, rx, stop, sink).run())
             .expect("spawn server thread");
         ServerHandle { cmd: tx, thread }
     }
@@ -149,7 +212,7 @@ impl LeaseServer {
 /// Control handle to a running server.
 #[derive(Debug)]
 pub struct ServerHandle {
-    cmd: Sender<Command>,
+    cmd: Sender<Event>,
     thread: JoinHandle<()>,
 }
 
@@ -158,11 +221,11 @@ impl ServerHandle {
     pub fn create_object(&self, object: ObjectId, data: Bytes) {
         let (reply, done) = bounded(1);
         self.cmd
-            .send(Command::CreateObject {
+            .send(Event::Cmd(Command::CreateObject {
                 object,
                 data,
                 reply,
-            })
+            }))
             .expect("server loop alive");
         done.recv().expect("server loop alive");
     }
@@ -173,11 +236,11 @@ impl ServerHandle {
     pub fn write(&self, object: ObjectId, data: Bytes) -> WriteOutcome {
         let (reply, done) = bounded(1);
         self.cmd
-            .send(Command::Write {
+            .send(Event::Cmd(Command::Write {
                 object,
                 data,
                 reply,
-            })
+            }))
             .expect("server loop alive");
         done.recv().expect("server loop alive")
     }
@@ -186,7 +249,7 @@ impl ServerHandle {
     pub fn stats(&self) -> ServerStats {
         let (reply, done) = bounded(1);
         self.cmd
-            .send(Command::Stats { reply })
+            .send(Event::Cmd(Command::Stats { reply }))
             .expect("server loop alive");
         done.recv().expect("server loop alive")
     }
@@ -194,13 +257,13 @@ impl ServerHandle {
     /// Simulates a crash: the loop exits immediately and all volatile
     /// lease state is lost. Only the stable record survives.
     pub fn crash(self) {
-        let _ = self.cmd.send(Command::Crash);
+        let _ = self.cmd.send(Event::Cmd(Command::Crash));
         let _ = self.thread.join();
     }
 
     /// Graceful shutdown.
     pub fn shutdown(self) {
-        let _ = self.cmd.send(Command::Shutdown);
+        let _ = self.cmd.send(Event::Cmd(Command::Shutdown));
         let _ = self.thread.join();
     }
 }
@@ -212,12 +275,21 @@ struct Driver<C: Clock> {
     machine: ServerMachine,
     endpoint: Arc<dyn Channel>,
     clock: C,
-    commands: Receiver<Command>,
+    events: Receiver<Event>,
+    /// Raised on exit so the forwarder thread releases its endpoint
+    /// handle (which closes the sockets).
+    stop: Arc<AtomicBool>,
     stable_path: Option<PathBuf>,
     /// Writers awaiting completion, oldest first. The machine commits
     /// writes strictly in enqueue order, so a FIFO correlates each
     /// [`ServerAction::CompleteWrite`] with its caller.
     write_replies: VecDeque<Sender<WriteOutcome>>,
+    /// Pending machine deadlines, one slot per [`TimerKind`]. A slot is
+    /// cleared only once its instant has passed; the machine re-arms
+    /// whenever a deadline moves.
+    timers: [Option<Timestamp>; 2],
+    /// Next wire-stats sample, when tracing (protocol time).
+    next_stats: Timestamp,
     /// Identity carried alongside the machine for event labelling.
     server: ServerId,
     volume: VolumeId,
@@ -230,7 +302,8 @@ impl<C: Clock> Driver<C> {
         cfg: ServerConfig,
         endpoint: Arc<dyn Channel>,
         clock: C,
-        commands: Receiver<Command>,
+        events: Receiver<Event>,
+        stop: Arc<AtomicBool>,
         sink: Option<Box<dyn TraceSink>>,
     ) -> Driver<C> {
         let recovered = match &cfg.stable_path {
@@ -249,9 +322,12 @@ impl<C: Clock> Driver<C> {
             machine,
             endpoint,
             clock,
-            commands,
+            events,
+            stop,
             stable_path: cfg.stable_path,
             write_replies: VecDeque::new(),
+            timers: [None; 2],
+            next_stats: Timestamp::ZERO,
             server: cfg.server,
             volume: cfg.volume,
             sink,
@@ -262,11 +338,14 @@ impl<C: Clock> Driver<C> {
         driver
     }
 
+    /// Coarse upper bound on any single sleep: keeps stats sampling
+    /// and forwarder-liveness responsive even with no armed deadline.
+    const SAFETY_CAP: StdDuration = StdDuration::from_secs(1);
+
     fn run(mut self) {
         loop {
-            // 1. Control commands.
-            while let Ok(cmd) = self.commands.try_recv() {
-                match cmd {
+            match self.events.recv_timeout(self.next_timeout()) {
+                Ok(Event::Cmd(cmd)) => match cmd {
                     Command::CreateObject {
                         object,
                         data,
@@ -290,28 +369,9 @@ impl<C: Clock> Driver<C> {
                     Command::Stats { reply } => {
                         let _ = reply.send(self.machine.stats());
                     }
-                    Command::Crash | Command::Shutdown => {
-                        if let Some(sink) = &mut self.sink {
-                            sink.flush();
-                        }
-                        return;
-                    }
-                }
-            }
-
-            // 2. Transport-level connection losses: demote those clients
-            //    to the unreachable set so the next handshake is a full
-            //    MUST_RENEW_ALL reconnect (leases themselves are untouched).
-            for node in self.endpoint.take_disconnected() {
-                if let NodeId::Client(client) = node {
-                    self.step(ServerInput::PeerDisconnected { client });
-                }
-            }
-
-            // 3. Network traffic (the 1 ms timeout doubles as the tick,
-            //    so the machine's timer deadlines never wait long).
-            match self.endpoint.recv_timeout(StdDuration::from_millis(1)) {
-                Ok((from, bytes)) => {
+                    Command::Crash | Command::Shutdown => return self.exit(),
+                },
+                Ok(Event::Net { from, bytes }) => {
                     if let NodeId::Client(client) = from {
                         match codec::decode_client(&bytes) {
                             Ok(msg) => self.step(ServerInput::Msg { from: client, msg }),
@@ -319,15 +379,91 @@ impl<C: Clock> Driver<C> {
                         }
                     }
                 }
-                Err(NetError::Timeout) => self.step(ServerInput::Tick),
-                Err(_) => {
-                    if let Some(sink) = &mut self.sink {
-                        sink.flush();
-                    }
-                    return; // endpoint replaced or network gone
+                // Transport-level connection loss: demote that client to
+                // the unreachable set so the next handshake is a full
+                // MUST_RENEW_ALL reconnect (leases themselves are
+                // untouched).
+                Ok(Event::Down(client)) => {
+                    self.step(ServerInput::PeerDisconnected { client });
                 }
+                Ok(Event::NetDead) | Err(RecvTimeoutError::Disconnected) => return self.exit(),
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+            self.fire_timers();
+            self.sample_wire_stats();
+        }
+    }
+
+    fn exit(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(sink) = &mut self.sink {
+            sink.flush();
+        }
+    }
+
+    /// Sleep until the earliest armed machine deadline, capped so the
+    /// loop stays responsive to stats sampling and shutdown.
+    fn next_timeout(&self) -> StdDuration {
+        let now = self.clock.now().as_millis();
+        let mut ms = Driver::<C>::SAFETY_CAP.as_millis() as u64;
+        for at in self.timers.iter().flatten() {
+            ms = ms.min(at.as_millis().saturating_sub(now));
+        }
+        StdDuration::from_millis(ms)
+    }
+
+    /// Ticks the machine if any armed deadline has passed. Slots clear
+    /// only once due — a deadline that merely moved later was already
+    /// re-armed by the corresponding [`ServerAction::SetTimer`].
+    fn fire_timers(&mut self) {
+        let now = self.clock.now();
+        let mut due = false;
+        for slot in self.timers.iter_mut() {
+            if slot.is_some_and(|at| at <= now) {
+                *slot = None;
+                due = true;
             }
         }
+        if due {
+            self.step(ServerInput::Tick);
+        }
+    }
+
+    /// When tracing, samples the transport's per-peer send-queue
+    /// accounting about once a second as `send_queue` / `queue_drop`
+    /// events, so `vl report` can show live backpressure.
+    fn sample_wire_stats(&mut self) {
+        if self.sink.is_none() {
+            return;
+        }
+        let now = self.clock.now();
+        if now < self.next_stats {
+            return;
+        }
+        self.next_stats = now.saturating_add(Duration::from_secs(1));
+        let wire = self.endpoint.wire_stats();
+        let sink = self.sink.as_mut().expect("checked above");
+        for (peer, q) in wire.iter().flat_map(|w| w.queues()) {
+            let NodeId::Client(client) = peer else {
+                continue;
+            };
+            sink.record(&TraceEvent {
+                value: q.depth,
+                extra: q.peak_depth,
+                ..TraceEvent::new(now, EventKind::SendQueue, self.server, client)
+            });
+            if q.dropped_overflow > 0 || q.backpressure > 0 {
+                sink.record(&TraceEvent {
+                    value: q.dropped_overflow,
+                    extra: q.backpressure,
+                    ..TraceEvent::new(now, EventKind::QueueDrop, self.server, client)
+                });
+            }
+        }
+        // A long-lived `vl serve` is usually killed, not shut down, so
+        // riding the once-a-second cadence is the only flush its JSONL
+        // trace ever gets.
+        sink.flush();
     }
 
     /// Feeds one input to the machine at the current time and executes
@@ -351,9 +487,12 @@ impl<C: Clock> Driver<C> {
                         .endpoint
                         .send(NodeId::Client(to), codec::encode_server(&msg));
                 }
-                ServerAction::SetTimer { .. } => {
-                    // The 1 ms receive timeout ticks the machine more
-                    // often than any lease deadline needs.
+                ServerAction::SetTimer { kind, at } => {
+                    let idx = match kind {
+                        TimerKind::WriteWait => 0,
+                        TimerKind::Demotion => 1,
+                    };
+                    self.timers[idx] = Some(at);
                 }
                 ServerAction::Persist { state } => {
                     if let Some(path) = &self.stable_path {

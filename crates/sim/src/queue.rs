@@ -403,8 +403,8 @@ impl<E> EventQueue<E> {
             // placement guarantees the window is strictly ahead of the
             // cursor and no earlier event exists anywhere.
             let shift = LEVEL_BITS * (level as u32 + 1);
-            let window = (self.cursor >> shift << shift)
-                | ((bucket as u64) << (LEVEL_BITS * level as u32));
+            let window =
+                (self.cursor >> shift << shift) | ((bucket as u64) << (LEVEL_BITS * level as u32));
             debug_assert!(window > self.cursor);
             self.cursor = window;
             let mut head = self.take_bucket(level, bucket);
@@ -822,8 +822,12 @@ mod tests {
     #[test]
     fn equivalent_to_heap_wheel_spanning_delays() {
         // Delays crossing every level boundary and the far horizon.
-        for (seed, max_delay) in [(100, 1 << 7), (101, 1 << 13), (102, 1 << 20), (103, 1 << 26)]
-        {
+        for (seed, max_delay) in [
+            (100, 1 << 7),
+            (101, 1 << 13),
+            (102, 1 << 20),
+            (103, 1 << 26),
+        ] {
             equivalence_run(seed, 2000, max_delay, false);
         }
     }

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Live-transport smoke benchmark: 1 000 loopback TCP clients driving
+# volume-lease renewals through the readiness event loop, recorded in
+# BENCH_live.json at the repo root.
+#
+# This is the CI-sized cousin of the 10k+ acceptance run
+# (`vl bench-live` with defaults). It fails loudly if the bench does
+# not produce a renewals/s line or measures zero renewals — a bench
+# that "passes" silently is a broken bench, not a fast transport.
+#
+# usage: bench_live.sh [clients] [duration-s]
+# env:   VL_LIVE_TIMEOUT   hard cap on the whole run, seconds (default 300)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+CLIENTS="${1:-1000}"
+DURATION="${2:-10}"
+HARD_TIMEOUT="${VL_LIVE_TIMEOUT:-300}"
+
+cargo build --release -p vl-cli >/dev/null
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+# The bench spawns its own `vl serve` child and kills it on exit; the
+# timeout guards against a wedged event loop hanging CI forever.
+if ! timeout --kill-after=30 "$HARD_TIMEOUT" \
+    target/release/vl bench-live \
+    --clients "$CLIENTS" --duration-s "$DURATION" \
+    --out BENCH_live.json | tee "$out"; then
+    echo "error: vl bench-live failed or timed out (${HARD_TIMEOUT}s cap)" >&2
+    exit 1
+fi
+
+line=$(grep "renewals/s" "$out" | tail -n1 || true)
+if [ -z "$line" ]; then
+    echo "error: bench produced no 'renewals/s' line:" >&2
+    cat "$out" >&2
+    exit 1
+fi
+
+renewals=$(echo "$line" | sed -n 's/^renewals\/s: *\([0-9]*\).*/\1/p')
+if [ -z "$renewals" ] || [ "$renewals" -eq 0 ]; then
+    echo "error: bench measured zero renewals/s: $line" >&2
+    exit 1
+fi
+
+echo "wrote BENCH_live.json (${renewals} renewals/s with ${CLIENTS} clients)"

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full CI gate: formatting, lint (warnings denied), release build (all
 # targets, so bench breakage is caught), the complete test suite
-# including ignored tests, a warning-clean rustdoc build, and the smoke
-# benchmark script.
+# including ignored tests, a warning-clean rustdoc build, the simulator
+# smoke benchmark, and a 1k-connection live-transport smoke benchmark.
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 
@@ -29,5 +29,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 echo "==> scripts/bench_smoke.sh"
 ./scripts/bench_smoke.sh "${VL_THREADS:-$(nproc 2>/dev/null || echo 4)}"
+
+echo "==> scripts/bench_live.sh (1k loopback clients)"
+./scripts/bench_live.sh 1000 5
 
 echo "==> CI gate passed"
