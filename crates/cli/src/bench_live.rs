@@ -12,6 +12,14 @@
 //! process: 10 000 connections need ~10 000 fds on each side, and both
 //! sides together would not fit under one default `RLIMIT_NOFILE`.
 //!
+//! `--reactors` is the *server's* shard count (`vl serve --reactors`).
+//! A comma-separated list (`--reactors 1,4`) runs a scaling matrix:
+//! each entry is benchmarked in a fresh child process (so sockets and
+//! threads tear down for free between runs) with `--clients`
+//! connections *per reactor*, and the per-run results are merged into
+//! one `{"runs": [...]}` document. The matrix fails loudly if a run
+//! with more reactors holds fewer connections than the first run.
+//!
 //! Results land in a JSON file (default `BENCH_live.json`) next to the
 //! simulator's `BENCH_sweep.json`, and a human `renewals/s` line is
 //! printed for CI to grep.
@@ -36,13 +44,35 @@ struct BenchOpts {
     object_lease_ms: u64,
     objects: u64,
     workers: usize,
-    reactors: usize,
+    /// Server-side shard count, forwarded to `vl serve --reactors`.
+    server_reactors: usize,
+    /// Client-side reactor pool multiplexing the benchmark's sockets.
+    client_reactors: usize,
     out: String,
     /// External server to target; `None` spawns a child `vl serve`.
     addr: Option<String>,
 }
 
+/// Parses `--reactors`: one server shard count, or a comma-separated
+/// matrix ("1,4") that triggers a multi-run scaling sweep.
+fn reactor_matrix(args: &Args) -> Vec<usize> {
+    let raw = args.value("--reactors").unwrap_or("1");
+    raw.split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => {
+                eprintln!("invalid --reactors entry {s:?}: need integers >= 1 (e.g. 4 or 1,4)");
+                exit(2)
+            }
+        })
+        .collect()
+}
+
 pub fn run(args: &Args) {
+    let matrix = reactor_matrix(args);
+    if matrix.len() > 1 {
+        run_matrix(args, &matrix)
+    }
     let opts = BenchOpts {
         clients: args.parsed("--clients", 10_000u32),
         duration: Duration::from_secs(args.parsed("--duration-s", 10u64)),
@@ -50,7 +80,8 @@ pub fn run(args: &Args) {
         object_lease_ms: args.parsed("--object-lease-ms", 120_000u64),
         objects: args.parsed("--objects", 64u64),
         workers: args.parsed("--workers", 32usize),
-        reactors: args.parsed("--reactors", 4usize),
+        server_reactors: matrix[0],
+        client_reactors: args.parsed("--client-reactors", 4usize),
         out: args.value("--out").unwrap_or("BENCH_live.json").to_string(),
         addr: args.value("--addr").map(String::from),
     };
@@ -68,10 +99,13 @@ pub fn run(args: &Args) {
     });
 
     println!(
-        "bench-live: {} clients -> {} over {} reactors, {} workers, t_v={} ms, {} s",
+        "bench-live: {} clients -> {} ({} server reactor{}), {} client reactors, \
+         {} workers, t_v={} ms, {} s",
         opts.clients,
         addr,
-        opts.reactors,
+        opts.server_reactors,
+        if opts.server_reactors == 1 { "" } else { "s" },
+        opts.client_reactors,
         opts.workers,
         opts.tv_ms,
         opts.duration.as_secs()
@@ -85,7 +119,7 @@ pub fn run(args: &Args) {
         hello_timeout: Duration::from_secs(20),
         ..PollConfig::default()
     };
-    let reactors: Vec<Reactor> = (0..opts.reactors.max(1))
+    let reactors: Vec<Reactor> = (0..opts.client_reactors.max(1))
         .map(|_| Reactor::spawn(poll_cfg.clone()).expect("spawn reactor"))
         .collect();
 
@@ -222,6 +256,7 @@ pub fn run(args: &Args) {
 
     let json = format!(
         "{{\n  \"clients\": {},\n  \"connections\": {},\n  \"reactors\": {},\n  \
+         \"client_reactors\": {},\n  \
          \"workers\": {},\n  \"tv_ms\": {},\n  \"object_lease_ms\": {},\n  \
          \"duration_s\": {:.3},\n  \"connect_s\": {:.3},\n  \"renewals\": {},\n  \
          \"renewals_per_sec\": {:.1},\n  \"reads\": {},\n  \"failures\": {},\n  \
@@ -230,7 +265,8 @@ pub fn run(args: &Args) {
          \"io_events\": {}, \"frames_in\": {}, \"frames_out\": {}}}\n}}\n",
         opts.clients,
         clients.len(),
-        opts.reactors,
+        opts.server_reactors,
+        opts.client_reactors,
         opts.workers,
         opts.tv_ms,
         opts.object_lease_ms,
@@ -301,6 +337,8 @@ fn spawn_server(opts: &BenchOpts) -> (String, Child) {
             &opts.object_lease_ms.to_string(),
             "--idle-ms",
             "60000",
+            "--reactors",
+            &opts.server_reactors.to_string(),
             "--port-file",
             port_file.to_str().expect("utf-8 temp path"),
         ])
@@ -326,4 +364,141 @@ fn spawn_server(opts: &BenchOpts) -> (String, Child) {
     };
     let _ = std::fs::remove_file(&port_file);
     (format!("127.0.0.1:{port}"), child)
+}
+
+/// Scaling matrix: one child `vl bench-live` process per reactor
+/// count. `--clients` becomes the connection count *per reactor*, so a
+/// 4-reactor run holds 4x the sockets of a 1-reactor run — the shape
+/// of the acceptance gate (more shards must carry more connections,
+/// never fewer). Each child spawns (and kills) its own server, so runs
+/// are fully isolated. Never returns.
+fn run_matrix(args: &Args, matrix: &[usize]) -> ! {
+    if args.value("--addr").is_some() {
+        eprintln!(
+            "--reactors with a comma list spawns one server per run; \
+             it cannot target an external --addr"
+        );
+        exit(2)
+    }
+    // Per-reactor default is deliberately smaller than the single-run
+    // default: an 8-reactor entry already multiplies it by 8, and both
+    // sides of the loopback pair burn one fd per connection.
+    let per_reactor: u32 = args.parsed("--clients", 2_000u32);
+    let out = args.value("--out").unwrap_or("BENCH_live.json");
+    let exe = std::env::current_exe().expect("own executable path");
+
+    let mut runs: Vec<(usize, String)> = Vec::new();
+    for &r in matrix {
+        let tmp =
+            std::env::temp_dir().join(format!("vl-bench-live-{}-r{r}.json", std::process::id()));
+        let _ = std::fs::remove_file(&tmp);
+        println!(
+            "--- bench-live matrix: {r} reactor(s), {} clients ---",
+            per_reactor * r as u32
+        );
+        let mut cmd = Command::new(&exe);
+        cmd.args([
+            "bench-live",
+            "--reactors",
+            &r.to_string(),
+            "--clients",
+            &(per_reactor * r as u32).to_string(),
+            "--out",
+            tmp.to_str().expect("utf-8 temp path"),
+        ]);
+        for flag in [
+            "--duration-s",
+            "--tv-ms",
+            "--object-lease-ms",
+            "--objects",
+            "--workers",
+            "--client-reactors",
+        ] {
+            if let Some(v) = args.value(flag) {
+                cmd.arg(flag).arg(v);
+            }
+        }
+        let status = cmd.status().unwrap_or_else(|e| {
+            eprintln!("cannot spawn bench child: {e}");
+            exit(1)
+        });
+        if !status.success() {
+            eprintln!("bench run with {r} reactor(s) failed ({status})");
+            exit(1)
+        }
+        let doc = std::fs::read_to_string(&tmp).unwrap_or_else(|e| {
+            eprintln!("bench run with {r} reactor(s) wrote no result: {e}");
+            exit(1)
+        });
+        let _ = std::fs::remove_file(&tmp);
+        runs.push((r, doc));
+    }
+
+    // The gate of ISSUE acceptance criterion 3: every later (wider)
+    // run must hold at least as many connections as the first.
+    let first_conns = json_u64(&runs[0].1, "connections").unwrap_or(0);
+    let first_rps = json_f64(&runs[0].1, "renewals_per_sec").unwrap_or(0.0);
+    println!("\nscaling vs {} reactor(s):", runs[0].0);
+    let mut failed = false;
+    for (r, doc) in &runs {
+        let conns = json_u64(doc, "connections").unwrap_or(0);
+        let rps = json_f64(doc, "renewals_per_sec").unwrap_or(0.0);
+        println!(
+            "  {r} reactor(s): {conns} connections ({:.2}x), {rps:.0} renewals/s ({:.2}x)",
+            conns as f64 / (first_conns.max(1)) as f64,
+            rps / first_rps.max(1e-9),
+        );
+        if conns < first_conns {
+            eprintln!(
+                "FAIL: {r}-reactor run held {conns} connections, \
+                 fewer than the {}-reactor run's {first_conns}",
+                runs[0].0
+            );
+            failed = true;
+        }
+    }
+
+    let mut doc = String::from("{\n  \"runs\": [\n");
+    for (i, (_, run)) in runs.iter().enumerate() {
+        for line in run.trim_end().lines() {
+            doc.push_str("    ");
+            doc.push_str(line);
+            doc.push('\n');
+        }
+        doc.pop();
+        doc.push_str(if i + 1 < runs.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("  ]\n}\n");
+    match std::fs::File::create(out).and_then(|mut f| f.write_all(doc.as_bytes())) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => {
+            eprintln!("cannot write {out}: {e}");
+            exit(1)
+        }
+    }
+    exit(if failed { 1 } else { 0 })
+}
+
+/// Pulls an integer field out of a bench result without a JSON parser
+/// (the documents are our own `format!` output, shapes known).
+fn json_u64(doc: &str, key: &str) -> Option<u64> {
+    let rest = field(doc, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Float twin of [`json_u64`].
+fn json_f64(doc: &str, key: &str) -> Option<f64> {
+    let rest = field(doc, key)?;
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit() && c != '.')
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn field<'a>(doc: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\":");
+    Some(doc[doc.find(&pat)? + pat.len()..].trim_start())
 }

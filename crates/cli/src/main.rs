@@ -69,7 +69,8 @@ fn usage() -> ! {
         "usage:\n  vl serve --addr HOST:PORT [--objects N] [--volume-lease-ms N] \
          [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
          [--trace-out PATH] [--chaos-profile off|drops|delays|partitions|havoc] \
-         [--chaos-seed N] [--port-file PATH] [--idle-ms N] [--queue-cap N]\n  \
+         [--chaos-seed N] [--port-file PATH] [--idle-ms N] [--queue-cap N] \
+         [--reactors N]\n  \
          vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
@@ -77,7 +78,7 @@ fn usage() -> ! {
          vl sim --chaos-profile NAME [--chaos-seed N] [--steps N]\n  \
          vl report --trace PATH [--top N]\n  \
          vl bench-live [--clients N] [--duration-s N] [--tv-ms N] [--workers N] \
-         [--reactors N] [--out PATH] [--addr HOST:PORT]"
+         [--reactors N,N,...] [--client-reactors N] [--out PATH] [--addr HOST:PORT]"
     );
     exit(2)
 }
@@ -396,14 +397,37 @@ fn serve(args: &Args) {
         tcp_cfg.idle_deadline = (ms > 0).then(|| StdDuration::from_millis(ms));
     }
     tcp_cfg.queue_cap = args.parsed("--queue-cap", tcp_cfg.queue_cap);
-    let node = match TcpNode::listen_with(NodeId::Server(server_id), addr, tcp_cfg) {
-        Ok(n) => n,
-        Err(e) => {
-            eprintln!("cannot listen on {addr}: {e}");
-            exit(1)
+    let reactors: usize = args.parsed("--reactors", 1usize).max(1);
+    // One reactor keeps the proven single-loop compat path; more shard
+    // the fd set across N epoll loops via SO_REUSEPORT (DESIGN.md §12).
+    let (node, bound): (Arc<dyn Channel>, std::net::SocketAddr) = if reactors > 1 {
+        match vl_net::shard::ShardedNode::listen(
+            NodeId::Server(server_id),
+            addr,
+            reactors,
+            tcp_cfg.to_poll(),
+        ) {
+            Ok(n) => {
+                let b = n.local_addr();
+                (Arc::new(n), b)
+            }
+            Err(e) => {
+                eprintln!("cannot listen on {addr} with {reactors} reactors: {e}");
+                exit(1)
+            }
+        }
+    } else {
+        match TcpNode::listen_with(NodeId::Server(server_id), addr, tcp_cfg) {
+            Ok(n) => {
+                let b = n.local_addr().expect("listening");
+                (Arc::new(n), b)
+            }
+            Err(e) => {
+                eprintln!("cannot listen on {addr}: {e}");
+                exit(1)
+            }
         }
     };
-    let bound = node.local_addr().expect("listening");
     // With `--addr 127.0.0.1:0` the kernel picks the port; a parent
     // process (the live benchmark, scripts) learns it from this file.
     if let Some(path) = args.value("--port-file") {
@@ -416,11 +440,11 @@ fn serve(args: &Args) {
         }
     }
     let endpoint: Arc<dyn Channel> = match chaos_opts(args) {
-        None => Arc::new(node),
+        None => node,
         Some((profile, seed)) => {
             let chaos = ChaosNet::new(profile.config(seed));
             println!("(chaos profile '{profile}' seed {seed} injected on the server endpoint)");
-            Arc::new(chaos.wrap(node))
+            Arc::new(chaos.wrap_arc(node))
         }
     };
     let clock = WallClock::new();
@@ -439,7 +463,11 @@ fn serve(args: &Args) {
     for i in 0..objects {
         server.create_object(ObjectId(i), Bytes::from(format!("object {i}, version 1")));
     }
-    println!("vl server {server_id} listening on {bound} with {objects} objects");
+    println!(
+        "vl server {server_id} listening on {bound} with {objects} objects \
+         ({reactors} reactor{})",
+        if reactors == 1 { "" } else { "s" }
+    );
 
     let write_every = args.parsed("--write-every-ms", 0u64);
     let mut version = 1u64;

@@ -46,6 +46,31 @@ pub struct RunSummary {
     pub queue_drops: BTreeMap<u64, u64>,
     /// Latest cumulative kernel-backpressure count per client.
     pub backpressure: BTreeMap<u64, u64>,
+    /// Per-shard breakdown of the transport, present only when the
+    /// trace came from a sharded server (`vl serve --reactors N`,
+    /// N > 1). The shard tag is a reporting *dimension*: every
+    /// shard-annotated event also folds into the run-wide totals
+    /// above, so a sharded trace and a single-reactor trace of the
+    /// same workload summarize identically outside this map.
+    pub shards: BTreeMap<u32, ShardSummary>,
+}
+
+/// One shard's slice of the transport section (see [`RunSummary::shards`]).
+#[derive(Clone, Debug, Default)]
+pub struct ShardSummary {
+    /// Send-queue depth samples for peers owned by this shard.
+    pub queue_depth: Histogram,
+    /// Worst send-queue peak for any peer on this shard.
+    pub queue_peak: u64,
+    /// Latest cumulative overflow drops per client on this shard.
+    pub queue_drops: BTreeMap<u64, u64>,
+    /// Latest cumulative kernel backpressure per client on this shard.
+    pub backpressure: BTreeMap<u64, u64>,
+    /// Latest cumulative inbound frame count (from `shard_sample`) —
+    /// the shard's share of renewal throughput.
+    pub frames_in: u64,
+    /// Latest live connection count (from `shard_sample`).
+    pub connected: u64,
 }
 
 impl RunSummary {
@@ -74,11 +99,29 @@ impl RunSummary {
             EventKind::SendQueue => {
                 self.queue_depth.record(ev.value);
                 self.queue_peak = self.queue_peak.max(ev.extra);
+                if let Some(shard) = ev.shard {
+                    let s = self.shards.entry(shard).or_default();
+                    s.queue_depth.record(ev.value);
+                    s.queue_peak = s.queue_peak.max(ev.extra);
+                }
             }
             EventKind::QueueDrop => {
                 let client = u64::from(ev.client.raw());
                 self.queue_drops.insert(client, ev.value);
                 self.backpressure.insert(client, ev.extra);
+                if let Some(shard) = ev.shard {
+                    let s = self.shards.entry(shard).or_default();
+                    s.queue_drops.insert(client, ev.value);
+                    s.backpressure.insert(client, ev.extra);
+                }
+            }
+            EventKind::ShardSample => {
+                if let Some(shard) = ev.shard {
+                    let s = self.shards.entry(shard).or_default();
+                    // Cumulative gauges: the latest sample supersedes.
+                    s.frames_in = ev.value;
+                    s.connected = ev.extra;
+                }
             }
             _ => {}
         }
@@ -172,6 +215,22 @@ pub fn render(s: &RunSummary, top: usize) -> String {
             s.queue_peak
         );
     }
+    if !s.shards.is_empty() {
+        let _ = writeln!(out, "  per-shard:");
+        for (shard, ss) in &s.shards {
+            let drops: u64 = ss.queue_drops.values().sum();
+            let bp: u64 = ss.backpressure.values().sum();
+            let _ = writeln!(
+                out,
+                "    shard {shard}: conns={} frames_in={} queue depth {} \
+                 peak={} dropped={drops} backpressure={bp}",
+                ss.connected,
+                ss.frames_in,
+                ss.queue_depth.summary_line(),
+                ss.queue_peak
+            );
+        }
+    }
     if !s.volume_events.is_empty() {
         let hot: Vec<String> = s
             .hottest_volumes(top)
@@ -239,6 +298,59 @@ mod tests {
         let text = render(run, 3);
         assert!(text.contains("transport queues:"), "{text}");
         assert!(text.contains("dropped=5 backpressure=6"), "{text}");
+    }
+
+    #[test]
+    fn shard_annotated_events_break_down_without_changing_totals() {
+        // The same transport events, once with the shard dimension
+        // (what a `--reactors 4` server emits) and once without (the
+        // single-reactor wrapper). The run-wide totals must be
+        // identical — the shard tag only *adds* a breakdown.
+        let sharded = concat!(
+            "{\"at_ms\":1,\"kind\":\"send_queue\",\"server\":0,\"client\":1,\"shard\":0,\"value\":3,\"extra\":10}\n",
+            "{\"at_ms\":1,\"kind\":\"send_queue\",\"server\":0,\"client\":2,\"shard\":1,\"value\":5,\"extra\":7}\n",
+            "{\"at_ms\":1,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"shard\":0,\"value\":2,\"extra\":5}\n",
+            "{\"at_ms\":2,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"shard\":0,\"value\":4,\"extra\":6}\n",
+            "{\"at_ms\":2,\"kind\":\"shard_sample\",\"server\":0,\"client\":0,\"shard\":0,\"value\":100,\"extra\":25}\n",
+            "{\"at_ms\":2,\"kind\":\"shard_sample\",\"server\":0,\"client\":0,\"shard\":1,\"value\":80,\"extra\":24}\n",
+        );
+        let flat = concat!(
+            "{\"at_ms\":1,\"kind\":\"send_queue\",\"server\":0,\"client\":1,\"value\":3,\"extra\":10}\n",
+            "{\"at_ms\":1,\"kind\":\"send_queue\",\"server\":0,\"client\":2,\"value\":5,\"extra\":7}\n",
+            "{\"at_ms\":1,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"value\":2,\"extra\":5}\n",
+            "{\"at_ms\":2,\"kind\":\"queue_drop\",\"server\":0,\"client\":1,\"value\":4,\"extra\":6}\n",
+        );
+        let (srun, _) = summarize(Cursor::new(sharded)).unwrap();
+        let (frun, _) = summarize(Cursor::new(flat)).unwrap();
+        let (srun, frun) = (&srun[0], &frun[0]);
+
+        // Determinism of the totals: same depth samples, same peak,
+        // same superseding-cumulative drop/backpressure counts.
+        assert_eq!(srun.queue_depth.count(), frun.queue_depth.count());
+        assert_eq!(srun.queue_depth.mean(), frun.queue_depth.mean());
+        assert_eq!(srun.queue_peak, frun.queue_peak);
+        assert_eq!(
+            srun.queue_drops.values().sum::<u64>(),
+            frun.queue_drops.values().sum::<u64>()
+        );
+        assert_eq!(
+            srun.backpressure.values().sum::<u64>(),
+            frun.backpressure.values().sum::<u64>()
+        );
+
+        // The sharded run additionally exposes the breakdown.
+        assert_eq!(srun.shards.len(), 2);
+        assert_eq!(srun.shards[&0].connected, 25);
+        assert_eq!(srun.shards[&0].frames_in, 100);
+        assert_eq!(srun.shards[&0].queue_drops.values().sum::<u64>(), 4);
+        assert_eq!(srun.shards[&1].queue_depth.count(), 1);
+        assert!(frun.shards.is_empty());
+
+        let text = render(srun, 3);
+        assert!(text.contains("per-shard:"), "{text}");
+        assert!(text.contains("shard 0: conns=25 frames_in=100"), "{text}");
+        let flat_text = render(frun, 3);
+        assert!(!flat_text.contains("per-shard:"), "{flat_text}");
     }
 
     #[test]

@@ -13,8 +13,13 @@
 //! blocking [`Poller::wait`] that takes an optional timeout), [`Waker`]
 //! (an eventfd registered with a poller so other threads can interrupt
 //! a wait), [`Interest`] / [`PollEvent`] (readiness flags in and out),
-//! and [`relisten`] (re-issue `listen(2)` on a bound std listener to
-//! deepen its accept backlog for connect storms).
+//! [`relisten`] (re-issue `listen(2)` on a bound std listener to
+//! deepen its accept backlog for connect storms), and
+//! [`bind_reuseport`] (build a listener with `SO_REUSEPORT` set before
+//! `bind(2)`, so N reactor threads can each own a listening socket on
+//! the *same* port and let the kernel shard accepted connections by
+//! 4-tuple hash — the foundation of the sharded readiness core,
+//! DESIGN.md §12).
 //!
 //! Only Linux on x86_64/aarch64 is supported — the CI container and
 //! every target this repo runs on. Other platforms get a stub whose
@@ -22,12 +27,12 @@
 //! workspace compiling (the simulator and in-memory transport never
 //! touch this crate).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 use std::fmt;
 use std::io;
-use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::fd::{AsRawFd, FromRawFd, IntoRawFd, OwnedFd, RawFd};
 use std::time::Duration;
 
 /// Readiness to register interest in, for [`Poller::add`] /
@@ -116,6 +121,9 @@ mod sys {
         pub const EPOLL_PWAIT: u64 = 281;
         pub const EVENTFD2: u64 = 290;
         pub const LISTEN: u64 = 50;
+        pub const SOCKET: u64 = 41;
+        pub const BIND: u64 = 49;
+        pub const SETSOCKOPT: u64 = 54;
     }
 
     #[cfg(target_arch = "aarch64")]
@@ -125,6 +133,9 @@ mod sys {
         pub const EPOLL_PWAIT: u64 = 22;
         pub const EVENTFD2: u64 = 19;
         pub const LISTEN: u64 = 201;
+        pub const SOCKET: u64 = 198;
+        pub const BIND: u64 = 200;
+        pub const SETSOCKOPT: u64 = 208;
     }
 
     /// Raw 4-argument syscall. Returns the kernel's raw result: `>= 0`
@@ -418,6 +429,102 @@ mod sys {
         })?;
         Ok(())
     }
+
+    // socket(2) / setsockopt(2) constants (uapi/linux/{net,socket}.h).
+    const AF_INET: u64 = 2;
+    const SOCK_STREAM: u64 = 1;
+    const SOCK_CLOEXEC: u64 = 0o2000000;
+    const SOL_SOCKET: u64 = 1;
+    const SO_REUSEADDR: u64 = 2;
+    const SO_REUSEPORT: u64 = 15;
+
+    /// The kernel's `struct sockaddr_in` (IPv4 only — the live stack
+    /// binds loopback/interface v4 addresses).
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        /// Network byte order.
+        port: u16,
+        /// Network byte order.
+        addr: u32,
+        zero: [u8; 8],
+    }
+
+    /// Builds an IPv4 listening socket with `SO_REUSEPORT` (and
+    /// `SO_REUSEADDR`) set **before** `bind(2)` — the order the kernel
+    /// requires for port sharing to take effect. N sockets bound this
+    /// way to the same address form a kernel-level accept group:
+    /// incoming connections are distributed across them by a hash of
+    /// the 4-tuple, which is how the sharded readiness core pins each
+    /// accepted fd to exactly one reactor thread with no user-space
+    /// hand-off.
+    ///
+    /// `std::net::TcpListener` cannot express this (it binds before any
+    /// options can be set), hence the raw-syscall path. The returned
+    /// listener is a normal blocking `TcpListener`; callers set
+    /// nonblocking mode themselves. `backlog` is passed to `listen(2)`
+    /// (the kernel clamps to `net.core.somaxconn`).
+    ///
+    /// Port 0 works on the *first* socket of a group (the kernel picks
+    /// a free port; read it back with `local_addr`) — subsequent
+    /// members must bind the concrete port the first one got.
+    pub fn bind_reuseport(
+        addr: std::net::SocketAddrV4,
+        backlog: i32,
+    ) -> io::Result<std::net::TcpListener> {
+        let fd = check(unsafe {
+            syscall6(nr::SOCKET, AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0, 0, 0, 0)
+        })?;
+        // SAFETY: fresh fd from the kernel, exclusively ours. Wrap
+        // immediately so every early return below closes it.
+        let sock = unsafe { OwnedFd::from_raw_fd(fd as RawFd) };
+
+        let one: i32 = 1;
+        for opt in [SO_REUSEADDR, SO_REUSEPORT] {
+            check(unsafe {
+                syscall6(
+                    nr::SETSOCKOPT,
+                    sock.as_raw_fd() as u64,
+                    SOL_SOCKET,
+                    opt,
+                    (&one as *const i32) as u64,
+                    std::mem::size_of::<i32>() as u64,
+                    0,
+                )
+            })?;
+        }
+
+        let sin = SockaddrIn {
+            family: AF_INET as u16,
+            port: addr.port().to_be(),
+            addr: u32::from_be_bytes(addr.ip().octets()).to_be(),
+            zero: [0; 8],
+        };
+        check(unsafe {
+            syscall6(
+                nr::BIND,
+                sock.as_raw_fd() as u64,
+                (&sin as *const SockaddrIn) as u64,
+                std::mem::size_of::<SockaddrIn>() as u64,
+                0,
+                0,
+                0,
+            )
+        })?;
+        check(unsafe {
+            syscall6(
+                nr::LISTEN,
+                sock.as_raw_fd() as u64,
+                backlog.max(0) as u64,
+                0,
+                0,
+                0,
+                0,
+            )
+        })?;
+        // SAFETY: transferring sole ownership of a bound, listening fd.
+        Ok(unsafe { std::net::TcpListener::from_raw_fd(sock.into_raw_fd()) })
+    }
 }
 
 #[cfg(not(all(
@@ -486,9 +593,17 @@ mod sys {
     pub fn relisten(_listener: &std::net::TcpListener, _backlog: i32) -> io::Result<()> {
         Ok(())
     }
+
+    /// Always fails off-Linux (`SO_REUSEPORT` sharding is Linux-only).
+    pub fn bind_reuseport(
+        _addr: std::net::SocketAddrV4,
+        _backlog: i32,
+    ) -> io::Result<std::net::TcpListener> {
+        Err(unsupported())
+    }
 }
 
-pub use sys::{relisten, Poller, Waker};
+pub use sys::{bind_reuseport, relisten, Poller, Waker};
 
 #[cfg(all(
     test,
@@ -614,6 +729,51 @@ mod tests {
         w.drain();
         let n = p.wait(&mut evs, Some(Duration::ZERO)).unwrap();
         assert_eq!(n, 0, "drained waker quiesces");
+    }
+
+    #[test]
+    fn reuseport_group_shares_one_port() {
+        use std::net::SocketAddrV4;
+        // First member binds port 0; the kernel picks.
+        let first = bind_reuseport("127.0.0.1:0".parse::<SocketAddrV4>().unwrap(), 64).unwrap();
+        let port = first.local_addr().unwrap().port();
+        // Second member binds the SAME concrete port — only possible
+        // because SO_REUSEPORT was set before bind on both sockets.
+        let second =
+            bind_reuseport(SocketAddrV4::new("127.0.0.1".parse().unwrap(), port), 64).unwrap();
+        assert_eq!(second.local_addr().unwrap().port(), port);
+
+        // Connections to the shared port land on exactly one member
+        // each; with enough dials, both members accept at least once
+        // (4-tuple hashing spreads distinct source ports). Keep the
+        // accept side nonblocking and poll both.
+        first.set_nonblocking(true).unwrap();
+        second.set_nonblocking(true).unwrap();
+        let mut streams = Vec::new();
+        let (mut on_first, mut on_second) = (0u32, 0u32);
+        for _ in 0..32 {
+            streams.push(TcpStream::connect(("127.0.0.1", port)).unwrap());
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while on_first + on_second < 32 && Instant::now() < deadline {
+            match first.accept() {
+                Ok(_) => on_first += 1,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("accept on first: {e}"),
+            }
+            match second.accept() {
+                Ok(_) => on_second += 1,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+                Err(e) => panic!("accept on second: {e}"),
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(on_first + on_second, 32, "every connection accepted");
+        assert!(
+            on_first > 0 && on_second > 0,
+            "kernel must spread connections across the group \
+             (got {on_first}/{on_second})"
+        );
     }
 
     #[test]

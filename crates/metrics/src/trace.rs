@@ -87,11 +87,16 @@ pub enum EventKind {
     /// `value` is frames dropped to queue overflow, `extra` the number
     /// of times the kernel socket pushed back mid-flush.
     QueueDrop,
+    /// Per-reactor transport sample from a sharded live server
+    /// (`vl serve --reactors N`); `shard` is set, `value` is the
+    /// shard's cumulative inbound frame count, `extra` its live
+    /// connection count at sample time.
+    ShardSample,
 }
 
 impl EventKind {
     /// All kinds, in declaration order.
-    pub const ALL: [EventKind; 20] = [
+    pub const ALL: [EventKind; 21] = [
         EventKind::Message,
         EventKind::LeaseGranted,
         EventKind::LeaseRenewed,
@@ -112,6 +117,7 @@ impl EventKind {
         EventKind::Recovered,
         EventKind::SendQueue,
         EventKind::QueueDrop,
+        EventKind::ShardSample,
     ];
 
     /// Stable lower-snake identifier used on the wire (JSONL).
@@ -137,6 +143,7 @@ impl EventKind {
             EventKind::Recovered => "recovered",
             EventKind::SendQueue => "send_queue",
             EventKind::QueueDrop => "queue_drop",
+            EventKind::ShardSample => "shard_sample",
         }
     }
 
@@ -165,6 +172,12 @@ pub struct Event {
     pub volume: Option<VolumeId>,
     /// For [`EventKind::Message`]: which wire message.
     pub msg: Option<MessageKind>,
+    /// The reactor shard the event was observed on, when the emitting
+    /// transport is sharded (`vl serve --reactors N`). `None` on
+    /// unsharded transports and in simulation; summaries must fold
+    /// shard-annotated events into the same totals as unannotated
+    /// ones — the shard is a *dimension*, never a filter.
+    pub shard: Option<u32>,
     /// Primary magnitude; meaning is per-[`EventKind`].
     pub value: u64,
     /// Secondary magnitude; meaning is per-[`EventKind`].
@@ -184,6 +197,7 @@ impl Event {
             object: None,
             volume: None,
             msg: None,
+            shard: None,
             value: 0,
             extra: 0,
         }
@@ -209,6 +223,9 @@ impl Event {
         }
         if let Some(m) = self.msg {
             let _ = write!(s, ",\"msg\":\"{m}\"");
+        }
+        if let Some(sh) = self.shard {
+            let _ = write!(s, ",\"shard\":{sh}");
         }
         if self.value != 0 {
             let _ = write!(s, ",\"value\":{}", self.value);
@@ -250,6 +267,7 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
     let mut object = None;
     let mut volume = None;
     let mut msg = None;
+    let mut shard = None;
     let mut value = 0u64;
     let mut extra = 0u64;
     for field in body.split(',') {
@@ -264,6 +282,7 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
             "object" => object = Some(ObjectId(val.parse().ok()?)),
             "volume" => volume = Some(VolumeId(val.parse().ok()?)),
             "msg" => msg = MessageKind::from_name(unquote(val)?),
+            "shard" => shard = Some(val.parse().ok()?),
             "value" => value = val.parse().ok()?,
             "extra" => extra = val.parse().ok()?,
             _ => return None,
@@ -277,6 +296,7 @@ pub fn parse_line(line: &str) -> Option<TraceLine> {
         object,
         volume,
         msg,
+        shard,
         value,
         extra,
     }))
@@ -410,6 +430,7 @@ mod tests {
             object: Some(ObjectId(40)),
             volume: Some(VolumeId(3)),
             msg: Some(MessageKind::Invalidate),
+            shard: None,
             value: 50,
             extra: 0,
         }
@@ -419,6 +440,27 @@ mod tests {
     fn json_roundtrip_full() {
         let e = sample();
         assert_eq!(parse_line(&e.to_json()), Some(TraceLine::Event(e)));
+    }
+
+    #[test]
+    fn json_roundtrip_shard_dimension() {
+        let e = Event {
+            shard: Some(3),
+            value: 42,
+            ..Event::new(
+                Timestamp::from_millis(9),
+                EventKind::ShardSample,
+                ServerId(1),
+                ClientId(0),
+            )
+        };
+        let json = e.to_json();
+        assert!(json.contains("\"shard\":3"), "shard serialized: {json}");
+        assert_eq!(parse_line(&json), Some(TraceLine::Event(e)));
+        // Unannotated events stay byte-identical to the pre-shard
+        // format: no "shard" key at all.
+        let plain = Event::new(Timestamp::ZERO, EventKind::Read, ServerId(0), ClientId(0));
+        assert!(!plain.to_json().contains("shard"));
     }
 
     #[test]

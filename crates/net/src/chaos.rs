@@ -591,6 +591,10 @@ impl Channel for ChaosEndpoint {
         // chaos drops happen before frames reach those queues.
         self.inner.wire_stats()
     }
+
+    fn shard_stats(&self) -> Option<Vec<crate::shard::ShardStats>> {
+        self.inner.shard_stats()
+    }
 }
 
 impl Drop for ChaosEndpoint {

@@ -42,6 +42,7 @@
 pub mod chaos;
 pub mod poll;
 pub mod retry;
+pub mod shard;
 pub mod tcp;
 pub mod wire;
 
@@ -99,6 +100,15 @@ pub trait Channel: Send + Sync {
     fn wire_stats(&self) -> Option<WireStats> {
         None
     }
+
+    /// Per-shard transport snapshots, when this endpoint multiplexes
+    /// several reactor threads ([`shard::ShardedNode`]). Unsharded
+    /// transports return `None`; drivers use this to annotate trace
+    /// events with a shard dimension so `vl report` can break queue
+    /// depth and frame throughput down per reactor.
+    fn shard_stats(&self) -> Option<Vec<shard::ShardStats>> {
+        None
+    }
 }
 
 impl<C: Channel + ?Sized> Channel for std::sync::Arc<C> {
@@ -122,6 +132,9 @@ impl<C: Channel + ?Sized> Channel for std::sync::Arc<C> {
     }
     fn wire_stats(&self) -> Option<WireStats> {
         (**self).wire_stats()
+    }
+    fn shard_stats(&self) -> Option<Vec<shard::ShardStats>> {
+        (**self).shard_stats()
     }
 }
 

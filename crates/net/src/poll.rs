@@ -405,9 +405,26 @@ impl Reactor {
         listener: Option<TcpListener>,
         local_addr: Option<SocketAddr>,
     ) -> PollNode {
+        let (inbox_tx, inbox) = unbounded();
+        self.attach_external(id, listener, local_addr, inbox_tx, inbox)
+    }
+
+    /// Attaches a node whose inbox endpoints are supplied by the
+    /// caller. This is the hook the sharded transport
+    /// ([`crate::shard::ShardedNode`]) builds on: N reactors each get a
+    /// `PollNode` registered with a *clone* of one shared inbox sender,
+    /// so frames from every shard funnel into a single receiver while
+    /// each reactor still owns its fd set end-to-end.
+    pub(crate) fn attach_external(
+        &self,
+        id: NodeId,
+        listener: Option<TcpListener>,
+        local_addr: Option<SocketAddr>,
+        inbox_tx: Sender<(NodeId, Bytes)>,
+        inbox: Receiver<(NodeId, Bytes)>,
+    ) -> PollNode {
         let key = self.shared.next_key.fetch_add(1, Ordering::Relaxed);
         let shared = Arc::new(NodeShared::new());
-        let (inbox_tx, inbox) = unbounded();
         let _ = self.shared.tx.send(Cmd::Register {
             key,
             id,
@@ -424,6 +441,23 @@ impl Reactor {
             reactor: Arc::clone(&self.shared),
             inbox,
         }
+    }
+
+    /// Attaches a listening node around a pre-built listener (already
+    /// bound and `listen(2)`ed — e.g. one member of an `SO_REUSEPORT`
+    /// group from [`vl_epoll::bind_reuseport`]). The listener is
+    /// switched to nonblocking here; the backlog is whatever the
+    /// caller established.
+    pub(crate) fn listen_on(
+        &self,
+        id: NodeId,
+        listener: TcpListener,
+        inbox_tx: Sender<(NodeId, Bytes)>,
+        inbox: Receiver<(NodeId, Bytes)>,
+    ) -> io::Result<PollNode> {
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Ok(self.attach_external(id, Some(listener), Some(local), inbox_tx, inbox))
     }
 
     /// Snapshot of the loop's wakeup/event/frame counters.
@@ -518,6 +552,23 @@ impl PollNode {
             .get(&peer)
             .copied()
             .unwrap_or(false)
+    }
+
+    /// Link state of `peer`: `Some(true)` live, `Some(false)` known but
+    /// down (sends queue), `None` unknown (sends error). The sharded
+    /// transport routes sends by probing this per shard.
+    pub(crate) fn peer_state(&self, peer: NodeId) -> Option<bool> {
+        self.shared.peers.lock().get(&peer).copied()
+    }
+
+    /// Peers with a live connection on this node, unordered.
+    pub fn connected_peers(&self) -> Vec<NodeId> {
+        self.shared
+            .peers
+            .lock()
+            .iter()
+            .filter_map(|(&p, &up)| up.then_some(p))
+            .collect()
     }
 
     /// Snapshot of this node's wire accounting: per-tag delivery

@@ -1,0 +1,246 @@
+//! The sharded readiness core: N reactor threads, one port, one inbox.
+//!
+//! [`crate::poll`] multiplexes everything through a single epoll loop —
+//! enough for 10k connections, but one thread is a hard ceiling on
+//! cores. [`ShardedNode`] lifts it: it binds N listening sockets to the
+//! *same* address with `SO_REUSEPORT` ([`vl_epoll::bind_reuseport`])
+//! and gives each to its own [`Reactor`]. The **kernel** then shards
+//! accepted connections across the listeners by a hash of the
+//! connection 4-tuple, so:
+//!
+//! * each accepted fd lands on exactly one reactor and never migrates —
+//!   read, write, keepalive, and teardown for that connection all
+//!   happen on the thread that accepted it, with zero cross-thread
+//!   hand-off (`tests/shard_core.rs` pins this);
+//! * there is no shared accept queue and no user-space dispatcher to
+//!   become the new bottleneck.
+//!
+//! Above the reactors sits **one** logical node: every shard registers
+//! with a clone of a single inbox sender, so the application (the
+//! sans-io `ServerMachine` driver) drains one ordered stream of frames
+//! exactly as it would from an unsharded [`PollNode`] — the server
+//! hosts a single volume, so one machine behind a sharded event channel
+//! is the mapping that keeps `tests/live_faults.rs` untouched (the
+//! alternative, one machine per shard, would split the volume's lease
+//! state for no benefit). Outbound frames are routed to the shard that
+//! owns the destination's connection by probing each shard's peer
+//! table (N is small; the probe is N short mutex reads).
+//!
+//! A peer that reconnects may be hashed to a *different* shard — the
+//! 4-tuple changes with the client's ephemeral port. Frames still
+//! queued on the old shard stay there (bounded by `queue_cap`) and are
+//! simply lost, which the lease protocol tolerates by design: a
+//! dropped connection demotes the client toward the Unreachable set
+//! and the reconnection handshake re-syncs it. The disconnect event
+//! from the old shard and the connect event from the new one may race
+//! in either order; drivers treat that as a momentary drop, which is
+//! exactly what it is.
+
+use crate::poll::{LoopStats, PollConfig, PollNode, Reactor};
+use crate::wire::WireStats;
+use crate::{Channel, NetError, NodeId};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError};
+use std::io;
+use std::net::{SocketAddr, SocketAddrV4, ToSocketAddrs};
+use std::time::Duration as StdDuration;
+
+/// One reactor's slice of a [`ShardedNode`]'s transport accounting.
+#[derive(Clone, Debug)]
+pub struct ShardStats {
+    /// Per-tag delivery counts and per-peer queue counters for the
+    /// peers this shard owns.
+    pub wire: WireStats,
+    /// The shard's event-loop counters (wakeups, accepts, frames).
+    pub loop_stats: LoopStats,
+    /// Peers with a live connection on this shard right now.
+    pub connected: usize,
+}
+
+/// A listening endpoint sharded across N reactor threads via
+/// `SO_REUSEPORT`. One [`Channel`] to the application; N epoll loops
+/// underneath, each owning its accepted fds end-to-end.
+///
+/// Requires Linux (the reuseport bind is a raw syscall); constructors
+/// fail with [`io::ErrorKind::Unsupported`] elsewhere, like the rest
+/// of the readiness stack.
+pub struct ShardedNode {
+    id: NodeId,
+    local_addr: SocketAddr,
+    /// One attached node per reactor; all share the inbox below.
+    shards: Vec<PollNode>,
+    /// Keeps the loop threads alive; index-aligned with `shards`.
+    _reactors: Vec<Reactor>,
+    inbox: Receiver<(NodeId, Bytes)>,
+}
+
+impl std::fmt::Debug for ShardedNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedNode")
+            .field("id", &self.id)
+            .field("addr", &self.local_addr)
+            .field("shards", &self.shards.len())
+            .finish()
+    }
+}
+
+impl ShardedNode {
+    /// Binds `reactors` listening sockets to `addr` (port 0 picks a
+    /// free port, which every subsequent member then shares) and
+    /// spawns one reactor thread per socket. Only IPv4 addresses are
+    /// supported — the live stack binds loopback or interface v4
+    /// addresses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/epoll setup failures; `Unsupported` off Linux.
+    pub fn listen(id: NodeId, addr: &str, reactors: usize, cfg: PollConfig) -> io::Result<Self> {
+        let reactors = reactors.max(1);
+        let v4 = addr
+            .to_socket_addrs()?
+            .find_map(|a| match a {
+                SocketAddr::V4(v4) => Some(v4),
+                SocketAddr::V6(_) => None,
+            })
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    "sharded listen needs an IPv4 address",
+                )
+            })?;
+
+        // The first member may bind port 0; everyone after binds the
+        // concrete port the kernel picked for it.
+        let first = vl_epoll::bind_reuseport(v4, cfg.accept_backlog)?;
+        let local_addr = first.local_addr()?;
+        let concrete = SocketAddrV4::new(*v4.ip(), local_addr.port());
+        let mut listeners = vec![first];
+        for _ in 1..reactors {
+            listeners.push(vl_epoll::bind_reuseport(concrete, cfg.accept_backlog)?);
+        }
+
+        let (inbox_tx, inbox) = unbounded();
+        let mut shards = Vec::with_capacity(reactors);
+        let mut loops = Vec::with_capacity(reactors);
+        for listener in listeners {
+            let reactor = Reactor::spawn(cfg.clone())?;
+            let node = reactor.listen_on(id, listener, inbox_tx.clone(), inbox.clone())?;
+            shards.push(node);
+            loops.push(reactor);
+        }
+        Ok(ShardedNode {
+            id,
+            local_addr,
+            shards,
+            _reactors: loops,
+            inbox,
+        })
+    }
+
+    /// The shared bound address (all shards listen on it).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Number of reactor shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard currently holding `peer`'s live connection, if any.
+    /// A connection never migrates while it lives; a *re*connection
+    /// may hash to a different shard.
+    pub fn shard_of(&self, peer: NodeId) -> Option<usize> {
+        self.shards.iter().position(|s| s.is_connected(peer))
+    }
+
+    /// Per-shard snapshots: wire accounting, loop counters, and live
+    /// connection count, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .map(|s| ShardStats {
+                wire: s.wire_stats(),
+                loop_stats: s.loop_stats(),
+                connected: s.connected_peers().len(),
+            })
+            .collect()
+    }
+
+    /// Loop counters summed across every shard.
+    pub fn loop_stats_total(&self) -> LoopStats {
+        let mut total = LoopStats::default();
+        for s in &self.shards {
+            let l = s.loop_stats();
+            total.wakeups += l.wakeups;
+            total.timer_wakeups += l.timer_wakeups;
+            total.io_events += l.io_events;
+            total.commands += l.commands;
+            total.accepts += l.accepts;
+            total.frames_in += l.frames_in;
+            total.frames_out += l.frames_out;
+        }
+        total
+    }
+}
+
+impl Channel for ShardedNode {
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Routes to the shard owning `to`'s live connection; falls back
+    /// to the first shard that knows the peer at all (sends queue
+    /// there until it reconnects — possibly on another shard, in
+    /// which case the queued frames are lost like any in-flight
+    /// traffic on a dropped link).
+    fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
+        let mut known = None;
+        for (i, s) in self.shards.iter().enumerate() {
+            match s.peer_state(to) {
+                Some(true) => return s.send(to, bytes),
+                Some(false) if known.is_none() => known = Some(i),
+                _ => {}
+            }
+        }
+        match known {
+            Some(i) => self.shards[i].send(to, bytes),
+            None => Err(NetError::UnknownNode(to)),
+        }
+    }
+
+    fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
+        self.inbox.recv_timeout(timeout).map_err(|e| match e {
+            RecvTimeoutError::Timeout => NetError::Timeout,
+            RecvTimeoutError::Disconnected => NetError::Disconnected,
+        })
+    }
+
+    fn take_disconnected(&self) -> Vec<NodeId> {
+        let mut all = Vec::new();
+        for s in &self.shards {
+            all.extend(s.take_disconnected());
+        }
+        all
+    }
+
+    fn take_connected(&self) -> Vec<NodeId> {
+        let mut all = Vec::new();
+        for s in &self.shards {
+            all.extend(s.take_connected());
+        }
+        all
+    }
+
+    fn wire_stats(&self) -> Option<WireStats> {
+        let mut merged = WireStats::new();
+        for s in &self.shards {
+            merged.merge(&s.wire_stats());
+        }
+        Some(merged)
+    }
+
+    fn shard_stats(&self) -> Option<Vec<ShardStats>> {
+        Some(ShardedNode::shard_stats(self))
+    }
+}

@@ -138,7 +138,11 @@ impl Default for TcpConfig {
 }
 
 impl TcpConfig {
-    fn to_poll(&self) -> PollConfig {
+    /// The equivalent readiness-loop configuration — the same knobs
+    /// mapped onto [`PollConfig`], used both by this compat wrapper
+    /// and by callers building a sharded node
+    /// ([`crate::shard::ShardedNode`]) from legacy tuning flags.
+    pub fn to_poll(&self) -> PollConfig {
         PollConfig {
             idle_deadline: self.idle_deadline,
             frame_deadline: self.frame_deadline,

@@ -269,6 +269,22 @@ impl WireStats {
         self.queues.iter().map(|(&p, &q)| (p, q))
     }
 
+    /// Folds another node's stats into this one — the cross-shard
+    /// aggregation a sharded transport uses to present one combined
+    /// view. Tag counters sum; queue snapshots for the same peer
+    /// [`absorb`](QueueStats::absorb) (each peer lives on exactly one
+    /// shard at a time, so the union is normally disjoint).
+    pub fn merge(&mut self, other: &WireStats) {
+        for (&tag, s) in other.per_tag.iter() {
+            let e = self.per_tag.entry(tag).or_default();
+            e.frames += s.frames;
+            e.bytes += s.bytes;
+        }
+        for (&peer, &q) in other.queues.iter() {
+            self.queues.entry(peer).or_default().absorb(q);
+        }
+    }
+
     /// Send-queue counters aggregated across all peers (see
     /// [`QueueStats::absorb`] for the fold semantics).
     pub fn queue_totals(&self) -> QueueStats {

@@ -431,7 +431,11 @@ impl<C: Clock> Driver<C> {
 
     /// When tracing, samples the transport's per-peer send-queue
     /// accounting about once a second as `send_queue` / `queue_drop`
-    /// events, so `vl report` can show live backpressure.
+    /// events, so `vl report` can show live backpressure. On a sharded
+    /// transport (`--reactors N`) every event carries its reactor's
+    /// shard index, and one `shard_sample` event per shard records
+    /// frame throughput and live connection count — the shard is a
+    /// reporting dimension only, so totals match an unsharded run.
     fn sample_wire_stats(&mut self) {
         if self.sink.is_none() {
             return;
@@ -441,24 +445,45 @@ impl<C: Clock> Driver<C> {
             return;
         }
         self.next_stats = now.saturating_add(Duration::from_secs(1));
-        let wire = self.endpoint.wire_stats();
+        let shards = self.endpoint.shard_stats().filter(|s| s.len() > 1);
         let sink = self.sink.as_mut().expect("checked above");
-        for (peer, q) in wire.iter().flat_map(|w| w.queues()) {
-            let NodeId::Client(client) = peer else {
-                continue;
-            };
-            sink.record(&TraceEvent {
-                value: q.depth,
-                extra: q.peak_depth,
-                ..TraceEvent::new(now, EventKind::SendQueue, self.server, client)
-            });
-            if q.dropped_overflow > 0 || q.backpressure > 0 {
+        let queue_events = |sink: &mut Box<dyn TraceSink>,
+                            shard: Option<u32>,
+                            wire: &vl_net::WireStats,
+                            server: ServerId| {
+            for (peer, q) in wire.queues() {
+                let NodeId::Client(client) = peer else {
+                    continue;
+                };
                 sink.record(&TraceEvent {
-                    value: q.dropped_overflow,
-                    extra: q.backpressure,
-                    ..TraceEvent::new(now, EventKind::QueueDrop, self.server, client)
+                    shard,
+                    value: q.depth,
+                    extra: q.peak_depth,
+                    ..TraceEvent::new(now, EventKind::SendQueue, server, client)
+                });
+                if q.dropped_overflow > 0 || q.backpressure > 0 {
+                    sink.record(&TraceEvent {
+                        shard,
+                        value: q.dropped_overflow,
+                        extra: q.backpressure,
+                        ..TraceEvent::new(now, EventKind::QueueDrop, server, client)
+                    });
+                }
+            }
+        };
+        if let Some(shards) = shards {
+            for (i, s) in shards.iter().enumerate() {
+                let shard = Some(i as u32);
+                queue_events(sink, shard, &s.wire, self.server);
+                sink.record(&TraceEvent {
+                    shard,
+                    value: s.loop_stats.frames_in,
+                    extra: s.connected as u64,
+                    ..TraceEvent::new(now, EventKind::ShardSample, self.server, ClientId(0))
                 });
             }
+        } else if let Some(wire) = self.endpoint.wire_stats() {
+            queue_events(sink, None, &wire, self.server);
         }
         // A long-lived `vl serve` is usually killed, not shut down, so
         // riding the once-a-second cadence is the only flush its JSONL

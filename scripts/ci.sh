@@ -2,7 +2,9 @@
 # Full CI gate: formatting, lint (warnings denied), release build (all
 # targets, so bench breakage is caught), the complete test suite
 # including ignored tests, a warning-clean rustdoc build, the simulator
-# smoke benchmark, and a 1k-connection live-transport smoke benchmark.
+# smoke benchmark, and a live-transport smoke benchmark run as a
+# {1,4}-reactor scaling matrix (the 4-reactor run must hold more
+# connections than the 1-reactor run).
 # Run from anywhere; exits non-zero on the first failure.
 set -euo pipefail
 
@@ -30,7 +32,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> scripts/bench_smoke.sh"
 ./scripts/bench_smoke.sh "${VL_THREADS:-$(nproc 2>/dev/null || echo 4)}"
 
-echo "==> scripts/bench_live.sh (1k loopback clients)"
-./scripts/bench_live.sh 1000 5
+echo "==> scripts/bench_live.sh (1k clients/reactor, reactor matrix 1,4)"
+./scripts/bench_live.sh 1000 5 1,4
 
 echo "==> CI gate passed"
