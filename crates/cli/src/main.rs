@@ -39,8 +39,22 @@
 //! vl report --trace PATH [--top N]
 //!     Summarize a JSONL protocol trace (from `--trace-out` here or on
 //!     the figure binaries): per-run message mix, stale reads,
-//!     write-delay percentiles, invalidation batches, hottest volumes.
+//!     write-delay percentiles, invalidation batches, hottest volumes,
+//!     and — when the trace interleaves several servers — a per-server
+//!     breakdown.
+//!
+//! vl rebalance --map FILE --volume N --to ID [--from ID] [--timeout-ms N]
+//!     Move a volume between two running servers, live. The coordinator
+//!     dials both (addresses from the topology FILE), asks the current
+//!     owner for an epoch-bumped handoff manifest, and relays it to the
+//!     gaining server; clients re-sync via the ordinary MUST_RENEW_ALL
+//!     path. `--from` defaults to the map's rendezvous owner.
 //! ```
+//!
+//! `vl serve --shard-map FILE` loads the same topology file and seeds
+//! the server's routing table, so requests for volumes it does not host
+//! answer WRONG_SHARD redirects. Topology files are one server per
+//! line, `<server-id> <host:port>`, with `#` comments.
 //!
 //! # Layering
 //!
@@ -62,7 +76,7 @@ use vl_net::chaos::{ChaosNet, ChaosProfile};
 use vl_net::tcp::TcpNode;
 use vl_net::{Channel, InMemoryNetwork, NodeId};
 use vl_server::{LeaseServer, ServerConfig, WallClock, WriteMode};
-use vl_types::{ClientId, ObjectId, ServerId};
+use vl_types::{ClientId, ObjectId, ServerId, ShardMap, VolumeId};
 
 fn usage() -> ! {
     eprintln!(
@@ -70,13 +84,14 @@ fn usage() -> ! {
          [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
          [--trace-out PATH] [--chaos-profile off|drops|delays|partitions|havoc] \
          [--chaos-seed N] [--port-file PATH] [--idle-ms N] [--queue-cap N] \
-         [--reactors N]\n  \
+         [--reactors N] [--shard-map FILE]\n  \
          vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
          vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--trace-out PATH]\n  \
          vl sim --chaos-profile NAME [--chaos-seed N] [--steps N]\n  \
          vl report --trace PATH [--top N]\n  \
+         vl rebalance --map FILE --volume N --to ID [--from ID] [--timeout-ms N]\n  \
          vl bench-live [--clients N] [--duration-s N] [--tv-ms N] [--workers N] \
          [--reactors N,N,...] [--client-reactors N] [--out PATH] [--addr HOST:PORT]"
     );
@@ -136,6 +151,7 @@ fn main() {
         "gen" => gen(&args),
         "sim" => sim(&args),
         "report" => report_cmd(&args),
+        "rebalance" => rebalance_cmd(&args),
         "bench-live" => bench_live::run(&args),
         "--help" | "-h" | "help" => usage(),
         other => {
@@ -370,6 +386,109 @@ fn report_cmd(args: &Args) {
     }
 }
 
+/// Parses a shard-topology file: one `<server-id> <host:port>` pair per
+/// line, blank lines and `#` comments ignored. Returns `(id, addr)`
+/// pairs in file order.
+fn read_topology(path: &str) -> Vec<(ServerId, String)> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read topology {path}: {e}");
+        exit(1)
+    });
+    let mut out = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(id), Some(addr), None) = (parts.next(), parts.next(), parts.next()) else {
+            eprintln!("{path}:{}: want `<server-id> <host:port>`", lineno + 1);
+            exit(2)
+        };
+        let id: u32 = id.parse().unwrap_or_else(|_| {
+            eprintln!("{path}:{}: server id must be an integer", lineno + 1);
+            exit(2)
+        });
+        out.push((ServerId(id), addr.to_owned()));
+    }
+    if out.is_empty() {
+        eprintln!("{path}: no servers listed");
+        exit(2)
+    }
+    out
+}
+
+/// `vl rebalance` — coordinator for a live volume handoff: two TCP
+/// dials and the two-hop relay from `vl_server::rebalance`.
+fn rebalance_cmd(args: &Args) {
+    let Some(map_path) = args.value("--map") else {
+        eprintln!("rebalance needs --map FILE (the shard topology)");
+        exit(2)
+    };
+    let Some(volume) = args.value("--volume") else {
+        eprintln!("rebalance needs --volume N");
+        exit(2)
+    };
+    let volume = VolumeId(volume.parse().unwrap_or_else(|_| {
+        eprintln!("--volume must be an integer");
+        exit(2)
+    }));
+    let Some(to) = args.value("--to") else {
+        eprintln!("rebalance needs --to SERVER_ID");
+        exit(2)
+    };
+    let to = ServerId(to.parse().unwrap_or_else(|_| {
+        eprintln!("--to must be an integer server id");
+        exit(2)
+    }));
+    let topology = read_topology(map_path);
+    let map = ShardMap::new(topology.iter().map(|&(id, _)| id).collect());
+    let from = match args.value("--from") {
+        Some(v) => ServerId(v.parse().unwrap_or_else(|_| {
+            eprintln!("--from must be an integer server id");
+            exit(2)
+        })),
+        // Without --from, the rendezvous owner is the presumed holder.
+        None => map.owner(volume).expect("topology is non-empty"),
+    };
+    if from == to {
+        eprintln!("volume {volume} is already on server {to}");
+        return;
+    }
+    let addr_of = |id: ServerId| -> std::net::SocketAddr {
+        let Some((_, addr)) = topology.iter().find(|&&(s, _)| s == id) else {
+            eprintln!("server {id} is not in {map_path}");
+            exit(2)
+        };
+        addr.parse().unwrap_or_else(|e| {
+            eprintln!("bad address {addr} for server {id}: {e}");
+            exit(2)
+        })
+    };
+    // The coordinator identifies itself as a server outside the fleet's
+    // id range so replies route back over these connections.
+    let coord = NodeId::Server(ServerId(args.parsed("--coordinator-id", 1000u32)));
+    let dial = |id: ServerId| {
+        TcpNode::dial(coord, addr_of(id)).unwrap_or_else(|e| {
+            eprintln!("cannot connect to server {id}: {e}");
+            exit(1)
+        })
+    };
+    let (loser, gainer) = (dial(from), dial(to));
+    let timeout = StdDuration::from_millis(args.parsed("--timeout-ms", 5_000u64));
+    match vl_server::rebalance(&loser, from, &gainer, to, volume, timeout) {
+        Ok(out) => println!(
+            "moved {volume} from server {from} to server {to}: epoch {}, \
+             {} objects shipped, write gate {}",
+            out.epoch, out.objects, out.write_gate
+        ),
+        Err(e) => {
+            eprintln!("rebalance failed: {e}");
+            exit(1)
+        }
+    }
+}
+
 fn serve(args: &Args) {
     let Some(addr) = args.value("--addr") else {
         eprintln!("serve needs --addr HOST:PORT");
@@ -462,6 +581,18 @@ fn serve(args: &Args) {
     };
     for i in 0..objects {
         server.create_object(ObjectId(i), Bytes::from(format!("object {i}, version 1")));
+    }
+    // A topology file turns this server into one shard of a fleet: it
+    // learns the membership and redirects volumes it does not host.
+    if let Some(path) = args.value("--shard-map") {
+        let topology = read_topology(path);
+        let map = ShardMap::new(topology.iter().map(|&(id, _)| id).collect());
+        println!(
+            "(shard map v{} over {} servers loaded from {path})",
+            map.version(),
+            map.servers().len()
+        );
+        server.set_shard_map(map);
     }
     println!(
         "vl server {server_id} listening on {bound} with {objects} objects \

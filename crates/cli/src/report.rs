@@ -53,6 +53,29 @@ pub struct RunSummary {
     /// above, so a sharded trace and a single-reactor trace of the
     /// same workload summarize identically outside this map.
     pub shards: BTreeMap<u32, ShardSummary>,
+    /// Per-server breakdown, keyed by raw server id. Like the shard
+    /// tag, the server is a *dimension*: every event also folds into
+    /// the run-wide totals, and the section renders only when the
+    /// trace interleaves more than one server (a multi-server run
+    /// concatenates each server's `--trace-out` file).
+    pub servers: BTreeMap<u32, ServerSummary>,
+}
+
+/// One server's slice of a multi-server run (see [`RunSummary::servers`]).
+#[derive(Clone, Debug, Default)]
+pub struct ServerSummary {
+    /// Events attributed to this server.
+    pub events: u64,
+    /// `(count, bytes)` over this server's `message` events.
+    pub messages: (u64, u64),
+    /// Reads served by this server.
+    pub reads: u64,
+    /// Stale reads among them.
+    pub stale_reads: u64,
+    /// Write delays committed on this server, milliseconds.
+    pub write_delay_ms: Histogram,
+    /// Distinct volumes this server's events touched.
+    pub volumes: std::collections::BTreeSet<u64>,
 }
 
 /// One shard's slice of the transport section (see [`RunSummary::shards`]).
@@ -77,11 +100,16 @@ impl RunSummary {
     fn fold(&mut self, ev: &Event) {
         self.events += 1;
         self.span = self.span.max(ev.at);
+        let srv = self.servers.entry(ev.server.raw()).or_default();
+        srv.events += 1;
         if let Some(v) = ev.volume {
             *self.volume_events.entry(u64::from(v.raw())).or_insert(0) += 1;
+            srv.volumes.insert(u64::from(v.raw()));
         }
         match ev.kind {
             EventKind::Message => {
+                srv.messages.0 += 1;
+                srv.messages.1 += ev.value;
                 let name = ev.msg.map_or("?", |m| m.name());
                 let e = self.messages.entry(name.to_owned()).or_insert((0, 0));
                 e.0 += 1;
@@ -93,8 +121,13 @@ impl RunSummary {
                 // live-driver ones carry remote-vs-local in `extra` and
                 // are never stale (leases guarantee it).
                 self.stale_reads += ev.value;
+                srv.reads += 1;
+                srv.stale_reads += ev.value;
             }
-            EventKind::WriteCommitted => self.write_delay_ms.record(ev.value),
+            EventKind::WriteCommitted => {
+                self.write_delay_ms.record(ev.value);
+                srv.write_delay_ms.record(ev.value);
+            }
             EventKind::InvalidationBatch => self.inval_batch.record(ev.value),
             EventKind::SendQueue => {
                 self.queue_depth.record(ev.value);
@@ -231,6 +264,33 @@ pub fn render(s: &RunSummary, top: usize) -> String {
             );
         }
     }
+    // Only a genuinely multi-server trace gets the breakdown; a
+    // single-server run would just repeat the totals above.
+    if s.servers.len() > 1 {
+        let _ = writeln!(out, "  per-server:");
+        for (id, ss) in &s.servers {
+            let _ = write!(
+                out,
+                "    server {id}: events={} msgs={} ({} bytes) reads={} ({} stale) \
+                 volumes={}",
+                ss.events,
+                ss.messages.0,
+                ss.messages.1,
+                ss.reads,
+                ss.stale_reads,
+                ss.volumes.len()
+            );
+            if ss.write_delay_ms.is_empty() {
+                let _ = writeln!(out);
+            } else {
+                let _ = writeln!(
+                    out,
+                    " write delay (ms) {}",
+                    ss.write_delay_ms.summary_line()
+                );
+            }
+        }
+    }
     if !s.volume_events.is_empty() {
         let hot: Vec<String> = s
             .hottest_volumes(top)
@@ -351,6 +411,44 @@ mod tests {
         assert!(text.contains("shard 0: conns=25 frames_in=100"), "{text}");
         let flat_text = render(frun, 3);
         assert!(!flat_text.contains("per-shard:"), "{flat_text}");
+    }
+
+    #[test]
+    fn multi_server_traces_break_down_per_server_without_changing_totals() {
+        // Two servers' events interleaved, as a concatenation of each
+        // server's --trace-out produces. The server is a dimension:
+        // run-wide totals are the sums, and the per-server section
+        // appears only because two distinct ids are present.
+        let multi = concat!(
+            "{\"at_ms\":1,\"kind\":\"message\",\"server\":0,\"client\":1,\"volume\":0,\"msg\":\"VOL_LEASE\",\"value\":10}\n",
+            "{\"at_ms\":2,\"kind\":\"message\",\"server\":1,\"client\":1,\"volume\":7,\"msg\":\"VOL_LEASE\",\"value\":30}\n",
+            "{\"at_ms\":3,\"kind\":\"read\",\"server\":0,\"client\":1,\"object\":3}\n",
+            "{\"at_ms\":4,\"kind\":\"read\",\"server\":1,\"client\":2,\"object\":70,\"value\":1}\n",
+            "{\"at_ms\":5,\"kind\":\"write_committed\",\"server\":1,\"client\":0,\"volume\":7,\"value\":40}\n",
+        );
+        let (runs, skipped) = summarize(Cursor::new(multi)).unwrap();
+        assert_eq!(skipped, 0);
+        let run = &runs[0];
+        assert_eq!(run.events, 5);
+        assert_eq!(run.reads, 2);
+        assert_eq!(run.stale_reads, 1);
+        assert_eq!(run.messages["VOL_LEASE"], (2, 40));
+        assert_eq!(run.servers.len(), 2);
+        let s0 = &run.servers[&0];
+        assert_eq!((s0.events, s0.reads, s0.stale_reads), (2, 1, 0));
+        assert_eq!(s0.messages, (1, 10));
+        let s1 = &run.servers[&1];
+        assert_eq!((s1.events, s1.reads, s1.stale_reads), (3, 1, 1));
+        assert_eq!(s1.write_delay_ms.max(), 40);
+        assert_eq!(s1.volumes.len(), 1);
+        let text = render(run, 3);
+        assert!(text.contains("per-server:"), "{text}");
+        assert!(text.contains("server 1: events=3"), "{text}");
+
+        // A single-server trace keeps today's output shape.
+        let single = "{\"at_ms\":1,\"kind\":\"read\",\"server\":0,\"client\":1}\n";
+        let (runs, _) = summarize(Cursor::new(single)).unwrap();
+        assert!(!render(&runs[0], 3).contains("per-server:"));
     }
 
     #[test]

@@ -28,7 +28,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration as StdDuration, Instant};
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::{codec, ClientMsg, ServerMsg};
-use vl_types::{ClientId, Clock, Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_types::{
+    ClientId, Clock, Epoch, ObjectId, ServerId, ShardMap, Timestamp, Version, VolumeId,
+};
 
 /// Where an object lives: the lease-granting server and its volume.
 /// Plays the role a URL's host plays for a browser.
@@ -91,6 +93,9 @@ struct MState {
     /// *their* volumes degrade; reads against every other origin keep
     /// their full lease lifecycle — the per-volume blast radius.
     down: HashSet<ServerId>,
+    /// Volume → server routing table, refreshed whenever a
+    /// `WRONG_SHARD` redirect carries a newer map.
+    shard_map: Option<ShardMap>,
     stats: ClientStats,
     generation: u64,
 }
@@ -194,8 +199,8 @@ impl MultiCache {
                 return finish(&mut st, data, true);
             }
         }
-        let server = NodeId::Server(location.server);
         for attempt in 0..=self.cfg.max_retries {
+            let server;
             {
                 let mut st = lock.lock();
                 let now = self.clock.now();
@@ -206,16 +211,24 @@ impl MultiCache {
                 let need_obj = !st.obj_ok(object, now);
                 let epoch = st.vols.get(&location.volume).map_or(Epoch(0), |v| v.epoch);
                 let version = st.cached.get(&object).map_or(Version::NONE, |(v, _, _)| *v);
+                // Route per attempt: a `WRONG_SHARD` redirect recorded in
+                // `vols` overrides everything (it is ground truth from a
+                // server), then the shard map, then the caller's hint —
+                // so a redirect between attempts re-aims the retry.
+                let routed = st
+                    .vols
+                    .get(&location.volume)
+                    .map(|v| v.server)
+                    .or_else(|| st.shard_map.as_ref().and_then(|m| m.owner(location.volume)))
+                    .unwrap_or(location.server);
                 // Pre-register the volume's server so replies route acks.
-                st.vols
-                    .entry(location.volume)
-                    .or_insert(VolState {
-                        server: location.server,
-                        expire: Timestamp::ZERO,
-                        epoch,
-                    })
-                    .server = location.server;
+                st.vols.entry(location.volume).or_insert(VolState {
+                    server: routed,
+                    expire: Timestamp::ZERO,
+                    epoch,
+                });
                 drop(st);
+                server = NodeId::Server(routed);
                 if need_vol {
                     let _ = self.endpoint.send(
                         server,
@@ -251,6 +264,32 @@ impl MultiCache {
     /// Statistics across all origins.
     pub fn stats(&self) -> ClientStats {
         self.state.0.lock().stats
+    }
+
+    /// Seed or replace the volume → server routing table. Older maps
+    /// (by version) are ignored so a stale seed can't undo a redirect.
+    pub fn set_shard_map(&self, map: ShardMap) {
+        let (lock, cv) = &*self.state;
+        let mut st = lock.lock();
+        if st
+            .shard_map
+            .as_ref()
+            .is_none_or(|m| map.version() > m.version())
+        {
+            st.shard_map = Some(map);
+            st.generation += 1;
+            cv.notify_all();
+        }
+    }
+
+    /// Version of the routing table currently in use (0 when unset).
+    pub fn shard_map_version(&self) -> u64 {
+        self.state
+            .0
+            .lock()
+            .shard_map
+            .as_ref()
+            .map_or(0, |m| m.version())
     }
 
     /// Number of volumes with a currently valid lease.
@@ -439,6 +478,44 @@ fn receive_loop(
                 let _ = endpoint.send(
                     from,
                     codec::encode_client(&ClientMsg::AckVolBatch { volume }),
+                );
+                st = lock.lock();
+            }
+            ServerMsg::WrongShard {
+                volume,
+                owner,
+                map_version,
+                servers,
+            } => {
+                st.stats.redirects += 1;
+                // The redirecting server is ground truth for this volume:
+                // re-aim it and void the lease so the next attempt renews
+                // at the new owner. Keep the epoch we last saw — if the
+                // handoff bumped it, the owner answers MUST_RENEW_ALL,
+                // which is exactly the resync we want.
+                let epoch = st.vols.get(&volume).map_or(Epoch(0), |v| v.epoch);
+                st.vols.insert(
+                    volume,
+                    VolState {
+                        server: owner,
+                        expire: Timestamp::ZERO,
+                        epoch,
+                    },
+                );
+                if map_version > 0
+                    && st
+                        .shard_map
+                        .as_ref()
+                        .is_none_or(|m| map_version > m.version())
+                {
+                    st.shard_map = Some(ShardMap::with_version(map_version, servers));
+                }
+                // Chase the redirect immediately so a reader blocked on
+                // the condvar doesn't burn a full request timeout.
+                drop(st);
+                let _ = endpoint.send(
+                    NodeId::Server(owner),
+                    codec::encode_client(&ClientMsg::ReqVolLease { volume, epoch }),
                 );
                 st = lock.lock();
             }

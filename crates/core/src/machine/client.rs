@@ -35,6 +35,9 @@ pub struct ClientStats {
     /// Driver-maintained: completed Degraded→Recovered spells on the
     /// live connection.
     pub degraded_spells: u64,
+    /// Driver-maintained: `WRONG_SHARD` redirects followed (multi-server
+    /// clients re-route; this single-server machine ignores them).
+    pub redirects: u64,
 }
 
 impl ClientStats {
@@ -285,6 +288,11 @@ impl ClientMachine {
                     actions.push(ClientAction::Send(ClientMsg::AckVolBatch { volume }));
                 }
             }
+            // Routing is the driver's job: the single-server machine has
+            // nowhere else to go, so a redirect is dropped here and the
+            // multi-server cache layer re-routes before the machine ever
+            // sees it.
+            ServerMsg::WrongShard { .. } => {}
         }
         self.generation += 1;
     }

@@ -34,6 +34,7 @@ pub fn server_msg_kind(msg: &ServerMsg) -> MessageKind {
         ServerMsg::Invalidate { .. } => MessageKind::Invalidate,
         ServerMsg::MustRenewAll { .. } => MessageKind::MustRenewAll,
         ServerMsg::InvalRenew { .. } => MessageKind::BatchedInvalRenew,
+        ServerMsg::WrongShard { .. } => MessageKind::WrongShard,
     }
 }
 
@@ -87,7 +88,7 @@ pub fn server_action_events(
                         ..Event::new(at, EventKind::Reconnected, server, *to)
                     });
                 }
-                ServerMsg::MustRenewAll { .. } => {}
+                ServerMsg::MustRenewAll { .. } | ServerMsg::WrongShard { .. } => {}
             }
             out
         }
@@ -105,6 +106,9 @@ pub fn server_action_events(
                 ..Event::new(at, EventKind::WriteCommitted, server, ClientId(0))
             },
         ],
+        // Peer traffic (handoff) is control-plane; the per-server
+        // message counters in `vl report` track client-visible load.
+        ServerAction::SendPeer { .. } => Vec::new(),
         ServerAction::SetTimer { .. } | ServerAction::Persist { .. } => Vec::new(),
     }
 }
@@ -170,6 +174,7 @@ mod tests {
                 queued: 1,
                 waited_out: 1,
                 version: Version(4),
+                moved_to: None,
             },
         };
         let evs = server_action_events(Timestamp::ZERO, ServerId(0), VolumeId(0), &action);

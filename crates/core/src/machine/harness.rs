@@ -554,6 +554,9 @@ impl Harness {
                 ServerAction::Persist { state } => {
                     self.stable = Some(state);
                 }
+                // The harness runs a single server; there is no peer to
+                // deliver handoff traffic to.
+                ServerAction::SendPeer { .. } => {}
                 ServerAction::CompleteWrite { outcome } => {
                     let Some((object, data)) = self.pending_writes.pop_front() else {
                         let v = format!("[{now}] COMPLETION with no pending write: {outcome:?}");

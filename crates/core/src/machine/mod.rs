@@ -75,6 +75,10 @@ pub struct WriteOutcome {
     pub waited_out: usize,
     /// The version the object has after this write.
     pub version: Version,
+    /// When the object's volume was handed off before the write could
+    /// commit locally: the server that owns it now. The writer should
+    /// retry there; nothing was written here.
+    pub moved_to: Option<ServerId>,
 }
 
 /// What survives a server crash: the volume epoch and the latest

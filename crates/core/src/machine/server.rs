@@ -1,10 +1,17 @@
-//! The server half of the protocol as a pure state machine (Figure 3).
+//! The server half of the protocol as a pure state machine (Figure 3),
+//! generalized to host many volumes so a shard-mapped fleet can move
+//! volumes between servers with the paper's own crash-recovery trick:
+//! the losing server bumps the volume epoch, the gaining server gates
+//! writes until every lease the loser granted has expired, and clients
+//! re-sync through the ordinary `MUST_RENEW_ALL` reconnection path.
 
 use super::{MachineConfig, StableState, WriteMode, WriteOutcome};
 use bytes::Bytes;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
-use vl_proto::{ClientMsg, ServerMsg};
-use vl_types::{ClientId, Duration, Epoch, LeaseSet, ObjectId, Timestamp, Version};
+use vl_proto::{ClientMsg, PeerMsg, ServerMsg};
+use vl_types::{
+    ClientId, Duration, Epoch, LeaseSet, ObjectId, ServerId, ShardMap, Timestamp, Version, VolumeId,
+};
 
 /// Point-in-time server statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -17,20 +24,27 @@ pub struct ServerStats {
     pub writes: u64,
     /// Largest write delay observed.
     pub max_write_delay: Duration,
-    /// Clients currently in the Unreachable set.
+    /// `⟨client, volume⟩` pairs currently in an Unreachable set.
     pub unreachable: usize,
-    /// Clients currently inactive with pending invalidations.
+    /// `⟨client, volume⟩` pairs currently inactive with pending
+    /// invalidations.
     pub inactive: usize,
     /// Reconnection exchanges completed.
     pub reconnections: u64,
     /// Inactive clients demoted after `d`.
     pub demotions: u64,
-    /// Current volume epoch.
+    /// Current epoch of the home volume.
     pub epoch: Epoch,
     /// Requests for unknown objects (dropped).
     pub unknown_objects: u64,
     /// Live-path connection drops reported by the transport.
     pub disconnects: u64,
+    /// `WRONG_SHARD` redirects sent to clients.
+    pub redirects: u64,
+    /// Volumes handed off to another server.
+    pub handoffs_out: u64,
+    /// Volumes adopted from another server.
+    pub handoffs_in: u64,
 }
 
 /// Everything that can happen *to* the server machine.
@@ -42,6 +56,20 @@ pub enum ServerInput {
         from: ClientId,
         /// The decoded message.
         msg: ClientMsg,
+    },
+    /// A peer (server-to-server / coordinator) message arrived.
+    Peer {
+        /// The sending server (or the rebalance coordinator's id).
+        from: ServerId,
+        /// The decoded message.
+        msg: PeerMsg,
+    },
+    /// The driver learned a (newer) shard map; the machine uses it to
+    /// answer requests for volumes it does not host with
+    /// [`ServerMsg::WrongShard`] redirects. Older maps are ignored.
+    SetShardMap {
+        /// The map to adopt.
+        map: ShardMap,
     },
     /// Create (or reset) an object at the given version.
     ///
@@ -99,6 +127,13 @@ pub enum ServerAction {
         /// The message to deliver.
         msg: ServerMsg,
     },
+    /// Encode and transmit `msg` to the peer/coordinator `to`.
+    SendPeer {
+        /// The destination server.
+        to: ServerId,
+        /// The message to deliver.
+        msg: PeerMsg,
+    },
     /// Wake the machine (with [`ServerInput::Tick`]) no later than `at`.
     /// Supersedes any earlier timer of the same kind. Drivers that tick
     /// on a short period may ignore these.
@@ -126,6 +161,9 @@ struct ObjState {
     data: Bytes,
     version: Version,
     leases: LeaseSet,
+    /// The volume this object belongs to; handoff moves a volume's
+    /// objects as a unit.
+    volume: VolumeId,
 }
 
 struct Inactive {
@@ -141,8 +179,38 @@ enum ReconPhase {
     AwaitAck,
 }
 
+/// Per-volume protocol state: the paper's single-server state, one copy
+/// per hosted volume. `write_gate` generalizes the crash-recovery gate
+/// (§3.1.2): writes to the volume are delayed until it passes, whether
+/// the gate came from a reboot or from adopting the volume in a
+/// handoff.
+struct VolumeState {
+    epoch: Epoch,
+    write_gate: Timestamp,
+    leases: LeaseSet,
+    // BTreeMap: demotion scans iterate this, and deterministic iteration
+    // keeps simulation runs bit-reproducible.
+    inactive: BTreeMap<ClientId, Inactive>,
+    unreachable: BTreeSet<ClientId>,
+    reconnecting: HashMap<ClientId, ReconPhase>,
+}
+
+impl VolumeState {
+    fn fresh(epoch: Epoch, write_gate: Timestamp) -> VolumeState {
+        VolumeState {
+            epoch,
+            write_gate,
+            leases: LeaseSet::new(),
+            inactive: BTreeMap::new(),
+            unreachable: BTreeSet::new(),
+            reconnecting: HashMap::new(),
+        }
+    }
+}
+
 struct ActiveWrite {
     object: ObjectId,
+    volume: VolumeId,
     data: Bytes,
     outstanding: BTreeSet<ClientId>,
     started: Timestamp,
@@ -158,24 +226,27 @@ struct ActiveWrite {
 }
 
 /// The server state machine: Figure 3 plus the reconnection protocol
-/// (§3.1.1), epoch-based crash recovery (§3.1.2), and delayed
-/// invalidations (§3.2), with every effect returned as data.
+/// (§3.1.1), epoch-based crash recovery (§3.1.2), delayed invalidations
+/// (§3.2), and multi-volume hosting with epoch-bumped volume handoff,
+/// with every effect returned as data.
 ///
 /// Drivers feed it [`ServerInput`]s tagged with the current time and
 /// execute the returned [`ServerAction`]s; see the module docs for the
 /// contract.
 pub struct ServerMachine {
     cfg: MachineConfig,
-    epoch: Epoch,
-    recovery_until: Timestamp,
+    /// Hosted volumes. The home volume ([`MachineConfig::volume`]) is
+    /// seeded at boot; others arrive by handoff.
+    volumes: BTreeMap<VolumeId, VolumeState>,
     objects: HashMap<ObjectId, ObjState>,
-    vol_leases: LeaseSet,
-    // BTreeMap: demotion scans iterate this, and deterministic iteration
-    // keeps simulation runs bit-reproducible.
-    inactive: BTreeMap<ClientId, Inactive>,
-    unreachable: BTreeSet<ClientId>,
-    reconnecting: HashMap<ClientId, ReconPhase>,
     holdings: HashMap<ClientId, BTreeSet<ObjectId>>,
+    /// Forwarding addresses for objects whose volume departed:
+    /// `object → (volume, new owner)`.
+    moved: HashMap<ObjectId, (VolumeId, ServerId)>,
+    /// Volumes this server handed off, and where they went. Redirects
+    /// prefer this over the shard map — it is ground truth.
+    departed: BTreeMap<VolumeId, ServerId>,
+    shard_map: Option<ShardMap>,
     active_write: Option<ActiveWrite>,
     queued_writes: VecDeque<(ObjectId, Bytes, Timestamp)>,
     stats: ServerStats,
@@ -188,7 +259,8 @@ impl std::fmt::Debug for ServerMachine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ServerMachine")
             .field("server", &self.cfg.server)
-            .field("epoch", &self.epoch)
+            .field("epoch", &self.epoch())
+            .field("volumes", &self.volumes.len())
             .field("objects", &self.objects.len())
             .field("active_write", &self.active_write.is_some())
             .finish()
@@ -197,8 +269,8 @@ impl std::fmt::Debug for ServerMachine {
 
 impl ServerMachine {
     /// Creates the machine, recovering from `stable` if a pre-crash
-    /// record exists: the epoch is bumped and writes are delayed until
-    /// every pre-crash volume lease has expired (§3.1.2).
+    /// record exists: the home volume's epoch is bumped and writes are
+    /// delayed until every pre-crash volume lease has expired (§3.1.2).
     ///
     /// The returned actions (a [`ServerAction::Persist`] of the new
     /// stable record) must be executed before the machine serves input.
@@ -218,16 +290,16 @@ impl ServerMachine {
             }
             None => (Epoch::default(), Timestamp::ZERO, StableState::default()),
         };
+        let mut volumes = BTreeMap::new();
+        volumes.insert(cfg.volume, VolumeState::fresh(epoch, recovery_until));
         let machine = ServerMachine {
             cfg,
-            epoch,
-            recovery_until,
+            volumes,
             objects: HashMap::new(),
-            vol_leases: LeaseSet::new(),
-            inactive: BTreeMap::new(),
-            unreachable: BTreeSet::new(),
-            reconnecting: HashMap::new(),
             holdings: HashMap::new(),
+            moved: HashMap::new(),
+            departed: BTreeMap::new(),
+            shard_map: None,
             active_write: None,
             queued_writes: VecDeque::new(),
             stats: ServerStats {
@@ -245,23 +317,38 @@ impl ServerMachine {
         &self.cfg
     }
 
-    /// The current volume epoch.
+    /// The home volume's current epoch. After the home volume departs in
+    /// a handoff this keeps reporting the bumped (departure) epoch.
     pub fn epoch(&self) -> Epoch {
-        self.epoch
+        self.volumes
+            .get(&self.cfg.volume)
+            .map_or(self.stats.epoch, |vs| vs.epoch)
     }
 
-    /// The instant before which writes stay recovery-gated (§3.1.2);
-    /// [`Timestamp::ZERO`] on a clean boot.
+    /// The instant before which writes to the home volume stay
+    /// recovery-gated (§3.1.2); [`Timestamp::ZERO`] on a clean boot.
     pub fn recovery_until(&self) -> Timestamp {
-        self.recovery_until
+        self.volumes
+            .get(&self.cfg.volume)
+            .map_or(Timestamp::ZERO, |vs| vs.write_gate)
+    }
+
+    /// Whether `volume` is currently hosted here.
+    pub fn hosts(&self, volume: VolumeId) -> bool {
+        self.volumes.contains_key(&volume)
+    }
+
+    /// The shard map the machine currently redirects by, if any.
+    pub fn shard_map(&self) -> Option<&ShardMap> {
+        self.shard_map.as_ref()
     }
 
     /// Point-in-time statistics.
     pub fn stats(&self) -> ServerStats {
         ServerStats {
-            unreachable: self.unreachable.len(),
-            inactive: self.inactive.len(),
-            epoch: self.epoch,
+            unreachable: self.volumes.values().map(|vs| vs.unreachable.len()).sum(),
+            inactive: self.volumes.values().map(|vs| vs.inactive.len()).sum(),
+            epoch: self.epoch(),
             ..self.stats
         }
     }
@@ -282,6 +369,7 @@ impl ServerMachine {
                         data,
                         version,
                         leases: LeaseSet::new(),
+                        volume: self.cfg.volume,
                     },
                 );
             }
@@ -291,6 +379,19 @@ impl ServerMachine {
             ServerInput::Msg { from, msg } => {
                 self.stats.msgs_in += 1;
                 self.handle_msg(now, from, msg, &mut actions);
+            }
+            ServerInput::Peer { from, msg } => {
+                self.stats.msgs_in += 1;
+                self.handle_peer(now, from, msg, &mut actions);
+            }
+            ServerInput::SetShardMap { map } => {
+                if self
+                    .shard_map
+                    .as_ref()
+                    .is_none_or(|m| map.version() > m.version())
+                {
+                    self.shard_map = Some(map);
+                }
             }
             ServerInput::PeerDisconnected { client } => {
                 self.peer_disconnected(client);
@@ -305,20 +406,42 @@ impl ServerMachine {
     /// client keeps every lease it holds (it may be alive behind a
     /// partition, serving cached reads that stay consistent exactly
     /// because we keep waiting its leases out), but it joins the
-    /// Unreachable set so its next `REQ_VOL_LEASE` is forced through
-    /// the full reconnection handshake. A client with no server-side
-    /// state is ignored — there is nothing to resynchronize.
+    /// Unreachable set of every volume where it has state, so its next
+    /// `REQ_VOL_LEASE` is forced through the full reconnection
+    /// handshake. A client with no server-side state is ignored — there
+    /// is nothing to resynchronize.
     fn peer_disconnected(&mut self, client: ClientId) {
-        let has_state = self.vol_leases.expiry_of(client).is_some()
-            || self.holdings.get(&client).is_some_and(|h| !h.is_empty())
-            || self.inactive.contains_key(&client);
-        if !has_state {
+        let mut touched: BTreeSet<VolumeId> = self
+            .volumes
+            .iter()
+            .filter(|(_, vs)| {
+                vs.leases.expiry_of(client).is_some() || vs.inactive.contains_key(&client)
+            })
+            .map(|(&v, _)| v)
+            .collect();
+        if let Some(held) = self.holdings.get(&client) {
+            for object in held {
+                if let Some(obj) = self.objects.get(object) {
+                    touched.insert(obj.volume);
+                }
+            }
+        }
+        if touched.is_empty() {
             return;
         }
-        // A half-finished handshake died with the connection; the next
-        // REQ_VOL_LEASE restarts it from the top.
-        self.reconnecting.remove(&client);
-        if self.unreachable.insert(client) {
+        let mut newly = false;
+        for volume in touched {
+            let Some(vs) = self.volumes.get_mut(&volume) else {
+                continue;
+            };
+            // A half-finished handshake died with the connection; the
+            // next REQ_VOL_LEASE restarts it from the top.
+            vs.reconnecting.remove(&client);
+            if vs.unreachable.insert(client) {
+                newly = true;
+            }
+        }
+        if newly {
             self.stats.disconnects += 1;
         }
     }
@@ -328,19 +451,38 @@ impl ServerMachine {
     fn pump(&mut self, now: Timestamp, actions: &mut Vec<ServerAction>) {
         loop {
             self.check_write_progress(now, actions);
-            if self.active_write.is_some() || now < self.recovery_until {
+            if self.active_write.is_some() {
                 break;
             }
-            let Some((object, data, enqueued)) = self.queued_writes.pop_front() else {
+            let Some(&(object, _, _)) = self.queued_writes.front() else {
                 break;
             };
+            // Writes complete strictly in enqueue order, so the head's
+            // gate blocks the whole queue.
+            if let Some(&(_, to)) = self.moved.get(&object) {
+                // The object's volume was handed off while the write
+                // queued; the writer retries at the new owner.
+                let (_, _, enqueued) = self.queued_writes.pop_front().expect("peeked above");
+                actions.push(ServerAction::CompleteWrite {
+                    outcome: WriteOutcome {
+                        delay: now.saturating_sub(enqueued),
+                        moved_to: Some(to),
+                        ..WriteOutcome::default()
+                    },
+                });
+                continue;
+            }
+            if now < self.write_gate_for(object) {
+                break;
+            }
+            let (object, data, enqueued) = self.queued_writes.pop_front().expect("peeked above");
             self.start_write(now, object, data, enqueued, actions);
         }
         self.demote_overdue(now);
         if self.stable_dirty_max != Timestamp::ZERO {
             actions.push(ServerAction::Persist {
                 state: StableState {
-                    epoch: self.epoch,
+                    epoch: self.epoch(),
                     max_volume_expiry: self.stable_dirty_max,
                 },
             });
@@ -349,9 +491,62 @@ impl ServerMachine {
         self.refresh_timers(now, actions);
     }
 
+    /// The write gate applying to a write of `object`: the gate of its
+    /// volume (recovery or adoption), or the home volume's gate for an
+    /// object about to be created.
+    fn write_gate_for(&self, object: ObjectId) -> Timestamp {
+        let volume = self
+            .objects
+            .get(&object)
+            .map_or(self.cfg.volume, |o| o.volume);
+        self.volumes
+            .get(&volume)
+            .map_or(Timestamp::ZERO, |vs| vs.write_gate)
+    }
+
     fn send(&mut self, to: ClientId, msg: ServerMsg, actions: &mut Vec<ServerAction>) {
         self.stats.msgs_out += 1;
         actions.push(ServerAction::Send { to, msg });
+    }
+
+    fn send_peer(&mut self, to: ServerId, msg: PeerMsg, actions: &mut Vec<ServerAction>) {
+        self.stats.msgs_out += 1;
+        actions.push(ServerAction::SendPeer { to, msg });
+    }
+
+    /// Builds the `WRONG_SHARD` reply for `volume`, attaching the shard
+    /// map when one is held so the client can refresh its routing.
+    fn wrong_shard(&self, volume: VolumeId, owner: ServerId) -> ServerMsg {
+        let (map_version, servers) = match &self.shard_map {
+            Some(m) => (m.version(), m.servers().to_vec()),
+            None => (0, Vec::new()),
+        };
+        ServerMsg::WrongShard {
+            volume,
+            owner,
+            map_version,
+            servers,
+        }
+    }
+
+    /// Answers a request for an unhosted volume. The departure record is
+    /// ground truth; the shard map is the fallback. With neither (or if
+    /// the map claims we own it — a map/hosting disagreement the next
+    /// rebalance will fix) the request is dropped, as the single-volume
+    /// server always did for foreign volumes.
+    fn redirect(&mut self, volume: VolumeId, client: ClientId, actions: &mut Vec<ServerAction>) {
+        let me = self.cfg.server;
+        let owner = self.departed.get(&volume).copied().or_else(|| {
+            self.shard_map
+                .as_ref()
+                .and_then(|m| m.owner(volume))
+                .filter(|&o| o != me)
+        });
+        if let Some(owner) = owner {
+            let msg = self.wrong_shard(volume, owner);
+            self.stats.redirects += 1;
+            self.send(client, msg, actions);
+        }
     }
 
     fn handle_msg(
@@ -378,6 +573,12 @@ impl ServerMachine {
         }
         match msg {
             ClientMsg::ReqObjLease { object, version } => {
+                if let Some(&(volume, owner)) = self.moved.get(&object) {
+                    let msg = self.wrong_shard(volume, owner);
+                    self.stats.redirects += 1;
+                    self.send(client, msg, actions);
+                    return;
+                }
                 let t = self.cfg.object_lease;
                 let Some(obj) = self.objects.get_mut(&object) else {
                     self.stats.unknown_objects += 1;
@@ -396,32 +597,35 @@ impl ServerMachine {
                 self.send(client, reply, actions);
             }
             ClientMsg::ReqVolLease { volume, epoch } => {
-                if volume != self.cfg.volume {
+                if !self.volumes.contains_key(&volume) {
+                    self.redirect(volume, client, actions);
                     return;
                 }
-                if epoch != self.epoch || self.unreachable.contains(&client) {
+                let vs = self.volumes.get_mut(&volume).expect("checked above");
+                if epoch != vs.epoch || vs.unreachable.contains(&client) {
                     // Stale epoch or known-unreachable: force the
                     // reconnection protocol (§3.1.1 / §3.1.2).
-                    self.unreachable.insert(client);
-                    self.reconnecting.insert(client, ReconPhase::AwaitLeaseSet);
+                    vs.unreachable.insert(client);
+                    vs.reconnecting.insert(client, ReconPhase::AwaitLeaseSet);
                     self.send(client, ServerMsg::MustRenewAll { volume }, actions);
                     return;
                 }
                 let expire = now.saturating_add(self.cfg.volume_lease);
-                self.vol_leases.grant(client, expire);
-                self.stable_dirty_max = self.stable_dirty_max.max(expire);
+                vs.leases.grant(client, expire);
+                let cur_epoch = vs.epoch;
                 // Deliver any queued invalidations batched into the
                 // grant; the entry stays until the client acks so a lost
                 // reply cannot lose invalidations.
-                let invalidate: Vec<ObjectId> = self
+                let invalidate: Vec<ObjectId> = vs
                     .inactive
                     .get(&client)
                     .map(|i| i.pending.iter().copied().collect())
                     .unwrap_or_default();
+                self.stable_dirty_max = self.stable_dirty_max.max(expire);
                 let reply = ServerMsg::VolLease {
                     volume,
                     expire,
-                    epoch: self.epoch,
+                    epoch: cur_epoch,
                     invalidate,
                 };
                 self.send(client, reply, actions);
@@ -439,8 +643,12 @@ impl ServerMachine {
                 }
             }
             ClientMsg::RenewObjLeases { volume, leases } => {
-                if volume != self.cfg.volume
-                    || self.reconnecting.get(&client) != Some(&ReconPhase::AwaitLeaseSet)
+                if !self.volumes.contains_key(&volume) {
+                    self.redirect(volume, client, actions);
+                    return;
+                }
+                if self.volumes[&volume].reconnecting.get(&client)
+                    != Some(&ReconPhase::AwaitLeaseSet)
                 {
                     return;
                 }
@@ -449,7 +657,10 @@ impl ServerMachine {
                 let mut renew = Vec::new();
                 for (object, version) in leases {
                     match self.objects.get_mut(&object) {
-                        Some(obj) if obj.version == version => {
+                        // An object reported under the wrong volume is
+                        // simply invalidated; the client's copy cannot
+                        // be trusted to track this volume's epoch.
+                        Some(obj) if obj.volume == volume && obj.version == version => {
                             let expire = now.saturating_add(t);
                             obj.leases.grant(client, expire);
                             self.holdings.entry(client).or_default().insert(object);
@@ -458,9 +669,10 @@ impl ServerMachine {
                         _ => invalidate.push(object),
                     }
                 }
+                let vs = self.volumes.get_mut(&volume).expect("checked above");
                 // Anything we had queued is superseded by this exchange.
-                self.inactive.remove(&client);
-                self.reconnecting.insert(client, ReconPhase::AwaitAck);
+                vs.inactive.remove(&client);
+                vs.reconnecting.insert(client, ReconPhase::AwaitAck);
                 self.send(
                     client,
                     ServerMsg::InvalRenew {
@@ -486,34 +698,35 @@ impl ServerMachine {
                 }
             }
             ClientMsg::AckVolBatch { volume } => {
-                if volume != self.cfg.volume {
+                let Some(vs) = self.volumes.get_mut(&volume) else {
                     return;
-                }
-                match self.reconnecting.get(&client) {
+                };
+                match vs.reconnecting.get(&client) {
                     Some(ReconPhase::AwaitAck) => {
                         // Reconnection complete: grant the volume lease.
-                        self.reconnecting.remove(&client);
-                        self.unreachable.remove(&client);
-                        self.stats.reconnections += 1;
+                        vs.reconnecting.remove(&client);
+                        vs.unreachable.remove(&client);
                         let expire = now.saturating_add(self.cfg.volume_lease);
-                        self.vol_leases.grant(client, expire);
-                        self.stable_dirty_max = self.stable_dirty_max.max(expire);
+                        vs.leases.grant(client, expire);
+                        let cur_epoch = vs.epoch;
                         // A write that ran between RENEW_OBJ_LEASES and
                         // this ack queued invalidations for the client;
                         // the grant must carry them or the client would
                         // hold valid leases on a stale copy. The entry
                         // stays until the batch is acked.
-                        let invalidate: Vec<ObjectId> = self
+                        let invalidate: Vec<ObjectId> = vs
                             .inactive
                             .get(&client)
                             .map(|i| i.pending.iter().copied().collect())
                             .unwrap_or_default();
+                        self.stats.reconnections += 1;
+                        self.stable_dirty_max = self.stable_dirty_max.max(expire);
                         self.send(
                             client,
                             ServerMsg::VolLease {
                                 volume,
                                 expire,
-                                epoch: self.epoch,
+                                epoch: cur_epoch,
                                 invalidate,
                             },
                             actions,
@@ -521,10 +734,139 @@ impl ServerMachine {
                     }
                     _ => {
                         // Ack for a pending batch delivered with a grant.
-                        self.inactive.remove(&client);
+                        vs.inactive.remove(&client);
                     }
                 }
             }
+        }
+    }
+
+    /// Handles the volume-handoff exchange (coordinator-mediated; see
+    /// `vl-proto`'s [`PeerMsg`] docs for the flow).
+    fn handle_peer(
+        &mut self,
+        now: Timestamp,
+        from: ServerId,
+        msg: PeerMsg,
+        actions: &mut Vec<ServerAction>,
+    ) {
+        match msg {
+            PeerMsg::HandoffRequest { volume, to } => {
+                // Give up `volume`: bump its epoch past every lease we
+                // granted and ship a manifest. Requests for a volume we
+                // do not host are ignored (a duplicate request after
+                // the volume already left is answered by the redirect
+                // path, not a second manifest).
+                let Some(vs) = self.volumes.remove(&volume) else {
+                    return;
+                };
+                // Abort an in-flight write on the departing volume; the
+                // writer retries at the new owner.
+                let mut deferred = Vec::new();
+                if self
+                    .active_write
+                    .as_ref()
+                    .is_some_and(|w| w.volume == volume)
+                {
+                    let w = self.active_write.take().expect("checked above");
+                    deferred = w.deferred;
+                    actions.push(ServerAction::CompleteWrite {
+                        outcome: WriteOutcome {
+                            delay: now.saturating_sub(w.started),
+                            moved_to: Some(to),
+                            ..WriteOutcome::default()
+                        },
+                    });
+                }
+                let epoch = vs.epoch.next();
+                let max_vol_expiry = vs.leases.expire_bound();
+                // Snapshot the volume's objects into the manifest,
+                // leaving a forwarding address behind. Sorted ids keep
+                // the wire image deterministic.
+                let mut ids: Vec<ObjectId> = self
+                    .objects
+                    .iter()
+                    .filter(|(_, o)| o.volume == volume)
+                    .map(|(&id, _)| id)
+                    .collect();
+                ids.sort_unstable();
+                let mut objects = Vec::with_capacity(ids.len());
+                for id in &ids {
+                    let o = self.objects.remove(id).expect("collected above");
+                    objects.push((*id, o.version, o.data));
+                    self.moved.insert(*id, (volume, to));
+                }
+                let moved_ids: BTreeSet<ObjectId> = ids.into_iter().collect();
+                for held in self.holdings.values_mut() {
+                    held.retain(|o| !moved_ids.contains(o));
+                }
+                self.departed.insert(volume, to);
+                if volume == self.cfg.volume {
+                    // epoch() keeps reporting the bumped epoch after the
+                    // home volume departs.
+                    self.stats.epoch = epoch;
+                }
+                self.stable_dirty_max = self.stable_dirty_max.max(max_vol_expiry);
+                self.stats.handoffs_out += 1;
+                self.send_peer(
+                    from,
+                    PeerMsg::Handoff {
+                        volume,
+                        epoch,
+                        max_vol_expiry,
+                        objects,
+                    },
+                    actions,
+                );
+                // Replay requests deferred by the aborted write: they
+                // now see the forwarding address and get redirected.
+                for (client, msg) in deferred {
+                    self.handle_msg(now, client, msg, actions);
+                }
+            }
+            PeerMsg::Handoff {
+                volume,
+                epoch,
+                max_vol_expiry,
+                objects,
+            } => {
+                if let Some(vs) = self.volumes.get(&volume) {
+                    if vs.epoch >= epoch {
+                        // Duplicate delivery (coordinator retry):
+                        // re-ack idempotently, don't reinstall.
+                        let cur = vs.epoch;
+                        self.send_peer(from, PeerMsg::HandoffAck { volume, epoch: cur }, actions);
+                        return;
+                    }
+                }
+                // Adopt the volume. The write gate is exactly the
+                // crash-recovery gate: no write until every lease the
+                // previous owner granted has expired. Clients arrive
+                // with the old epoch and re-sync via MUST_RENEW_ALL.
+                self.volumes
+                    .insert(volume, VolumeState::fresh(epoch, max_vol_expiry));
+                for (id, version, data) in objects {
+                    self.moved.remove(&id);
+                    self.objects.insert(
+                        id,
+                        ObjState {
+                            data,
+                            version,
+                            leases: LeaseSet::new(),
+                            volume,
+                        },
+                    );
+                }
+                self.departed.remove(&volume);
+                // Persist the gate so a crash right after adoption
+                // still waits out the previous owner's leases.
+                self.stable_dirty_max = self.stable_dirty_max.max(max_vol_expiry);
+                self.stats.handoffs_in += 1;
+                self.send_peer(from, PeerMsg::HandoffAck { volume, epoch }, actions);
+            }
+            // The ack is for the coordinator; a server hearing one has
+            // nothing to do.
+            PeerMsg::HandoffAck { .. } => {}
         }
     }
 
@@ -537,13 +879,14 @@ impl ServerMachine {
         actions: &mut Vec<ServerAction>,
     ) {
         let Some(obj) = self.objects.get(&object) else {
-            // Writing an unknown object creates it.
+            // Writing an unknown object creates it in the home volume.
             self.objects.insert(
                 object,
                 ObjState {
                     data,
                     version: Version::FIRST,
                     leases: LeaseSet::new(),
+                    volume: self.cfg.volume,
                 },
             );
             self.stats.writes += 1;
@@ -555,9 +898,11 @@ impl ServerMachine {
             });
             return;
         };
+        let volume = obj.volume;
         let holders: Vec<ClientId> = obj.leases.valid_holders(now).collect();
         let mut w = ActiveWrite {
             object,
+            volume,
             data,
             outstanding: BTreeSet::new(),
             // Delay is measured from when the writer asked, so recovery
@@ -573,21 +918,27 @@ impl ServerMachine {
         // can still have a valid volume lease (its *object* lease is
         // what expired), and skipping it would let it read a stale copy.
         for client in holders {
-            if self.vol_leases.is_valid_for(client, now) {
+            let vol_valid = self
+                .volumes
+                .get(&volume)
+                .is_some_and(|vs| vs.leases.is_valid_for(client, now));
+            if vol_valid {
                 w.outstanding.insert(client);
                 w.invalidations_sent += 1;
                 self.send(client, ServerMsg::Invalidate { object }, actions);
             } else {
                 // Delayed invalidation: queue it and drop the lease.
-                let since = self.vol_leases.expiry_of(client).unwrap_or(now).min(now);
-                self.inactive
-                    .entry(client)
-                    .or_insert_with(|| Inactive {
-                        since,
-                        pending: BTreeSet::new(),
-                    })
-                    .pending
-                    .insert(object);
+                if let Some(vs) = self.volumes.get_mut(&volume) {
+                    let since = vs.leases.expiry_of(client).unwrap_or(now).min(now);
+                    vs.inactive
+                        .entry(client)
+                        .or_insert_with(|| Inactive {
+                            since,
+                            pending: BTreeSet::new(),
+                        })
+                        .pending
+                        .insert(object);
+                }
                 if let Some(o) = self.objects.get_mut(&object) {
                     o.leases.revoke(client);
                 }
@@ -610,12 +961,16 @@ impl ServerMachine {
         };
         // A holder may be waited out once either of its leases expires.
         let object = w.object;
+        let volume = w.volume;
         let expired: Vec<ClientId> = w
             .outstanding
             .iter()
             .copied()
             .filter(|&c| {
-                let vol_ok = self.vol_leases.is_valid_for(c, now);
+                let vol_ok = self
+                    .volumes
+                    .get(&volume)
+                    .is_some_and(|vs| vs.leases.is_valid_for(c, now));
                 let obj_ok = self
                     .objects
                     .get(&object)
@@ -627,7 +982,9 @@ impl ServerMachine {
             w.outstanding.remove(&c);
             w.waited_out += 1;
             // Figure 3: unreachable ← unreachable ∪ To_contact.
-            self.unreachable.insert(c);
+            if let Some(vs) = self.volumes.get_mut(&volume) {
+                vs.unreachable.insert(c);
+            }
             if let Some(o) = self.objects.get_mut(&object) {
                 o.leases.revoke(c);
             }
@@ -653,6 +1010,7 @@ impl ServerMachine {
                 queued: w.queued,
                 waited_out: w.waited_out,
                 version: obj.version,
+                moved_to: None,
             },
         });
         // Replay lease requests that arrived mid-write: they now see the
@@ -666,21 +1024,40 @@ impl ServerMachine {
         let Some(d) = self.cfg.inactive_discard else {
             return;
         };
-        let due: Vec<ClientId> = self
-            .inactive
+        let due: Vec<(VolumeId, ClientId)> = self
+            .volumes
             .iter()
-            .filter(|(_, i)| now >= i.since.saturating_add(d))
-            .map(|(&c, _)| c)
+            .flat_map(|(&v, vs)| {
+                vs.inactive
+                    .iter()
+                    .filter(move |(_, i)| now >= i.since.saturating_add(d))
+                    .map(move |(&c, _)| (v, c))
+            })
             .collect();
-        for client in due {
-            self.inactive.remove(&client);
-            self.unreachable.insert(client);
+        for (volume, client) in due {
+            if let Some(vs) = self.volumes.get_mut(&volume) {
+                vs.inactive.remove(&client);
+                vs.unreachable.insert(client);
+            }
             self.stats.demotions += 1;
-            if let Some(held) = self.holdings.remove(&client) {
-                for object in held {
-                    if let Some(o) = self.objects.get_mut(&object) {
-                        o.leases.revoke(client);
-                    }
+            // Revoke only this volume's objects held by the client;
+            // holdings in other volumes are governed by their own state.
+            let held: Vec<ObjectId> = self
+                .holdings
+                .get(&client)
+                .map(|h| {
+                    h.iter()
+                        .copied()
+                        .filter(|o| self.objects.get(o).is_some_and(|ob| ob.volume == volume))
+                        .collect()
+                })
+                .unwrap_or_default();
+            for object in held {
+                if let Some(o) = self.objects.get_mut(&object) {
+                    o.leases.revoke(client);
+                }
+                if let Some(h) = self.holdings.get_mut(&client) {
+                    h.remove(&object);
                 }
             }
         }
@@ -692,10 +1069,15 @@ impl ServerMachine {
         let write_wait = match &self.active_write {
             Some(w) => {
                 let object = w.object;
+                let volume = w.volume;
                 w.outstanding
                     .iter()
                     .map(|&c| {
-                        let vol = self.vol_leases.expiry_of(c).unwrap_or(now);
+                        let vol = self
+                            .volumes
+                            .get(&volume)
+                            .and_then(|vs| vs.leases.expiry_of(c))
+                            .unwrap_or(now);
                         let obj = self
                             .objects
                             .get(&object)
@@ -705,15 +1087,15 @@ impl ServerMachine {
                     })
                     .min()
             }
-            None if !self.queued_writes.is_empty() && now < self.recovery_until => {
-                Some(self.recovery_until)
-            }
-            None => None,
+            None => self.queued_writes.front().and_then(|&(object, _, _)| {
+                let gate = self.write_gate_for(object);
+                (now < gate && !self.moved.contains_key(&object)).then_some(gate)
+            }),
         };
         let demotion = self.cfg.inactive_discard.and_then(|d| {
-            self.inactive
+            self.volumes
                 .values()
-                .map(|i| i.since.saturating_add(d))
+                .flat_map(|vs| vs.inactive.values().map(move |i| i.since.saturating_add(d)))
                 .min()
         });
         for (slot, deadline) in [
@@ -748,6 +1130,16 @@ mod tests {
             .iter()
             .filter_map(|a| match a {
                 ServerAction::Send { to, msg } => Some((*to, msg)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn peer_sends(actions: &[ServerAction]) -> Vec<(ServerId, &PeerMsg)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                ServerAction::SendPeer { to, msg } => Some((*to, msg)),
                 _ => None,
             })
             .collect()
@@ -851,6 +1243,7 @@ mod tests {
                 assert_eq!(outcome.invalidations_sent, 0);
                 assert_eq!(outcome.version, Version(2));
                 assert_eq!(outcome.delay, Duration::ZERO);
+                assert_eq!(outcome.moved_to, None);
             }
             other => panic!("expected commit, got {other:?}"),
         }
@@ -1218,5 +1611,337 @@ mod tests {
         );
         assert_eq!(m.stats().unreachable, 0);
         assert_eq!(m.stats().disconnects, 0);
+    }
+
+    #[test]
+    fn handoff_bumps_epoch_snapshots_objects_and_redirects() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let t0 = Timestamp::ZERO;
+        m.handle(
+            t0,
+            ServerInput::CreateObject {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"a"),
+                version: Version::FIRST,
+            },
+        );
+        // Client 7 holds both leases when the volume departs.
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        // A handoff request for an unhosted volume is ignored.
+        let actions = m.handle(
+            t0,
+            ServerInput::Peer {
+                from: ServerId(99),
+                msg: PeerMsg::HandoffRequest {
+                    volume: VolumeId(5),
+                    to: ServerId(1),
+                },
+            },
+        );
+        assert!(peer_sends(&actions).is_empty());
+        // The coordinator asks for the home volume.
+        let actions = m.handle(
+            Timestamp::from_millis(100),
+            ServerInput::Peer {
+                from: ServerId(99),
+                msg: PeerMsg::HandoffRequest {
+                    volume: VolumeId(0),
+                    to: ServerId(1),
+                },
+            },
+        );
+        let p = peer_sends(&actions);
+        assert_eq!(p.len(), 1);
+        assert_eq!(p[0].0, ServerId(99));
+        match p[0].1 {
+            PeerMsg::Handoff {
+                volume,
+                epoch,
+                max_vol_expiry,
+                objects,
+            } => {
+                assert_eq!(*volume, VolumeId(0));
+                assert_eq!(*epoch, Epoch(1));
+                // Bound covers client 7's volume lease (t0 + 2 s).
+                assert_eq!(*max_vol_expiry, Timestamp::from_secs(2));
+                assert_eq!(
+                    objects.as_slice(),
+                    &[(ObjectId(1), Version::FIRST, Bytes::from_static(b"a"))]
+                );
+            }
+            other => panic!("expected manifest, got {other:?}"),
+        }
+        assert!(!m.hosts(VolumeId(0)));
+        assert_eq!(m.epoch(), Epoch(1));
+        assert_eq!(m.stats().handoffs_out, 1);
+        // A later volume-lease request gets redirected to the new owner.
+        let actions = m.handle(
+            Timestamp::from_millis(200),
+            msg(
+                8,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        match sends(&actions)[0].1 {
+            ServerMsg::WrongShard { volume, owner, .. } => {
+                assert_eq!(*volume, VolumeId(0));
+                assert_eq!(*owner, ServerId(1));
+            }
+            other => panic!("expected redirect, got {other:?}"),
+        }
+        // Ditto for an object-lease request on a moved object.
+        let actions = m.handle(
+            Timestamp::from_millis(200),
+            msg(
+                8,
+                ClientMsg::ReqObjLease {
+                    object: ObjectId(1),
+                    version: Version::NONE,
+                },
+            ),
+        );
+        assert!(matches!(
+            sends(&actions)[0].1,
+            ServerMsg::WrongShard { owner, .. } if *owner == ServerId(1)
+        ));
+        // A write to the moved object completes with a forwarding
+        // address instead of committing locally.
+        let actions = m.handle(
+            Timestamp::from_millis(300),
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"b"),
+            },
+        );
+        match actions.iter().find_map(|a| match a {
+            ServerAction::CompleteWrite { outcome } => Some(outcome),
+            _ => None,
+        }) {
+            Some(outcome) => assert_eq!(outcome.moved_to, Some(ServerId(1))),
+            None => panic!("moved write should complete immediately: {actions:?}"),
+        }
+        assert_eq!(m.stats().redirects, 2);
+    }
+
+    #[test]
+    fn adopted_volume_gates_writes_and_forces_resync() {
+        // Server 1 adopts volume 0 whose previous owner granted leases
+        // through t = 50 s.
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(1)), None);
+        let t0 = Timestamp::from_secs(10);
+        let manifest = PeerMsg::Handoff {
+            volume: VolumeId(0),
+            epoch: Epoch(1),
+            max_vol_expiry: Timestamp::from_secs(50),
+            objects: vec![(ObjectId(1), Version(3), Bytes::from_static(b"x"))],
+        };
+        let actions = m.handle(
+            t0,
+            ServerInput::Peer {
+                from: ServerId(99),
+                msg: manifest.clone(),
+            },
+        );
+        let p = peer_sends(&actions);
+        assert_eq!(p.len(), 1);
+        assert!(matches!(
+            p[0].1,
+            PeerMsg::HandoffAck { volume, epoch }
+                if *volume == VolumeId(0) && *epoch == Epoch(1)
+        ));
+        assert!(m.hosts(VolumeId(0)));
+        assert_eq!(m.stats().handoffs_in, 1);
+        // A duplicate manifest (coordinator retry) re-acks, no reinstall.
+        let actions = m.handle(
+            t0,
+            ServerInput::Peer {
+                from: ServerId(99),
+                msg: manifest,
+            },
+        );
+        assert_eq!(peer_sends(&actions).len(), 1);
+        assert_eq!(m.stats().handoffs_in, 1);
+        // Writes to the adopted volume are gated until every lease the
+        // previous owner granted has expired — exactly the crash gate.
+        let actions = m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(1),
+                data: Bytes::from_static(b"y"),
+            },
+        );
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+            "adopted volume must wait out the loser's leases: {actions:?}"
+        );
+        assert!(actions.iter().any(|a| matches!(
+            a,
+            ServerAction::SetTimer {
+                kind: TimerKind::WriteWait,
+                at
+            } if *at == Timestamp::from_secs(50)
+        )));
+        // ...while the home volume is not gated.
+        let actions = m.handle(
+            t0,
+            ServerInput::Write {
+                object: ObjectId(7),
+                data: Bytes::from_static(b"h"),
+            },
+        );
+        assert!(
+            !actions
+                .iter()
+                .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+            "FIFO: the gated head write blocks the queue: {actions:?}"
+        );
+        // At the gate both writes drain in order.
+        let actions = m.handle(Timestamp::from_secs(50), ServerInput::Tick);
+        let outcomes: Vec<&WriteOutcome> = actions
+            .iter()
+            .filter_map(|a| match a {
+                ServerAction::CompleteWrite { outcome } => Some(outcome),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(outcomes.len(), 2);
+        assert_eq!(outcomes[0].version, Version(4));
+        assert_eq!(outcomes[0].delay, Duration::from_secs(40));
+        // A client arriving with the pre-handoff epoch re-syncs through
+        // MUST_RENEW_ALL — the ordinary reconnection path.
+        let t1 = Timestamp::from_secs(51);
+        let actions = m.handle(
+            t1,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        assert!(matches!(
+            sends(&actions)[0].1,
+            ServerMsg::MustRenewAll { volume } if *volume == VolumeId(0)
+        ));
+        // Its stale copy (version 3; the gainer committed version 4) is
+        // invalidated in the verdict.
+        let actions = m.handle(
+            t1,
+            msg(
+                7,
+                ClientMsg::RenewObjLeases {
+                    volume: VolumeId(0),
+                    leases: vec![(ObjectId(1), Version(3))],
+                },
+            ),
+        );
+        match sends(&actions)[0].1 {
+            ServerMsg::InvalRenew {
+                invalidate, renew, ..
+            } => {
+                assert_eq!(invalidate.as_slice(), &[ObjectId(1)]);
+                assert!(renew.is_empty());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shard_map_redirects_unhosted_volume_requests() {
+        let (mut m, _) = ServerMachine::new(MachineConfig::new(ServerId(0)), None);
+        let map = ShardMap::new(vec![ServerId(0), ServerId(1), ServerId(2)]);
+        // Find a volume each for: owned-by-other and owned-by-self.
+        let foreign = (1..100)
+            .map(VolumeId)
+            .find(|&v| map.owner(v) != Some(ServerId(0)))
+            .expect("some volume lands elsewhere");
+        let self_owned = (1..100)
+            .map(VolumeId)
+            .find(|&v| map.owner(v) == Some(ServerId(0)))
+            .expect("some volume lands here");
+        let t0 = Timestamp::ZERO;
+        m.handle(t0, ServerInput::SetShardMap { map: map.clone() });
+        // Unhosted, owned elsewhere: redirect carrying the map.
+        let actions = m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: foreign,
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        match sends(&actions)[0].1 {
+            ServerMsg::WrongShard {
+                volume,
+                owner,
+                map_version,
+                servers,
+            } => {
+                assert_eq!(*volume, foreign);
+                assert_eq!(Some(*owner), map.owner(foreign));
+                assert_eq!(*map_version, 1);
+                assert_eq!(servers.as_slice(), map.servers());
+            }
+            other => panic!("expected redirect, got {other:?}"),
+        }
+        // Unhosted but map says we own it: drop (no self-redirect loop).
+        let actions = m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: self_owned,
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        assert!(sends(&actions).is_empty());
+        // The home volume still grants normally.
+        let actions = m.handle(
+            t0,
+            msg(
+                7,
+                ClientMsg::ReqVolLease {
+                    volume: VolumeId(0),
+                    epoch: Epoch(0),
+                },
+            ),
+        );
+        assert!(matches!(sends(&actions)[0].1, ServerMsg::VolLease { .. }));
+        // An older map never replaces a newer one.
+        m.handle(
+            t0,
+            ServerInput::SetShardMap {
+                map: ShardMap::with_version(0, vec![ServerId(0)]),
+            },
+        );
+        assert_eq!(m.shard_map().map(ShardMap::version), Some(1));
     }
 }

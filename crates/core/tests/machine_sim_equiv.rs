@@ -152,7 +152,9 @@ impl<'a> Replay<'a> {
                     self.queue.push_back(Env::ToClient { volume, to, msg })
                 }
                 ServerAction::CompleteWrite { outcome } => self.completed.push(outcome),
-                ServerAction::SetTimer { .. } | ServerAction::Persist { .. } => {}
+                ServerAction::SendPeer { .. }
+                | ServerAction::SetTimer { .. }
+                | ServerAction::Persist { .. } => {}
             }
         }
     }
@@ -196,6 +198,7 @@ impl<'a> Replay<'a> {
                             }
                         }
                         ServerMsg::InvalRenew { .. } => self.counts.inval_renew += 1,
+                        ServerMsg::WrongShard { .. } => {}
                     }
                     let cm = self.clients.get_mut(&(to, volume)).expect("known client");
                     for action in cm.handle(now, ClientInput::Msg(msg)) {

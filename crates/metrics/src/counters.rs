@@ -23,11 +23,12 @@ pub enum MessageKind {
     PollReply,
     DataFetch,
     DataReply,
+    WrongShard,
 }
 
 impl MessageKind {
     /// All kinds, in declaration order (for iteration in reports).
-    pub const ALL: [MessageKind; 13] = [
+    pub const ALL: [MessageKind; 14] = [
         MessageKind::ObjLeaseRequest,
         MessageKind::ObjLeaseGrant,
         MessageKind::VolLeaseRequest,
@@ -41,6 +42,7 @@ impl MessageKind {
         MessageKind::PollReply,
         MessageKind::DataFetch,
         MessageKind::DataReply,
+        MessageKind::WrongShard,
     ];
 
     fn index(self) -> usize {
@@ -63,6 +65,7 @@ impl MessageKind {
             MessageKind::PollReply => "POLL_REPLY",
             MessageKind::DataFetch => "GET",
             MessageKind::DataReply => "DATA",
+            MessageKind::WrongShard => "WRONG_SHARD",
         }
     }
 

@@ -6,10 +6,10 @@
 //! and the bytes. The encoding is self-contained per message — framing
 //! (length prefixes) belongs to the transport layer (`vl-net`).
 
-use crate::{ClientMsg, ServerMsg};
+use crate::{ClientMsg, PeerMsg, ServerMsg};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
-use vl_types::{Epoch, ObjectId, Timestamp, Version, VolumeId};
+use vl_types::{Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
 
 /// Error decoding a message.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,18 +38,23 @@ impl std::error::Error for DecodeError {}
 /// field from allocating the moon.
 pub const MAX_FIELD_LEN: u64 = 64 << 20;
 
-// Client tags: 0x01..; server tags: 0x81.. — disjoint so a frame routed
-// to the wrong decoder fails loudly instead of misparsing.
+// Client tags: 0x01..; peer tags: 0x41..; server tags: 0x81.. —
+// disjoint so a frame routed to the wrong decoder fails loudly instead
+// of misparsing.
 const T_REQ_OBJ: u8 = 0x01;
 const T_REQ_VOL: u8 = 0x02;
 const T_RENEW_ALL: u8 = 0x03;
 const T_ACK_OBJ: u8 = 0x04;
 const T_ACK_VOL: u8 = 0x05;
+const T_HANDOFF_REQ: u8 = 0x41;
+const T_HANDOFF: u8 = 0x42;
+const T_HANDOFF_ACK: u8 = 0x43;
 const T_OBJ_LEASE: u8 = 0x81;
 const T_VOL_LEASE: u8 = 0x82;
 const T_INVALIDATE: u8 = 0x83;
 const T_MUST_RENEW: u8 = 0x84;
 const T_INVAL_RENEW: u8 = 0x85;
+const T_WRONG_SHARD: u8 = 0x86;
 
 /// The message name behind a wire tag (a frame's first byte), or `None`
 /// for an unknown tag. This is how transport-level accounting
@@ -62,11 +67,15 @@ pub fn tag_name(tag: u8) -> Option<&'static str> {
         T_RENEW_ALL => "RENEW_OBJ_LEASES",
         T_ACK_OBJ => "ACK_INVALIDATE",
         T_ACK_VOL => "ACK_VOL_BATCH",
+        T_HANDOFF_REQ => "HANDOFF_REQ",
+        T_HANDOFF => "HANDOFF",
+        T_HANDOFF_ACK => "HANDOFF_ACK",
         T_OBJ_LEASE => "OBJ_LEASE",
         T_VOL_LEASE => "VOL_LEASE",
         T_INVALIDATE => "INVALIDATE",
         T_MUST_RENEW => "MUST_RENEW_ALL",
         T_INVAL_RENEW => "INVALIDATE+RENEW",
+        T_WRONG_SHARD => "WRONG_SHARD",
         _ => return None,
     })
 }
@@ -169,6 +178,57 @@ pub fn encode_server(msg: &ServerMsg) -> Bytes {
                 b.put_u64_le(v.0);
                 b.put_u64_le(e.as_millis());
             }
+        }
+        ServerMsg::WrongShard {
+            volume,
+            owner,
+            map_version,
+            servers,
+        } => {
+            b.put_u8(T_WRONG_SHARD);
+            b.put_u32_le(volume.raw());
+            b.put_u32_le(owner.raw());
+            b.put_u64_le(*map_version);
+            b.put_u32_le(servers.len() as u32);
+            for s in servers {
+                b.put_u32_le(s.raw());
+            }
+        }
+    }
+    b.freeze()
+}
+
+/// Encodes a peer (server↔server / coordinator) message.
+pub fn encode_peer(msg: &PeerMsg) -> Bytes {
+    let mut b = BytesMut::with_capacity(64);
+    match msg {
+        PeerMsg::HandoffRequest { volume, to } => {
+            b.put_u8(T_HANDOFF_REQ);
+            b.put_u32_le(volume.raw());
+            b.put_u32_le(to.raw());
+        }
+        PeerMsg::Handoff {
+            volume,
+            epoch,
+            max_vol_expiry,
+            objects,
+        } => {
+            b.put_u8(T_HANDOFF);
+            b.put_u32_le(volume.raw());
+            b.put_u64_le(epoch.0);
+            b.put_u64_le(max_vol_expiry.as_millis());
+            b.put_u32_le(objects.len() as u32);
+            for (o, v, data) in objects {
+                b.put_u64_le(o.raw());
+                b.put_u64_le(v.0);
+                b.put_u32_le(data.len() as u32);
+                b.put_slice(data);
+            }
+        }
+        PeerMsg::HandoffAck { volume, epoch } => {
+            b.put_u8(T_HANDOFF_ACK);
+            b.put_u32_le(volume.raw());
+            b.put_u64_le(epoch.0);
         }
     }
     b.freeze()
@@ -318,6 +378,67 @@ pub fn decode_server(mut buf: &[u8]) -> Result<ServerMsg, DecodeError> {
                 renew,
             }
         }
+        T_WRONG_SHARD => {
+            let volume = VolumeId(get_u32(&mut buf)?);
+            let owner = ServerId(get_u32(&mut buf)?);
+            let map_version = get_u64(&mut buf)?;
+            let n = get_len(&mut buf)?;
+            let mut servers = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                servers.push(ServerId(get_u32(&mut buf)?));
+            }
+            ServerMsg::WrongShard {
+                volume,
+                owner,
+                map_version,
+                servers,
+            }
+        }
+        other => return Err(DecodeError::BadTag(other)),
+    };
+    if buf.has_remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    Ok(msg)
+}
+
+/// Decodes a peer (server↔server / coordinator) message.
+///
+/// # Errors
+///
+/// Same conditions as [`decode_client`].
+pub fn decode_peer(mut buf: &[u8]) -> Result<PeerMsg, DecodeError> {
+    need(&buf, 1)?;
+    let tag = buf.get_u8();
+    let msg = match tag {
+        T_HANDOFF_REQ => PeerMsg::HandoffRequest {
+            volume: VolumeId(get_u32(&mut buf)?),
+            to: ServerId(get_u32(&mut buf)?),
+        },
+        T_HANDOFF => {
+            let volume = VolumeId(get_u32(&mut buf)?);
+            let epoch = Epoch(get_u64(&mut buf)?);
+            let max_vol_expiry = Timestamp::from_millis(get_u64(&mut buf)?);
+            let n = get_len(&mut buf)?;
+            let mut objects = Vec::with_capacity(n.min(1024));
+            for _ in 0..n {
+                let o = ObjectId(get_u64(&mut buf)?);
+                let v = Version(get_u64(&mut buf)?);
+                let len = get_len(&mut buf)?;
+                need(&buf, len)?;
+                objects.push((o, v, buf.copy_to_bytes(len)));
+            }
+            PeerMsg::Handoff {
+                volume,
+                epoch,
+                max_vol_expiry,
+                objects,
+            }
+        }
+        T_HANDOFF_ACK => PeerMsg::HandoffAck {
+            volume: VolumeId(get_u32(&mut buf)?),
+            epoch: Epoch(get_u64(&mut buf)?),
+        },
         other => return Err(DecodeError::BadTag(other)),
     };
     if buf.has_remaining() {
@@ -397,6 +518,46 @@ mod tests {
                 invalidate: vec![ObjectId(1)],
                 renew: vec![(ObjectId(2), Version(3), Timestamp::from_secs(99))],
             },
+            ServerMsg::WrongShard {
+                volume: VolumeId(4),
+                owner: ServerId(2),
+                map_version: 7,
+                servers: vec![ServerId(0), ServerId(1), ServerId(2)],
+            },
+            ServerMsg::WrongShard {
+                volume: VolumeId(4),
+                owner: ServerId(u32::MAX),
+                map_version: 0,
+                servers: vec![],
+            },
+        ]
+    }
+
+    fn peer_samples() -> Vec<PeerMsg> {
+        vec![
+            PeerMsg::HandoffRequest {
+                volume: VolumeId(3),
+                to: ServerId(1),
+            },
+            PeerMsg::Handoff {
+                volume: VolumeId(3),
+                epoch: Epoch(5),
+                max_vol_expiry: Timestamp::from_millis(123_456),
+                objects: vec![
+                    (ObjectId(1), Version(2), Bytes::from_static(b"payload")),
+                    (ObjectId(u64::MAX), Version(u64::MAX), Bytes::new()),
+                ],
+            },
+            PeerMsg::Handoff {
+                volume: VolumeId(0),
+                epoch: Epoch(1),
+                max_vol_expiry: Timestamp::MAX,
+                objects: vec![],
+            },
+            PeerMsg::HandoffAck {
+                volume: VolumeId(3),
+                epoch: Epoch(5),
+            },
         ]
     }
 
@@ -417,6 +578,14 @@ mod tests {
     }
 
     #[test]
+    fn peer_messages_roundtrip() {
+        for msg in peer_samples() {
+            let bytes = encode_peer(&msg);
+            assert_eq!(decode_peer(&bytes).unwrap(), msg, "{}", msg.name());
+        }
+    }
+
+    #[test]
     fn truncation_is_detected_at_every_length() {
         for msg in server_samples() {
             let bytes = encode_server(&msg);
@@ -433,6 +602,17 @@ mod tests {
             let bytes = encode_client(&msg);
             for cut in 0..bytes.len() {
                 assert!(decode_client(&bytes[..cut]).is_err());
+            }
+        }
+        for msg in peer_samples() {
+            let bytes = encode_peer(&msg);
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_peer(&bytes[..cut]).is_err(),
+                    "{} decoded from {cut}/{} bytes",
+                    msg.name(),
+                    bytes.len()
+                );
             }
         }
     }
@@ -457,6 +637,14 @@ mod tests {
             object: ObjectId(1),
         });
         assert!(matches!(decode_client(&s), Err(DecodeError::BadTag(_))));
+        let p = encode_peer(&PeerMsg::HandoffAck {
+            volume: VolumeId(1),
+            epoch: Epoch(1),
+        });
+        assert!(matches!(decode_client(&p), Err(DecodeError::BadTag(_))));
+        assert!(matches!(decode_server(&p), Err(DecodeError::BadTag(_))));
+        assert!(matches!(decode_peer(&c), Err(DecodeError::BadTag(_))));
+        assert!(matches!(decode_peer(&s), Err(DecodeError::BadTag(_))));
     }
 
     #[test]
@@ -481,6 +669,32 @@ mod tests {
     fn empty_buffer_rejected() {
         assert_eq!(decode_client(&[]), Err(DecodeError::Truncated));
         assert_eq!(decode_server(&[]), Err(DecodeError::Truncated));
+        assert_eq!(decode_peer(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected_on_peer_frames() {
+        let mut bytes = encode_peer(&PeerMsg::HandoffRequest {
+            volume: VolumeId(1),
+            to: ServerId(2),
+        })
+        .to_vec();
+        bytes.push(0xFF);
+        assert_eq!(decode_peer(&bytes), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn oversized_handoff_object_list_rejected() {
+        let mut b = BytesMut::new();
+        b.put_u8(T_HANDOFF);
+        b.put_u32_le(1);
+        b.put_u64_le(2);
+        b.put_u64_le(3);
+        b.put_u32_le(u32::MAX); // absurd object count
+        assert!(matches!(
+            decode_peer(&b),
+            Err(DecodeError::TooLarge(_)) | Err(DecodeError::Truncated)
+        ));
     }
 
     #[test]
@@ -491,6 +705,10 @@ mod tests {
         }
         for msg in server_samples() {
             let bytes = encode_server(&msg);
+            assert_eq!(tag_name(bytes[0]), Some(msg.name()));
+        }
+        for msg in peer_samples() {
+            let bytes = encode_peer(&msg);
             assert_eq!(tag_name(bytes[0]), Some(msg.name()));
         }
         assert_eq!(tag_name(0x7F), None);

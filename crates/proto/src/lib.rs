@@ -40,7 +40,7 @@
 pub mod codec;
 
 use bytes::Bytes;
-use vl_types::{Epoch, ObjectId, Timestamp, Version, VolumeId};
+use vl_types::{Epoch, ObjectId, ServerId, Timestamp, Version, VolumeId};
 
 /// Messages a client sends to a server.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -134,6 +134,77 @@ pub enum ServerMsg {
         /// Fresh objects: leases renewed to the given expiries.
         renew: Vec<(ObjectId, Version, Timestamp)>,
     },
+    /// `WRONG_SHARD(volId, owner)`: this server does not host the
+    /// volume (any more). The client should retry at `owner` and, when
+    /// `map_version` beats the map it holds, adopt the attached
+    /// membership list as its new shard map. An empty `servers` list
+    /// with `map_version` 0 is a bare redirect (the server knows the
+    /// new owner of a departed volume but holds no full map).
+    WrongShard {
+        /// The volume the client asked about.
+        volume: VolumeId,
+        /// The server that owns it now.
+        owner: ServerId,
+        /// Version of the redirecting server's shard map (0 = none).
+        map_version: u64,
+        /// Membership list of that map (empty when `map_version` is 0).
+        servers: Vec<ServerId>,
+    },
+}
+
+/// Messages exchanged between servers (and the `vl rebalance`
+/// coordinator) to move a volume — the planned-handoff analogue of the
+/// paper's crash-recovery epoch bump (§3.1.2).
+///
+/// The flow is coordinator-mediated so it works identically over the
+/// in-memory transport and TCP, with no server-to-server dial-out: the
+/// coordinator sends [`PeerMsg::HandoffRequest`] to the losing server,
+/// relays the resulting [`PeerMsg::Handoff`] manifest to the gaining
+/// server, and receives [`PeerMsg::HandoffAck`] once the volume is
+/// installed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PeerMsg {
+    /// Coordinator → losing server: give up `volume`, destined for `to`.
+    HandoffRequest {
+        /// The volume to hand off.
+        volume: VolumeId,
+        /// The server that will adopt it.
+        to: ServerId,
+    },
+    /// Losing server → coordinator → gaining server: the volume
+    /// manifest. The epoch is already bumped past every lease the loser
+    /// granted, and `max_vol_expiry` upper-bounds those leases, so the
+    /// gainer can gate writes exactly as after a crash.
+    Handoff {
+        /// The volume being moved.
+        volume: VolumeId,
+        /// The volume's new epoch (loser's epoch + 1).
+        epoch: Epoch,
+        /// Latest expiry of any volume lease the loser ever granted;
+        /// the gainer must delay writes until this passes.
+        max_vol_expiry: Timestamp,
+        /// Every object of the volume: id, current version, data.
+        objects: Vec<(ObjectId, Version, Bytes)>,
+    },
+    /// Gaining server → coordinator: the volume is installed and
+    /// serving at `epoch`.
+    HandoffAck {
+        /// The adopted volume.
+        volume: VolumeId,
+        /// The epoch it is serving at.
+        epoch: Epoch,
+    },
+}
+
+impl PeerMsg {
+    /// A short tag for logging.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PeerMsg::HandoffRequest { .. } => "HANDOFF_REQ",
+            PeerMsg::Handoff { .. } => "HANDOFF",
+            PeerMsg::HandoffAck { .. } => "HANDOFF_ACK",
+        }
+    }
 }
 
 impl ClientMsg {
@@ -158,6 +229,7 @@ impl ServerMsg {
             ServerMsg::Invalidate { .. } => "INVALIDATE",
             ServerMsg::MustRenewAll { .. } => "MUST_RENEW_ALL",
             ServerMsg::InvalRenew { .. } => "INVALIDATE+RENEW",
+            ServerMsg::WrongShard { .. } => "WRONG_SHARD",
         }
     }
 }

@@ -49,9 +49,11 @@
 #![warn(missing_debug_implementations)]
 
 mod clock;
+mod rebalance;
 mod server;
 mod stable;
 
 pub use clock::WallClock;
+pub use rebalance::{rebalance, RebalanceError, RebalanceOutcome};
 pub use server::{LeaseServer, ServerConfig, ServerHandle, ServerStats, WriteMode, WriteOutcome};
 pub use stable::StableRecord;

@@ -31,7 +31,9 @@ use vl_metrics::trace::{Event as TraceEvent, EventKind};
 use vl_metrics::TraceSink;
 use vl_net::{Channel, NetError, NodeId};
 use vl_proto::codec;
-use vl_types::{ClientId, Clock, Duration, ObjectId, ServerId, Timestamp, Version, VolumeId};
+use vl_types::{
+    ClientId, Clock, Duration, ObjectId, ServerId, ShardMap, Timestamp, Version, VolumeId,
+};
 
 pub use vl_core::machine::{ServerStats, WriteMode, WriteOutcome};
 
@@ -98,6 +100,11 @@ enum Command {
     },
     Stats {
         reply: Sender<ServerStats>,
+    },
+    /// Adopt a (newer) shard map for `WRONG_SHARD` redirects.
+    SetShardMap {
+        map: ShardMap,
+        reply: Sender<()>,
     },
     /// Abrupt stop: volatile state is lost (only stable storage
     /// survives), as in a real crash.
@@ -245,6 +252,16 @@ impl ServerHandle {
         done.recv().expect("server loop alive")
     }
 
+    /// Hands the server a shard map to redirect by. Maps older than the
+    /// one it already holds are ignored (the machine keeps the newest).
+    pub fn set_shard_map(&self, map: ShardMap) {
+        let (reply, done) = bounded(1);
+        self.cmd
+            .send(Event::Cmd(Command::SetShardMap { map, reply }))
+            .expect("server loop alive");
+        done.recv().expect("server loop alive");
+    }
+
     /// Snapshot of server statistics.
     pub fn stats(&self) -> ServerStats {
         let (reply, done) = bounded(1);
@@ -369,16 +386,24 @@ impl<C: Clock> Driver<C> {
                     Command::Stats { reply } => {
                         let _ = reply.send(self.machine.stats());
                     }
+                    Command::SetShardMap { map, reply } => {
+                        self.step(ServerInput::SetShardMap { map });
+                        let _ = reply.send(());
+                    }
                     Command::Crash | Command::Shutdown => return self.exit(),
                 },
-                Ok(Event::Net { from, bytes }) => {
-                    if let NodeId::Client(client) = from {
-                        match codec::decode_client(&bytes) {
-                            Ok(msg) => self.step(ServerInput::Msg { from: client, msg }),
-                            Err(_) => { /* corrupt frame: drop, as UDP would */ }
-                        }
-                    }
-                }
+                Ok(Event::Net { from, bytes }) => match from {
+                    NodeId::Client(client) => match codec::decode_client(&bytes) {
+                        Ok(msg) => self.step(ServerInput::Msg { from: client, msg }),
+                        Err(_) => { /* corrupt frame: drop, as UDP would */ }
+                    },
+                    // Peer traffic: another server or the rebalance
+                    // coordinator driving the volume-handoff exchange.
+                    NodeId::Server(peer) => match codec::decode_peer(&bytes) {
+                        Ok(msg) => self.step(ServerInput::Peer { from: peer, msg }),
+                        Err(_) => { /* corrupt frame: drop */ }
+                    },
+                },
                 // Transport-level connection loss: demote that client to
                 // the unreachable set so the next handshake is a full
                 // MUST_RENEW_ALL reconnect (leases themselves are
@@ -511,6 +536,11 @@ impl<C: Clock> Driver<C> {
                     let _ = self
                         .endpoint
                         .send(NodeId::Client(to), codec::encode_server(&msg));
+                }
+                ServerAction::SendPeer { to, msg } => {
+                    let _ = self
+                        .endpoint
+                        .send(NodeId::Server(to), codec::encode_peer(&msg));
                 }
                 ServerAction::SetTimer { kind, at } => {
                     let idx = match kind {

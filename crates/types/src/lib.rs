@@ -35,8 +35,10 @@
 
 mod id;
 mod lease;
+mod shard;
 mod time;
 
 pub use id::{ClientId, Epoch, ObjectId, ServerId, Version, VolumeId};
 pub use lease::{LeaseSet, LEASE_RECORD_BYTES};
+pub use shard::ShardMap;
 pub use time::{Clock, Duration, Timestamp};

@@ -1,0 +1,230 @@
+//! Volume → server placement via rendezvous (highest-random-weight)
+//! hashing.
+//!
+//! The paper evaluates 1000 *independent* servers; a production
+//! deployment is one *service* whose volumes are spread across a small
+//! fleet. The [`ShardMap`] is the routing table for that service: a
+//! versioned membership list from which any party — client, server, or
+//! the `vl rebalance` coordinator — can deterministically compute which
+//! server owns a volume, with no per-volume state.
+//!
+//! Rendezvous hashing gives the two properties the handoff protocol
+//! needs:
+//!
+//! * **Determinism** — `owner(v)` depends only on `(v, servers)`, so a
+//!   client and a server holding the same map always agree.
+//! * **Minimal reassignment** — removing a server moves only the
+//!   volumes it owned; adding one steals only the volumes it now wins.
+//!   Volumes never shuffle between surviving servers, so a membership
+//!   change triggers the fewest possible epoch-bumped handoffs.
+//!
+//! The `version` field is a monotonically increasing map epoch: every
+//! membership change bumps it, and a client that receives a redirect
+//! carrying a newer map replaces its own (never the reverse).
+
+use crate::{ServerId, VolumeId};
+
+/// A versioned volume → server routing table (rendezvous hashing).
+///
+/// # Examples
+///
+/// ```
+/// use vl_types::{ServerId, ShardMap, VolumeId};
+///
+/// let map = ShardMap::new(vec![ServerId(0), ServerId(1), ServerId(2)]);
+/// let owner = map.owner(VolumeId(7)).unwrap();
+/// assert!(map.servers().contains(&owner));
+/// // Placement is deterministic.
+/// assert_eq!(map.owner(VolumeId(7)), Some(owner));
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct ShardMap {
+    version: u64,
+    /// Sorted, deduplicated membership list.
+    servers: Vec<ServerId>,
+}
+
+/// `splitmix64` finalizer: a cheap, high-quality 64-bit mixer. Used to
+/// turn `(volume, server)` pairs into uniform weights for the
+/// rendezvous argmax.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Rendezvous weight of `server` for `volume`. The argmax over servers
+/// defines ownership; mixing the two ids separately before combining
+/// keeps weights of distinct servers independent for a fixed volume.
+fn weight(volume: VolumeId, server: ServerId) -> u64 {
+    mix(u64::from(volume.raw()) ^ mix(0x5eed_0000_0000_0000 | u64::from(server.raw())))
+}
+
+impl ShardMap {
+    /// Builds a map at version 1 over the given servers. Duplicates are
+    /// dropped and order is irrelevant: two maps built from the same
+    /// membership set are equal.
+    pub fn new(servers: Vec<ServerId>) -> Self {
+        Self::with_version(1, servers)
+    }
+
+    /// Builds a map with an explicit version — used when reconstructing
+    /// a map received over the wire.
+    pub fn with_version(version: u64, mut servers: Vec<ServerId>) -> Self {
+        servers.sort_unstable();
+        servers.dedup();
+        Self { version, servers }
+    }
+
+    /// The map's version; membership changes bump it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The membership list, sorted and deduplicated.
+    pub fn servers(&self) -> &[ServerId] {
+        &self.servers
+    }
+
+    /// Returns `true` if the map has no servers (placement undefined).
+    pub fn is_empty(&self) -> bool {
+        self.servers.is_empty()
+    }
+
+    /// The server that owns `volume`: the member with the highest
+    /// rendezvous weight. `None` only for an empty map. Ties (a 2⁻⁶⁴
+    /// event) break toward the lower server id, deterministically.
+    pub fn owner(&self, volume: VolumeId) -> Option<ServerId> {
+        self.servers
+            .iter()
+            .copied()
+            .max_by_key(|&s| (weight(volume, s), std::cmp::Reverse(s)))
+    }
+
+    /// Adds a server, bumping the version. No-op (version included) if
+    /// it is already a member.
+    pub fn add(&mut self, server: ServerId) {
+        if let Err(pos) = self.servers.binary_search(&server) {
+            self.servers.insert(pos, server);
+            self.version += 1;
+        }
+    }
+
+    /// Removes a server, bumping the version. No-op if absent.
+    pub fn remove(&mut self, server: ServerId) {
+        if let Ok(pos) = self.servers.binary_search(&server) {
+            self.servers.remove(pos);
+            self.version += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn map3() -> ShardMap {
+        ShardMap::new(vec![ServerId(0), ServerId(1), ServerId(2)])
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_membership_order_free() {
+        let a = ShardMap::new(vec![ServerId(2), ServerId(0), ServerId(1), ServerId(0)]);
+        let b = map3();
+        assert_eq!(a, b);
+        for v in 0..1000 {
+            let owner = a.owner(VolumeId(v)).expect("non-empty");
+            assert_eq!(b.owner(VolumeId(v)), Some(owner));
+            assert!(a.servers().contains(&owner));
+        }
+    }
+
+    #[test]
+    fn empty_map_has_no_owner() {
+        let m = ShardMap::new(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.owner(VolumeId(1)), None);
+    }
+
+    #[test]
+    fn balance_within_2x_of_ideal_across_1000_volumes() {
+        // Satellite requirement: for fleet sizes 2..8, rendezvous
+        // placement of 1000 volumes keeps every server within ~2x of
+        // the ideal even share.
+        for n in 2u32..=8 {
+            let map = ShardMap::new((0..n).map(ServerId).collect());
+            let mut counts: BTreeMap<ServerId, u64> = BTreeMap::new();
+            for v in 0..1000 {
+                *counts.entry(map.owner(VolumeId(v)).unwrap()).or_insert(0) += 1;
+            }
+            let ideal = 1000.0 / f64::from(n);
+            for (&s, &c) in &counts {
+                let c = c as f64;
+                assert!(
+                    c < 2.0 * ideal && c > ideal / 2.0,
+                    "fleet of {n}: server {s} owns {c} volumes, ideal {ideal:.0}"
+                );
+            }
+            // Every server owns something.
+            assert_eq!(counts.len(), n as usize);
+        }
+    }
+
+    #[test]
+    fn removal_moves_only_the_removed_servers_volumes() {
+        // Satellite requirement: minimal reassignment. Removing s1
+        // must relocate exactly the volumes s1 owned; everything else
+        // stays put.
+        let before = ShardMap::new((0..5).map(ServerId).collect());
+        let mut after = before.clone();
+        after.remove(ServerId(1));
+        assert_eq!(after.version(), before.version() + 1);
+        for v in 0..1000 {
+            let v = VolumeId(v);
+            let was = before.owner(v).unwrap();
+            let is = after.owner(v).unwrap();
+            if was == ServerId(1) {
+                assert_ne!(is, ServerId(1), "{v} still on removed server");
+            } else {
+                assert_eq!(is, was, "{v} moved although its owner survived");
+            }
+        }
+    }
+
+    #[test]
+    fn addition_steals_only_for_the_new_server() {
+        let before = map3();
+        let mut after = before.clone();
+        after.add(ServerId(3));
+        assert_eq!(after.version(), 2);
+        let mut stolen = 0u64;
+        for v in 0..1000 {
+            let v = VolumeId(v);
+            let was = before.owner(v).unwrap();
+            let is = after.owner(v).unwrap();
+            if is != was {
+                assert_eq!(is, ServerId(3), "{v} moved to a pre-existing server");
+                stolen += 1;
+            }
+        }
+        // The newcomer takes roughly a quarter of the keyspace.
+        assert!(
+            (100..500).contains(&stolen),
+            "new server stole {stolen} of 1000 volumes"
+        );
+    }
+
+    #[test]
+    fn add_and_remove_are_idempotent_on_membership() {
+        let mut m = map3();
+        m.add(ServerId(1)); // already present
+        assert_eq!(m.version(), 1);
+        m.remove(ServerId(9)); // absent
+        assert_eq!(m.version(), 1);
+        m.remove(ServerId(1));
+        assert_eq!(m.version(), 2);
+        assert_eq!(m.servers(), &[ServerId(0), ServerId(2)]);
+    }
+}

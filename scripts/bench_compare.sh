@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: compares a freshly produced benchmark JSON
+# against the baseline committed at HEAD and fails on a throughput
+# regression beyond the tolerance.
+#
+#   bench_compare.sh sweep [FRESH]   compare BENCH_sweep.json
+#                                    (parallel_events_per_sec)
+#   bench_compare.sh live  [FRESH]   compare BENCH_live.json
+#                                    (best per-connection renewal
+#                                    efficiency across the matrix)
+#
+# FRESH defaults to the file at the repo root, i.e. whatever
+# bench_smoke.sh / bench_live.sh just wrote over the committed copy;
+# the baseline is recovered with `git show HEAD:<file>`, so the gate
+# needs no extra state and PRs that intentionally re-baseline simply
+# commit the new numbers.
+#
+# The live metric is renewals/s · t_v / connections — the fraction of
+# the theoretical renewal rate (each client renews once per t_v) the
+# transport actually sustained. Normalizing makes the gate insensitive
+# to the run's scale, so the CI smoke run (1k clients) is comparable
+# to the committed multicore baseline (2k–16k clients).
+#
+# Skips (exit 0, with a warning) when there is no committed baseline,
+# the baseline is unreadable, or the sweep presets differ — a gate
+# that cannot compare must not fail the build.
+#
+# env: VL_BENCH_TOLERANCE   allowed regression, percent (default 25)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-}"
+TOLERANCE="${VL_BENCH_TOLERANCE:-25}"
+
+case "$MODE" in
+sweep) FILE="${2:-BENCH_sweep.json}" BASE_PATH="BENCH_sweep.json" ;;
+live) FILE="${2:-BENCH_live.json}" BASE_PATH="BENCH_live.json" ;;
+*)
+    echo "usage: bench_compare.sh sweep|live [FRESH_JSON]" >&2
+    exit 2
+    ;;
+esac
+
+if [ ! -f "$FILE" ]; then
+    echo "error: fresh benchmark $FILE does not exist" >&2
+    exit 1
+fi
+
+baseline=$(mktemp)
+trap 'rm -f "$baseline"' EXIT
+if ! git show "HEAD:${BASE_PATH}" >"$baseline" 2>/dev/null; then
+    echo "warning: no committed baseline ${BASE_PATH} at HEAD — skipping the regression gate" >&2
+    exit 0
+fi
+
+export VL_CMP_MODE="$MODE" VL_CMP_FRESH="$FILE" VL_CMP_BASE="$baseline" VL_CMP_TOL="$TOLERANCE"
+python3 - <<'PY'
+import json, os, sys
+
+mode = os.environ["VL_CMP_MODE"]
+tol = float(os.environ["VL_CMP_TOL"])
+
+def load(path, role):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"warning: cannot read {role} benchmark ({e}) — skipping the regression gate",
+              file=sys.stderr)
+        sys.exit(0)
+
+fresh = load(os.environ["VL_CMP_FRESH"], "fresh")
+base = load(os.environ["VL_CMP_BASE"], "baseline")
+
+if mode == "sweep":
+    if fresh.get("benchmark") != base.get("benchmark"):
+        print(f"warning: sweep presets differ (fresh: {fresh.get('benchmark')!r}, "
+              f"baseline: {base.get('benchmark')!r}) — skipping the regression gate",
+              file=sys.stderr)
+        sys.exit(0)
+    metric = "parallel_events_per_sec"
+    new, old = float(fresh[metric]), float(base[metric])
+else:
+    # Best sustained fraction of the theoretical renewal rate
+    # (renewals/s * t_v / connections) across the run matrix.
+    def efficiency(doc):
+        best = 0.0
+        for run in doc.get("runs", []):
+            conns = float(run["connections"])
+            if conns > 0:
+                best = max(best, float(run["renewals_per_sec"])
+                           * float(run["tv_ms"]) / 1000.0 / conns)
+        return best
+    metric = "renewal efficiency (renewals/s * t_v / connections)"
+    new, old = efficiency(fresh), efficiency(base)
+
+if old <= 0:
+    print(f"warning: baseline {metric} is {old} — skipping the regression gate",
+          file=sys.stderr)
+    sys.exit(0)
+
+floor = old * (100.0 - tol) / 100.0
+change = 100.0 * (new - old) / old
+print(f"{mode}: {metric}")
+print(f"  baseline {old:.4g}  fresh {new:.4g}  ({change:+.1f}%, floor {floor:.4g} "
+      f"at -{tol:.0f}%)")
+if new < floor:
+    sys.exit(f"REGRESSION: fresh {metric} {new:.4g} is more than {tol:.0f}% below "
+             f"the committed baseline {old:.4g}")
+print("  within tolerance")
+PY

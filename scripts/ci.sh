@@ -32,7 +32,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "==> scripts/bench_smoke.sh"
 ./scripts/bench_smoke.sh "${VL_THREADS:-$(nproc 2>/dev/null || echo 4)}"
 
+echo "==> scripts/bench_compare.sh sweep (regression gate vs committed baseline)"
+# Auto-skips when the presets differ (the test job runs the smoke
+# preset; only the full-preset sweep is comparable to the baseline).
+./scripts/bench_compare.sh sweep
+
 echo "==> scripts/bench_live.sh (1k clients/reactor, reactor matrix 1,4)"
 ./scripts/bench_live.sh 1000 5 1,4
+
+echo "==> scripts/bench_compare.sh live (regression gate vs committed baseline)"
+./scripts/bench_compare.sh live
 
 echo "==> CI gate passed"

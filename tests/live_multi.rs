@@ -1,14 +1,17 @@
 //! Multi-origin client integration: one browser-like cache against three
 //! independent lease servers, including the paper's failure-isolation
 //! property — a partition to one origin only affects that origin's
-//! objects.
+//! objects — and the sharded-service extension: live volume handoffs
+//! under chaos, with redirects re-aiming the client and the ordinary
+//! `MUST_RENEW_ALL` path re-syncing it.
 
 use bytes::Bytes;
-use std::time::Duration as StdDuration;
+use std::time::{Duration as StdDuration, Instant};
 use vl_client::{MultiCache, MultiConfig, ObjectLocation, ReadError};
+use vl_net::chaos::{ChaosNet, ChaosProfile};
 use vl_net::{InMemoryNetwork, NodeId};
-use vl_server::{LeaseServer, ServerConfig, ServerHandle, WallClock};
-use vl_types::{ClientId, ObjectId, ServerId};
+use vl_server::{rebalance, LeaseServer, ServerConfig, ServerHandle, WallClock};
+use vl_types::{ClientId, Duration, Epoch, ObjectId, ServerId, VolumeId};
 
 const ORIGINS: u32 = 3;
 const ME: ClientId = ClientId(1);
@@ -147,6 +150,319 @@ fn partition_isolates_failures_to_one_origin() {
             .unwrap()[..],
         b"s0o0v1"
     );
+    cache.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// The CI chaos matrix sets `VL_CHAOS_PROFILE`; locally the test runs
+/// the `drops` profile by default.
+fn chaos_profile() -> ChaosProfile {
+    std::env::var("VL_CHAOS_PROFILE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(ChaosProfile::Drops)
+}
+
+/// Payloads are `s<server>o<object>v<version>`; the version suffix lets
+/// reads prove freshness.
+fn version_of(data: &[u8]) -> u64 {
+    let s = std::str::from_utf8(data).expect("utf8 payload");
+    s.rsplit('v').next().unwrap().parse().expect("v<N> suffix")
+}
+
+/// Polls `cond` until it holds or `for_ms` elapses.
+fn eventually(for_ms: u64, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + StdDuration::from_millis(for_ms);
+    while Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(StdDuration::from_millis(10));
+    }
+    cond()
+}
+
+/// Writes `data` at whichever server currently owns the object's
+/// volume, following `moved_to` forwarding across an in-flight handoff.
+/// Returns the final outcome and the owner that committed it.
+fn write_at_owner(
+    servers: &[ServerHandle],
+    mut owner: usize,
+    object: ObjectId,
+    data: &Bytes,
+) -> (vl_server::WriteOutcome, usize) {
+    for _ in 0..servers.len() + 1 {
+        let out = servers[owner].write(object, data.clone());
+        match out.moved_to {
+            None => return (out, owner),
+            Some(next) => owner = next.raw() as usize,
+        }
+    }
+    panic!("write chased moved_to in a cycle");
+}
+
+/// The tentpole acceptance test: a 3-server fleet serving one client
+/// through a chaos-wrapped endpoint (profile from `VL_CHAOS_PROFILE`)
+/// while volume 0 migrates 0 → 1 → 2 mid-run, live. Every server
+/// writes a JSONL trace to `target/chaos/` — the CI matrix uploads
+/// them when the test fails — and the run must show:
+///
+/// * zero stale reads (versions never go backwards, and post-quiesce
+///   reads converge on the last committed version);
+/// * write delay bounded by t_v plus slack even across the migration
+///   (the gainer's write gate is the loser's max lease expiry);
+/// * the client re-syncing through WRONG_SHARD redirects and the
+///   ordinary MUST_RENEW_ALL reconnection — no new client states.
+#[test]
+fn handoff_under_chaos_keeps_reads_fresh_and_writes_bounded() {
+    let profile = chaos_profile();
+    let seed: u64 = std::env::var("VL_CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let t_v = StdDuration::from_millis(400);
+    let chaos = ChaosNet::new(profile.config(seed));
+    let net = InMemoryNetwork::new();
+    let clock = WallClock::new();
+
+    let trace_dir = std::path::Path::new("target/chaos");
+    std::fs::create_dir_all(trace_dir).unwrap();
+    let servers: Vec<ServerHandle> = (0..ORIGINS)
+        .map(|s| {
+            let sink = vl_metrics::JsonlSink::new(
+                std::fs::File::create(trace_dir.join(format!("{profile}-s{s}.jsonl"))).unwrap(),
+            );
+            let handle = LeaseServer::spawn_traced(
+                ServerConfig {
+                    volume_lease: t_v,
+                    object_lease: StdDuration::from_secs(10),
+                    ..ServerConfig::new(ServerId(s))
+                },
+                net.endpoint(NodeId::Server(ServerId(s))),
+                clock,
+                Box::new(sink),
+            );
+            for i in 0..3 {
+                handle.create_object(obj(s, i), Bytes::from(format!("s{s}o{i}v1")));
+            }
+            handle
+        })
+        .collect();
+
+    // Only the client's endpoint goes through the fault injector: the
+    // data plane is hostile, the coordinator's control plane reliable
+    // (the loser ships its manifest exactly once).
+    let cache = MultiCache::spawn(
+        MultiConfig {
+            request_timeout: StdDuration::from_millis(150),
+            max_retries: 40,
+            ..MultiConfig::new(ME)
+        },
+        chaos.wrap(net.endpoint(NodeId::Client(ME))),
+        clock,
+    );
+    let coord = net.endpoint(NodeId::Server(ServerId(1000)));
+
+    // Warm every volume so the client holds leases that the handoffs
+    // will force through resync.
+    for s in 0..ORIGINS {
+        assert!(
+            eventually(10_000, || cache
+                .read(ObjectLocation::origin(ServerId(s)), obj(s, 0))
+                .is_ok()),
+            "warm-up read of origin {s} never succeeded under {profile}"
+        );
+    }
+
+    let target = obj(0, 0);
+    let at = ObjectLocation::origin(ServerId(0));
+    let mut version = 1u64;
+    let mut last_seen = 1u64;
+    let mut owner = 0usize;
+    let mut successes = 0u32;
+    let delay_bound = Duration::from_millis(t_v.as_millis() as u64 + 2_000);
+    for round in 0..12u32 {
+        // Two live migrations of volume 0 mid-run: 0 → 1, then 1 → 2.
+        if round == 4 || round == 8 {
+            let to = ServerId(if round == 4 { 1 } else { 2 });
+            let out = rebalance(
+                &coord,
+                ServerId(owner as u32),
+                &coord,
+                to,
+                VolumeId(0),
+                StdDuration::from_secs(5),
+            )
+            .expect("handoff completes");
+            assert_eq!(out.epoch, Epoch(u64::from(round) / 4), "epoch per handoff");
+            assert_eq!(out.objects, 3, "manifest ships the whole volume");
+            owner = to.raw() as usize;
+        }
+        version += 1;
+        let (out, now_at) = write_at_owner(
+            &servers,
+            owner,
+            target,
+            &Bytes::from(format!("s0o0v{version}")),
+        );
+        owner = now_at;
+        assert!(
+            out.delay <= delay_bound,
+            "round {round}: write delayed {} — exceeds t_v + slack across the migration",
+            out.delay
+        );
+        for _ in 0..3 {
+            if let Ok(data) = cache.read(at, target) {
+                let v = version_of(&data);
+                assert!(v >= last_seen, "stale read: v{v} after v{last_seen}");
+                last_seen = v;
+                successes += 1;
+            }
+        }
+    }
+    assert!(successes > 0, "chaos never let a single read through");
+    assert_eq!(owner, 2, "volume 0 should have ended on server 2");
+
+    // Faults stop; the client must converge on the latest version at
+    // the final owner, purely via redirects + reconnection.
+    chaos.stop();
+    version += 1;
+    let (_, owner) = write_at_owner(
+        &servers,
+        owner,
+        target,
+        &Bytes::from(format!("s0o0v{version}")),
+    );
+    assert!(
+        eventually(10_000, || cache
+            .read(at, target)
+            .is_ok_and(|d| version_of(&d) == version)),
+        "client never converged on v{version} after chaos stopped"
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.redirects >= 1,
+        "the moved volume never redirected the client: {stats:?}"
+    );
+    assert!(
+        stats.reconnections >= 1,
+        "epoch bumps never forced a MUST_RENEW_ALL resync: {stats:?}"
+    );
+    assert!(
+        servers[owner].stats().handoffs_in >= 1,
+        "final owner never recorded the handoff"
+    );
+
+    cache.shutdown();
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+/// Nightly soak: volume 0 orbits the fleet 0 → 1 → 2 → 0 → … while a
+/// writer and a reader keep load on it; every round must preserve
+/// monotone versions and end converged. Rounds default to 30 and scale
+/// via `VL_SOAK_ROUNDS` (the nightly workflow raises it).
+#[test]
+#[ignore = "long soak — run via --include-ignored or the nightly workflow"]
+fn rebalance_loop_soak() {
+    let rounds: u64 = std::env::var("VL_SOAK_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30);
+    let t_v = StdDuration::from_millis(300);
+    let net = InMemoryNetwork::new();
+    let clock = WallClock::new();
+    let trace_dir = std::path::Path::new("target/soak");
+    std::fs::create_dir_all(trace_dir).unwrap();
+    let servers: Vec<ServerHandle> = (0..ORIGINS)
+        .map(|s| {
+            let sink = vl_metrics::JsonlSink::new(
+                std::fs::File::create(trace_dir.join(format!("multi-s{s}.jsonl"))).unwrap(),
+            );
+            let handle = LeaseServer::spawn_traced(
+                ServerConfig {
+                    volume_lease: t_v,
+                    object_lease: StdDuration::from_secs(10),
+                    ..ServerConfig::new(ServerId(s))
+                },
+                net.endpoint(NodeId::Server(ServerId(s))),
+                clock,
+                Box::new(sink),
+            );
+            if s == 0 {
+                for i in 0..3 {
+                    handle.create_object(obj(0, i), Bytes::from(format!("s0o{i}v1")));
+                }
+            }
+            handle
+        })
+        .collect();
+    let cache = MultiCache::spawn(
+        MultiConfig {
+            request_timeout: StdDuration::from_millis(200),
+            max_retries: 20,
+            ..MultiConfig::new(ME)
+        },
+        net.endpoint(NodeId::Client(ME)),
+        clock,
+    );
+    let coord = net.endpoint(NodeId::Server(ServerId(1000)));
+    let at = ObjectLocation::origin(ServerId(0));
+    let target = obj(0, 0);
+    assert!(cache.read(at, target).is_ok(), "warm-up");
+
+    let mut owner = 0u32;
+    let mut version = 1u64;
+    let mut last_seen = 1u64;
+    let delay_bound = Duration::from_millis(t_v.as_millis() as u64 + 2_000);
+    for round in 0..rounds {
+        let to = (owner + 1) % ORIGINS;
+        let out = rebalance(
+            &coord,
+            ServerId(owner),
+            &coord,
+            ServerId(to),
+            VolumeId(0),
+            StdDuration::from_secs(5),
+        )
+        .unwrap_or_else(|e| panic!("round {round}: handoff failed: {e}"));
+        assert_eq!(out.epoch, Epoch(round + 1));
+        owner = to;
+        version += 1;
+        let (out, now_at) = write_at_owner(
+            &servers,
+            owner as usize,
+            target,
+            &Bytes::from(format!("s0o0v{version}")),
+        );
+        owner = now_at as u32;
+        assert!(
+            out.delay <= delay_bound,
+            "round {round}: write delayed {}",
+            out.delay
+        );
+        let data = cache
+            .read(at, target)
+            .unwrap_or_else(|e| panic!("round {round}: read failed after handoff to {to}: {e:?}"));
+        let v = version_of(&data);
+        assert!(v >= last_seen, "round {round}: v{v} after v{last_seen}");
+        last_seen = v;
+    }
+    assert!(
+        eventually(5_000, || cache
+            .read(at, target)
+            .is_ok_and(|d| version_of(&d) == version)),
+        "soak never converged on v{version}"
+    );
+    let stats = cache.stats();
+    assert!(
+        stats.redirects >= rounds / 2,
+        "too few redirects: {stats:?}"
+    );
+    assert!(stats.reconnections >= 1, "no resyncs recorded: {stats:?}");
     cache.shutdown();
     for s in servers {
         s.shutdown();
