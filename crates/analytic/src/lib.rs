@@ -23,6 +23,7 @@
 //!     clients_with_object_lease: 20, // C_o
 //!     clients_with_volume_lease: 5,  // C_v
 //!     clients_recently_inactive: 10, // C_d
+//!     clock_skew_bound_secs: 1.0,    // ε
 //! };
 //! let lease = Algorithm::Lease.costs(&params);
 //! // Renewing a 100 s lease on an object read every 10 s costs
@@ -63,6 +64,11 @@ pub enum Algorithm {
     /// Leases with no invalidation messages: writes wait out every
     /// outstanding lease (the §2.4 option the paper leaves unexplored).
     WaitingLease,
+    /// Self-invalidation with precise clocks: grants carry
+    /// drop-deadlines, clients discard copies on their own clocks, and
+    /// a write waits out the latest outstanding deadline padded by the
+    /// clock-skew bound `ε` — zero invalidation messages.
+    SelfInval,
     /// Volume leases: short `t_v` per volume + long `t` per object.
     VolumeLease,
     /// Volume leases with delayed invalidations (`Delay(t_v, t, d)`).
@@ -70,13 +76,15 @@ pub enum Algorithm {
 }
 
 impl Algorithm {
-    /// All rows, in Table 1 order (plus the waiting-lease extension).
-    pub const ALL: [Algorithm; 7] = [
+    /// All rows, in Table 1 order (plus the waiting-lease and
+    /// self-invalidation extensions).
+    pub const ALL: [Algorithm; 8] = [
         Algorithm::PollEachRead,
         Algorithm::Poll,
         Algorithm::Callback,
         Algorithm::Lease,
         Algorithm::WaitingLease,
+        Algorithm::SelfInval,
         Algorithm::VolumeLease,
         Algorithm::DelayedInvalidation,
     ];
@@ -131,6 +139,16 @@ impl Algorithm {
                 ack_wait_secs: t,
                 state_bytes: RECORD_BYTES * params.clients_with_object_lease as f64,
             },
+            Algorithm::SelfInval => Costs {
+                expected_stale_secs: 0.0,
+                worst_stale_secs: 0.0,
+                read_cost_round_trips: min1(inv(r * t)),
+                // No invalidations ever; every write to an object with
+                // outstanding deadlines waits t plus the skew bound.
+                write_cost_messages: 0.0,
+                ack_wait_secs: t + params.clock_skew_bound_secs,
+                state_bytes: RECORD_BYTES * params.clients_with_object_lease as f64,
+            },
             Algorithm::VolumeLease => Costs {
                 expected_stale_secs: 0.0,
                 worst_stale_secs: 0.0,
@@ -159,6 +177,7 @@ impl fmt::Display for Algorithm {
             Algorithm::Callback => "Callback",
             Algorithm::Lease => "Lease",
             Algorithm::WaitingLease => "Waiting Lease",
+            Algorithm::SelfInval => "Self-Inval",
             Algorithm::VolumeLease => "Volume Leases",
             Algorithm::DelayedInvalidation => "Vol. Delay Inval",
         };
@@ -187,6 +206,9 @@ pub struct CostParams {
     pub clients_with_volume_lease: u64,
     /// `C_d`: clients whose volume leases expired less than `d` ago.
     pub clients_recently_inactive: u64,
+    /// `ε`: the bound every clock is promised to stay within, seconds.
+    /// Only self-invalidation reads it (its write wait is `t + ε`).
+    pub clock_skew_bound_secs: f64,
 }
 
 impl CostParams {
@@ -195,7 +217,8 @@ impl CostParams {
             self.object_timeout_secs >= 0.0
                 && self.volume_timeout_secs >= 0.0
                 && self.object_read_rate >= 0.0
-                && self.volume_read_rate >= 0.0,
+                && self.volume_read_rate >= 0.0
+                && self.clock_skew_bound_secs >= 0.0,
             "cost parameters must be non-negative"
         );
         assert!(
@@ -261,6 +284,7 @@ mod tests {
             clients_with_object_lease: 40,
             clients_with_volume_lease: 8,
             clients_recently_inactive: 12,
+            clock_skew_bound_secs: 2.0,
         }
     }
 
@@ -339,6 +363,7 @@ mod tests {
             Algorithm::Callback,
             Algorithm::Lease,
             Algorithm::WaitingLease,
+            Algorithm::SelfInval,
             Algorithm::VolumeLease,
             Algorithm::DelayedInvalidation,
         ] {
@@ -368,6 +393,23 @@ mod tests {
         let volume = Algorithm::VolumeLease.costs(&p);
         assert_eq!(lease.ack_wait_secs, 1_000_000.0);
         assert_eq!(volume.ack_wait_secs, 10.0, "the paper's headline property");
+    }
+
+    #[test]
+    fn self_inval_row_is_silent_but_waits_out_skew() {
+        let c = Algorithm::SelfInval.costs(&params());
+        assert_eq!(c.write_cost_messages, 0.0, "never a single invalidation");
+        assert_eq!(c.ack_wait_secs, 102.0, "t + \u{3b5}");
+        let lease = Algorithm::Lease.costs(&params());
+        assert_eq!(c.read_cost_round_trips, lease.read_cost_round_trips);
+        assert_eq!(c.state_bytes, lease.state_bytes, "same deadline records");
+        // With a perfect clock bound the wait collapses to WaitingLease.
+        let mut p = params();
+        p.clock_skew_bound_secs = 0.0;
+        assert_eq!(
+            Algorithm::SelfInval.costs(&p).ack_wait_secs,
+            Algorithm::WaitingLease.costs(&p).ack_wait_secs
+        );
     }
 
     #[test]

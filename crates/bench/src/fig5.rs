@@ -2,7 +2,8 @@
 //!
 //! Seven lines, as in the paper: `Poll(t)`, `Callback` (flat in `t`),
 //! `Lease(t)`, `Volume(10, t)`, `Volume(100, t)`, `Delay(10, t, ∞)`, and
-//! `Delay(100, t, ∞)`, swept over `t ∈ {10¹ … 10⁷}` seconds. The expected
+//! `Delay(100, t, ∞)` — plus the `SelfInval(t, 1)` extension column —
+//! swept over `t ∈ {10¹ … 10⁷}` seconds. The expected
 //! shape: lease-family lines fall as `t` grows (fewer renewals), then
 //! flatten/rise once invalidations dominate; `Delay` falls monotonically;
 //! `Poll` falls monotonically but trades staleness for it.
@@ -31,7 +32,8 @@ pub struct Row {
 /// A named line family: label plus a constructor from the swept `t`.
 pub type Line = (&'static str, Box<dyn Fn(Duration) -> ProtocolKind>);
 
-/// The seven line families of Figure 5, parameterized by the swept `t`.
+/// The seven line families of Figure 5 plus the self-invalidation
+/// extension, parameterized by the swept `t`.
 pub fn lines() -> Vec<Line> {
     vec![
         (
@@ -41,6 +43,13 @@ pub fn lines() -> Vec<Line> {
         ),
         ("Callback", Box::new(|_| ProtocolKind::Callback)),
         ("Lease(t)", Box::new(|t| ProtocolKind::Lease { timeout: t })),
+        (
+            "SelfInval(t, 1)",
+            Box::new(|t| ProtocolKind::SelfInval {
+                timeout: t,
+                skew_bound: secs(1),
+            }),
+        ),
         (
             "Volume(10, t)",
             Box::new(|t| ProtocolKind::VolumeLease {
@@ -176,7 +185,7 @@ mod tests {
     #[test]
     fn produces_all_lines_and_timeouts() {
         let rows = smoke_rows();
-        assert_eq!(rows.len(), 7 * 3);
+        assert_eq!(rows.len(), 8 * 3);
         assert!(rows.iter().all(|r| r.messages > 0));
     }
 

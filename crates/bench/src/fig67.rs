@@ -1,7 +1,8 @@
 //! Figures 6–7: average consistency state (bytes) at a server vs. `t`.
 //!
 //! Figure 6 reports the trace's most popular server, Figure 7 the 10th
-//! most popular. Lines: `Callback` (flat), `Lease(t)`, `Volume(10, t)`,
+//! most popular. Lines: `Callback` (flat), `Lease(t)`, `SelfInval(t, 1)`
+//! (same deadline records as `Lease`, no callback set), `Volume(10, t)`,
 //! `Delay(10, t, ∞)` (queues never discarded) and `Delay(10, t, 1h)`
 //! (short discard — the configuration the paper argues can use *less*
 //! state than everything else).
@@ -38,6 +39,13 @@ pub fn lines() -> Vec<Line> {
             Box::new(|_| ProtocolKind::Callback) as Box<dyn Fn(Duration) -> ProtocolKind>,
         ),
         ("Lease(t)", Box::new(|t| ProtocolKind::Lease { timeout: t })),
+        (
+            "SelfInval(t, 1)",
+            Box::new(|t| ProtocolKind::SelfInval {
+                timeout: t,
+                skew_bound: secs(1),
+            }),
+        ),
         (
             "Volume(10, t)",
             Box::new(|t| ProtocolKind::VolumeLease {
@@ -135,7 +143,7 @@ mod tests {
     #[test]
     fn produces_rows_for_all_lines() {
         let rows = smoke_rows(1);
-        assert_eq!(rows.len(), 5 * 3);
+        assert_eq!(rows.len(), 6 * 3);
         assert!(rows.iter().all(|r| r.avg_state_bytes >= 0.0));
     }
 

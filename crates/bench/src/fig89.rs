@@ -68,6 +68,13 @@ pub fn lines() -> Vec<(&'static str, ProtocolKind)> {
                 inactive_discard: Duration::MAX,
             },
         ),
+        (
+            "SelfInval(1e6, 1)",
+            ProtocolKind::SelfInval {
+                timeout: secs(LONG_T_SECS),
+                skew_bound: secs(1),
+            },
+        ),
     ]
 }
 
@@ -142,7 +149,7 @@ mod tests {
     #[test]
     fn produces_a_curve_per_line() {
         let curves = smoke_curves(false);
-        assert_eq!(curves.len(), 5);
+        assert_eq!(curves.len(), 6);
         for c in &curves {
             assert!(!c.points.is_empty(), "{} has an empty curve", c.line);
             assert!(c.peak > 0, "{}", c.line);
@@ -174,6 +181,21 @@ mod tests {
             peak(&normal, "Volume(10, 1e6)")
         );
         assert!(peak(&bursty, "Callback") >= peak(&normal, "Callback"));
+    }
+
+    #[test]
+    fn self_inval_writes_produce_no_bursts() {
+        // With no invalidation fan-out, the busiest server's peak under
+        // self-invalidation cannot exceed the volume-lease peak, whose
+        // load includes the same renewals plus write bursts.
+        let curves = smoke_curves(true);
+        let peak = |line: &str| curves.iter().find(|c| c.line == line).unwrap().peak;
+        assert!(
+            peak("SelfInval(1e6, 1)") <= peak("Volume(10, 1e6)"),
+            "self-inval {} vs volume {}",
+            peak("SelfInval(1e6, 1)"),
+            peak("Volume(10, 1e6)")
+        );
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub fn default_config() -> UniformConfig {
 pub const T_SECS: f64 = 100.0;
 /// Volume timeout, seconds.
 pub const TV_SECS: f64 = 25.0;
+/// Clock-skew bound `ε` assumed for the self-invalidation row, seconds.
+pub const SKEW_SECS: f64 = 1.0;
 
 fn kind_for(alg: Algorithm) -> ProtocolKind {
     match alg {
@@ -55,6 +57,10 @@ fn kind_for(alg: Algorithm) -> ProtocolKind {
         },
         Algorithm::WaitingLease => ProtocolKind::WaitingLease {
             timeout: Duration::from_secs_f64(T_SECS),
+        },
+        Algorithm::SelfInval => ProtocolKind::SelfInval {
+            timeout: Duration::from_secs_f64(T_SECS),
+            skew_bound: Duration::from_secs_f64(SKEW_SECS),
         },
         Algorithm::VolumeLease => ProtocolKind::VolumeLease {
             volume_timeout: Duration::from_secs_f64(TV_SECS),
@@ -83,6 +89,7 @@ pub fn run(cfg: &UniformConfig, threads: usize) -> (Vec<Row>, SweepStats) {
         clients_with_object_lease: u64::from(cfg.clients),
         clients_with_volume_lease: u64::from(cfg.clients),
         clients_recently_inactive: 0,
+        clock_skew_bound_secs: SKEW_SECS,
     };
     let started = std::time::Instant::now();
     let rows = par::map(&Algorithm::ALL, threads, |&alg| {
@@ -145,7 +152,7 @@ mod tests {
     #[test]
     fn simulator_agrees_with_analytic_model() {
         let rows = run(&default_config(), 2).0;
-        assert_eq!(rows.len(), 7);
+        assert_eq!(rows.len(), 8);
         for r in &rows {
             if r.algorithm == "Callback" {
                 // Start-up fetches only: a few hundredths of a message
@@ -180,6 +187,7 @@ mod tests {
         for name in [
             "Poll Each Read",
             "Callback",
+            "Self-Inval",
             "Volume Leases",
             "Vol. Delay Inval",
         ] {

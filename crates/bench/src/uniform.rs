@@ -156,6 +156,7 @@ mod tests {
                 clients_with_object_lease: u64::from(c.clients),
                 clients_with_volume_lease: u64::from(c.clients),
                 clients_recently_inactive: 0,
+                clock_skew_bound_secs: 0.0,
             });
             let got = report.messages_per_read();
             let want = analytic.read_cost_messages();
@@ -188,6 +189,7 @@ mod tests {
             clients_with_object_lease: u64::from(c.clients),
             clients_with_volume_lease: u64::from(c.clients),
             clients_recently_inactive: 0,
+            clock_skew_bound_secs: 0.0,
         });
         let got = report.messages_per_read();
         let want = analytic.read_cost_messages();

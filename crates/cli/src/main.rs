@@ -3,7 +3,7 @@
 //! ```text
 //! vl serve --addr 127.0.0.1:7400 [--objects 10] [--volume-lease-ms 2000]
 //!          [--object-lease-ms 60000] [--write-every-ms 5000] [--best-effort]
-//!          [--stable PATH] [--trace-out PATH]
+//!          [--self-inval [--skew-bound-ms 1000]] [--stable PATH] [--trace-out PATH]
 //!          [--chaos-profile off|drops|delays|partitions|havoc] [--chaos-seed N]
 //!     Run a lease server over TCP, seeding `--objects` demo objects and
 //!     optionally rewriting one of them on a timer so invalidations flow.
@@ -27,14 +27,19 @@
 //!        [--trace-out PATH]
 //!     Replay a cached trace under one consistency algorithm and print
 //!     its cost summary. Protocols: poll-each-read, poll, callback,
-//!     lease, wait-lease, volume, delay. `--trace-out` additionally
-//!     writes every protocol event as JSONL for `vl report`.
+//!     lease, wait-lease, self-inval, volume, delay (`--skew` sets the
+//!     self-inval clock-skew bound ε, seconds). `--trace-out`
+//!     additionally writes every protocol event as JSONL for `vl report`.
 //!
 //! vl sim --chaos-profile off|drops|delays|partitions|havoc [--chaos-seed N]
-//!        [--steps N]
+//!        [--steps N] [--self-inval [--skew-bound-ms N]] [--clock-skew-ms N]
 //!     Chaos mode: no trace needed. Runs the deterministic state-machine
 //!     fault harness with a profile-derived fault mix and prints the
 //!     invariant report; exits non-zero if any invariant was violated.
+//!     `--self-inval` switches the machines to self-invalidation with
+//!     precise clocks (skew bound ε from `--skew-bound-ms`), and
+//!     `--clock-skew-ms` injects real per-client clock error — push it
+//!     past ε to watch the protocol's hazard surface as violations.
 //!
 //! vl report --trace PATH [--top N]
 //!     Summarize a JSONL protocol trace (from `--trace-out` here or on
@@ -81,15 +86,18 @@ use vl_types::{ClientId, ObjectId, ServerId, ShardMap, VolumeId};
 fn usage() -> ! {
     eprintln!(
         "usage:\n  vl serve --addr HOST:PORT [--objects N] [--volume-lease-ms N] \
-         [--object-lease-ms N] [--write-every-ms N] [--best-effort] [--stable PATH] \
+         [--object-lease-ms N] [--write-every-ms N] [--best-effort] \
+         [--self-inval [--skew-bound-ms N]] [--stable PATH] \
          [--trace-out PATH] [--chaos-profile off|drops|delays|partitions|havoc] \
          [--chaos-seed N] [--port-file PATH] [--idle-ms N] [--queue-cap N] \
          [--reactors N] [--shard-map FILE]\n  \
-         vl get --addr HOST:PORT --object N [--client-id N] [--watch MS]\n  \
+         vl get --addr HOST:PORT --object N [--client-id N] [--watch MS] [--self-inval]\n  \
          vl demo\n  \
          vl gen --out PATH [--preset smoke|medium|paper] [--seed N]\n  \
-         vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--trace-out PATH]\n  \
-         vl sim --chaos-profile NAME [--chaos-seed N] [--steps N]\n  \
+         vl sim --trace PATH --protocol NAME [--t S] [--tv S] [--d S|inf] [--skew S] \
+         [--trace-out PATH]\n  \
+         vl sim --chaos-profile NAME [--chaos-seed N] [--steps N] \
+         [--self-inval [--skew-bound-ms N]] [--clock-skew-ms N]\n  \
          vl report --trace PATH [--top N]\n  \
          vl rebalance --map FILE --volume N --to ID [--from ID] [--timeout-ms N]\n  \
          vl bench-live [--clients N] [--duration-s N] [--tv-ms N] [--workers N] \
@@ -231,6 +239,10 @@ fn sim(args: &Args) {
         "callback" => ProtocolKind::Callback,
         "lease" => ProtocolKind::Lease { timeout: t },
         "wait-lease" => ProtocolKind::WaitingLease { timeout: t },
+        "self-inval" => ProtocolKind::SelfInval {
+            timeout: t,
+            skew_bound: Duration::from_secs(args.parsed("--skew", 1u64)),
+        },
         "volume" => ProtocolKind::VolumeLease {
             volume_timeout: tv,
             object_timeout: t,
@@ -242,7 +254,7 @@ fn sim(args: &Args) {
         },
         other => {
             eprintln!(
-                "unknown protocol '{other}' (want poll-each-read|poll|callback|lease|                 wait-lease|volume|delay)"
+                "unknown protocol '{other}' (want poll-each-read|poll|callback|lease|                 wait-lease|self-inval|volume|delay)"
             );
             exit(2)
         }
@@ -294,6 +306,12 @@ fn sim_chaos(args: &Args, profile: ChaosProfile, seed: u64) {
     use vl_types::Duration;
     let mut cfg = FaultConfig::new(seed);
     cfg.steps = args.parsed("--steps", cfg.steps);
+    if args.flag("--self-inval") {
+        cfg.self_inval = Some(Duration::from_millis(
+            args.parsed("--skew-bound-ms", 1_000u64),
+        ));
+    }
+    cfg.clock_skew = Duration::from_millis(args.parsed("--clock-skew-ms", 0u64));
     // The harness expresses faults per workload step rather than per
     // message, so each wire profile maps onto the nearest step mix.
     match profile {
@@ -329,6 +347,14 @@ fn sim_chaos(args: &Args, profile: ChaosProfile, seed: u64) {
     }
     let report = run(&cfg);
     println!("chaos profile:   {profile} (seed {seed})");
+    if let Some(eps) = cfg.self_inval {
+        println!(
+            "protocol:        self-inval (skew bound {:.2}s, injected skew up to {:.2}s)",
+            eps.as_secs_f64(),
+            cfg.clock_skew.as_secs_f64()
+        );
+        println!("invalidations:   {} sent", report.invalidations_sent);
+    }
     println!("steps:           {}", report.steps);
     println!(
         "reads:           {} delivered ({} local), {} timed out, {} aborted",
@@ -505,6 +531,9 @@ fn serve(args: &Args) {
             WriteMode::Blocking
         },
         stable_path: args.value("--stable").map(Into::into),
+        self_inval: args
+            .flag("--self-inval")
+            .then(|| StdDuration::from_millis(args.parsed("--skew-bound-ms", 1_000u64))),
         ..ServerConfig::new(server_id)
     };
     let mut tcp_cfg = vl_net::tcp::TcpConfig::default();
@@ -655,11 +684,9 @@ fn get(args: &Args) {
             exit(1)
         }
     };
-    let client = CacheClient::spawn(
-        ClientConfig::new(client_id, server_id),
-        node,
-        WallClock::new(),
-    );
+    let mut client_cfg = ClientConfig::new(client_id, server_id);
+    client_cfg.self_inval = args.flag("--self-inval");
+    let client = CacheClient::spawn(client_cfg, node, WallClock::new());
     let watch: u64 = args.parsed("--watch", 0);
     let mut last: Option<Bytes> = None;
     loop {

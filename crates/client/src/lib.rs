@@ -101,6 +101,11 @@ pub struct ClientConfig {
     /// of clients should raise it (e.g. to a second) so idle clients
     /// stay parked.
     pub link_tick: StdDuration,
+    /// Run the self-invalidation protocol: no volume lease is needed,
+    /// a cached copy is readable until its drop-deadline on this
+    /// client's clock, and no invalidations ever arrive. Must match the
+    /// server's mode.
+    pub self_inval: bool,
 }
 
 impl ClientConfig {
@@ -114,6 +119,7 @@ impl ClientConfig {
             request_timeout: StdDuration::from_millis(300),
             max_retries: 3,
             link_tick: StdDuration::from_millis(20),
+            self_inval: false,
         }
     }
 
@@ -122,6 +128,7 @@ impl ClientConfig {
             client: self.client,
             server: self.server,
             volume: self.volume,
+            self_inval: self.self_inval,
         }
     }
 }

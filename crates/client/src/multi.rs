@@ -113,6 +113,32 @@ impl MState {
         self.cached.remove(&object);
         self.obj_expire.remove(&object);
     }
+
+    /// Re-aims learned per-volume routes after a newer shard map is
+    /// installed: any volume whose recorded server is no longer the map
+    /// owner gets re-pointed at the owner with its lease voided, so the
+    /// next renewal goes straight there instead of chasing a stale
+    /// redirect through an ex-owner — which may redirect back and
+    /// ping-pong, or be decommissioned and eat the whole retry budget.
+    /// `except` shields the volume a `WRONG_SHARD` reply just re-aimed:
+    /// that redirect is fresher ground truth for *its* volume than the
+    /// map that rode along with it.
+    fn reconcile_routes(&mut self, except: Option<VolumeId>) {
+        let Some(map) = self.shard_map.clone() else {
+            return;
+        };
+        for (&volume, v) in self.vols.iter_mut() {
+            if except == Some(volume) {
+                continue;
+            }
+            if let Some(owner) = map.owner(volume) {
+                if v.server != owner {
+                    v.server = owner;
+                    v.expire = Timestamp::ZERO;
+                }
+            }
+        }
+    }
 }
 
 /// A cache client that reads from many origins concurrently, with one
@@ -277,6 +303,7 @@ impl MultiCache {
             .is_none_or(|m| map.version() > m.version())
         {
             st.shard_map = Some(map);
+            st.reconcile_routes(None);
             st.generation += 1;
             cv.notify_all();
         }
@@ -509,6 +536,7 @@ fn receive_loop(
                         .is_none_or(|m| map_version > m.version())
                 {
                     st.shard_map = Some(ShardMap::with_version(map_version, servers));
+                    st.reconcile_routes(Some(volume));
                 }
                 // Chase the redirect immediately so a reader blocked on
                 // the condvar doesn't burn a full request timeout.
@@ -529,6 +557,136 @@ fn receive_loop(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::VecDeque;
+    use vl_server::WallClock;
+
+    /// An in-memory [`Channel`] that records every send and lets the
+    /// test inject server replies.
+    #[derive(Clone)]
+    struct MockNet {
+        id: NodeId,
+        sent: Arc<Mutex<Vec<(NodeId, Bytes)>>>,
+        inbox: Arc<Mutex<VecDeque<(NodeId, Bytes)>>>,
+    }
+
+    impl MockNet {
+        fn new(id: NodeId) -> MockNet {
+            MockNet {
+                id,
+                sent: Arc::default(),
+                inbox: Arc::default(),
+            }
+        }
+
+        fn inject(&self, from: ServerId, msg: &ServerMsg) {
+            self.inbox
+                .lock()
+                .push_back((NodeId::Server(from), codec::encode_server(msg)));
+        }
+
+        /// Destinations of all `send`s since the last call.
+        fn drain_targets(&self) -> Vec<NodeId> {
+            self.sent.lock().drain(..).map(|(to, _)| to).collect()
+        }
+    }
+
+    impl Channel for MockNet {
+        fn id(&self) -> NodeId {
+            self.id
+        }
+
+        fn send(&self, to: NodeId, bytes: Bytes) -> Result<(), NetError> {
+            self.sent.lock().push((to, bytes));
+            Ok(())
+        }
+
+        fn recv_timeout(&self, timeout: StdDuration) -> Result<(NodeId, Bytes), NetError> {
+            let deadline = Instant::now() + timeout;
+            loop {
+                if let Some(m) = self.inbox.lock().pop_front() {
+                    return Ok(m);
+                }
+                if Instant::now() >= deadline {
+                    return Err(NetError::Timeout);
+                }
+                std::thread::sleep(StdDuration::from_millis(2));
+            }
+        }
+    }
+
+    fn wait_for<F: FnMut() -> bool>(mut cond: F) -> bool {
+        let deadline = Instant::now() + StdDuration::from_secs(5);
+        while Instant::now() < deadline {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(StdDuration::from_millis(5));
+        }
+        false
+    }
+
+    /// Regression: a volume that migrates *twice* must not leave the
+    /// client chasing the intermediate owner. The first migration is
+    /// learned from a `WRONG_SHARD` redirect; when a higher-version map
+    /// then moves the volume again, the learned route is stale — before
+    /// the fix it still overrode the map, so every renewal went to the
+    /// ex-owner (redirect ping-pong, or a dead end if it was
+    /// decommissioned).
+    #[test]
+    fn newer_map_drops_stale_learned_redirects() {
+        let (s0, s1, s2) = (ServerId(0), ServerId(1), ServerId(2));
+        let vol = VolumeId(5);
+        let obj = ObjectId(9);
+        let loc = ObjectLocation {
+            server: s0,
+            volume: vol,
+        };
+        let net = MockNet::new(NodeId::Client(ClientId(1)));
+        let cfg = MultiConfig {
+            request_timeout: StdDuration::from_millis(50),
+            max_retries: 0,
+            ..MultiConfig::new(ClientId(1))
+        };
+        let cache = MultiCache::spawn(cfg, net.clone(), WallClock::new());
+        cache.set_shard_map(ShardMap::new(vec![s0]));
+
+        // First migration, learned from the horse's mouth: s0 redirects
+        // the volume to s1. The piggybacked map still names s0 — the
+        // redirect must win for *this* volume (it is fresher ground
+        // truth than the map it rode in on).
+        net.inject(
+            s0,
+            &ServerMsg::WrongShard {
+                volume: vol,
+                owner: s1,
+                map_version: 2,
+                servers: vec![s0],
+            },
+        );
+        assert!(
+            wait_for(|| net.drain_targets().contains(&NodeId::Server(s1))),
+            "redirect must be chased to the new owner"
+        );
+        assert_eq!(cache.shard_map_version(), 2);
+        let _ = cache.read(loc, obj);
+        let targets = net.drain_targets();
+        assert!(
+            targets.iter().all(|&t| t == NodeId::Server(s1)),
+            "learned redirect must keep routing to s1, got {targets:?}"
+        );
+
+        // Second migration arrives as a higher-version map (from the
+        // control plane, not a redirect): the volume now lives on s2.
+        cache.set_shard_map(ShardMap::with_version(3, vec![s2]));
+        let _ = cache.read(loc, obj);
+        let targets = net.drain_targets();
+        assert!(!targets.is_empty(), "read must have sent renewal requests");
+        assert!(
+            targets.iter().all(|&t| t == NodeId::Server(s2)),
+            "stale learned redirect survived the newer map: {targets:?}"
+        );
+        cache.shutdown();
+    }
 
     #[test]
     fn location_origin_pairs_volume_with_server() {

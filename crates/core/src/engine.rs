@@ -6,7 +6,8 @@
 //! bumps it after each write event.
 
 use crate::protocols::{
-    Callback, DelayedInvalidation, ObjectLease, Poll, PollEachRead, Protocol, VolumeLease,
+    Callback, DelayedInvalidation, ObjectLease, Poll, PollEachRead, Protocol, SelfInval,
+    VolumeLease,
 };
 use crate::{Ctx, ProtocolKind};
 use std::time::Instant;
@@ -209,6 +210,15 @@ impl SimulationBuilder {
                     inactive_discard,
                     universe,
                 ),
+                trace,
+                &mut versions,
+                &mut metrics,
+            ),
+            ProtocolKind::SelfInval {
+                timeout,
+                skew_bound,
+            } => drive(
+                &mut SelfInval::new(timeout, skew_bound, universe),
                 trace,
                 &mut versions,
                 &mut metrics,

@@ -74,6 +74,22 @@ pub enum ProtocolKind {
         /// (written `∞` in the paper's `Delay(t_v, t, ∞)`).
         inactive_discard: Duration,
     },
+    /// Dynamic self-invalidation with precise clocks (Misra et al.):
+    /// the server stamps every read reply with a drop-deadline and the
+    /// client discards the entry when its own clock passes it. The
+    /// server never sends an invalidation message — a write simply
+    /// waits out the latest outstanding deadline, padded by the
+    /// bounded clock skew `ε` so a slow client's local deadline has
+    /// also passed. Zero write messages; write delay bounded by
+    /// `t + ε`; stale reads only if some clock drifts beyond `ε`.
+    SelfInval {
+        /// Deadline horizon `t`: each read reply is valid until
+        /// `now + t` on the client's clock.
+        timeout: Duration,
+        /// Clock-skew bound `ε` the deployment promises: every clock
+        /// is within `ε` of true time.
+        skew_bound: Duration,
+    },
 }
 
 impl ProtocolKind {
@@ -90,7 +106,8 @@ impl ProtocolKind {
             ProtocolKind::PollEachRead | ProtocolKind::Callback => None,
             ProtocolKind::Poll { timeout }
             | ProtocolKind::Lease { timeout }
-            | ProtocolKind::WaitingLease { timeout } => Some(timeout),
+            | ProtocolKind::WaitingLease { timeout }
+            | ProtocolKind::SelfInval { timeout, .. } => Some(timeout),
             ProtocolKind::VolumeLease { object_timeout, .. }
             | ProtocolKind::DelayedInvalidation { object_timeout, .. } => Some(object_timeout),
         }
@@ -123,6 +140,10 @@ impl ProtocolKind {
                 object_timeout,
                 ..
             } => Some(volume_timeout.min(object_timeout)),
+            ProtocolKind::SelfInval {
+                timeout,
+                skew_bound,
+            } => Some(timeout.saturating_add(skew_bound)),
         }
     }
 }
@@ -167,6 +188,10 @@ impl fmt::Display for ProtocolKind {
                 secs(object_timeout),
                 secs(inactive_discard)
             ),
+            ProtocolKind::SelfInval {
+                timeout,
+                skew_bound,
+            } => write!(f, "SelfInval({}, {})", secs(timeout), secs(skew_bound)),
         }
     }
 }
@@ -200,6 +225,14 @@ mod tests {
             }
             .to_string(),
             "Volume(10, 100000)"
+        );
+        assert_eq!(
+            ProtocolKind::SelfInval {
+                timeout: Duration::from_secs(100),
+                skew_bound: Duration::from_secs(1),
+            }
+            .to_string(),
+            "SelfInval(100, 1)"
         );
     }
 
@@ -240,6 +273,20 @@ mod tests {
             Some(Duration::from_secs(10)),
             "min(t, t_v)"
         );
+        assert_eq!(
+            ProtocolKind::SelfInval {
+                timeout: Duration::from_secs(100),
+                skew_bound: Duration::from_secs(1),
+            }
+            .max_write_delay(),
+            Some(Duration::from_secs(101)),
+            "t + ε: the write must outwait the slowest in-bound clock"
+        );
+        assert!(ProtocolKind::SelfInval {
+            timeout: Duration::from_secs(100),
+            skew_bound: Duration::from_secs(1),
+        }
+        .is_strongly_consistent());
     }
 
     #[test]

@@ -68,6 +68,6 @@ pub use engine::{Report, SimulationBuilder};
 pub use kind::ProtocolKind;
 pub use protocols::{
     new_protocol, Callback, DelayedInvalidation, ObjectLease, Poll, PollEachRead, Protocol,
-    VolumeLease,
+    SelfInval, VolumeLease,
 };
 pub use track::{LeaseTrack, VolumeLeaseTable};

@@ -61,15 +61,20 @@ pub struct ClientMachineConfig {
     pub server: ServerId,
     /// The volume this client reads (1:1 with the server by default).
     pub volume: VolumeId,
+    /// Self-invalidation mode: the client holds no volume lease — a
+    /// cached copy is readable until its server-assigned drop-deadline
+    /// passes on *this* clock, and no invalidations ever arrive.
+    pub self_inval: bool,
 }
 
 impl ClientMachineConfig {
-    /// Defaults: volume id = server id.
+    /// Defaults: volume id = server id, volume-lease protocol.
     pub fn new(client: ClientId, server: ServerId) -> ClientMachineConfig {
         ClientMachineConfig {
             client,
             server,
             volume: VolumeId(server.raw()),
+            self_inval: false,
         }
     }
 }
@@ -156,7 +161,9 @@ impl ClientMachine {
     }
 
     fn vol_ok(&self, now: Timestamp) -> bool {
-        self.vol_expire > now
+        // Self-invalidation has no volume leases: only the per-object
+        // drop-deadline gates a cached read.
+        self.cfg.self_inval || self.vol_expire > now
     }
 
     fn obj_ok(&self, object: ObjectId, now: Timestamp) -> bool {
@@ -201,10 +208,15 @@ impl ClientMachine {
                 }
             }
             ClientInput::Reconnected => {
-                actions.push(ClientAction::Send(ClientMsg::ReqVolLease {
-                    volume: self.cfg.volume,
-                    epoch: self.epoch,
-                }));
+                // Under self-invalidation there is no volume lease to
+                // probe with; cached copies are governed purely by
+                // their deadlines, so reconnection needs no handshake.
+                if !self.cfg.self_inval {
+                    actions.push(ClientAction::Send(ClientMsg::ReqVolLease {
+                        volume: self.cfg.volume,
+                        epoch: self.epoch,
+                    }));
+                }
             }
             ClientInput::Msg(msg) => self.handle_msg(msg, &mut actions),
         }
@@ -512,6 +524,45 @@ mod tests {
                 epoch: Epoch(0),
             })]
         );
+    }
+
+    #[test]
+    fn self_inval_reads_ride_on_the_deadline_alone() {
+        let mut m = ClientMachine::new(ClientMachineConfig {
+            self_inval: true,
+            ..cfg()
+        });
+        // Cold read: only the object request goes out — there is no
+        // volume lease in this protocol.
+        let actions = m.handle(
+            Timestamp::ZERO,
+            ClientInput::Read {
+                object: ObjectId(1),
+            },
+        );
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(
+            actions[0],
+            ClientAction::Send(ClientMsg::ReqObjLease { .. })
+        ));
+        m.handle(
+            Timestamp::ZERO,
+            ClientInput::Msg(ServerMsg::ObjLease {
+                object: ObjectId(1),
+                version: Version::FIRST,
+                expire: Timestamp::from_secs(10),
+                data: Some(Bytes::from_static(b"v1")),
+            }),
+        );
+        // Readable straight from cache until the deadline...
+        assert!(m.holds_valid_leases(Timestamp::from_secs(9), ObjectId(1)));
+        assert!(m.read_ready(Timestamp::from_secs(9), ObjectId(1)).is_some());
+        // ...and dead at it, with no invalidation ever received.
+        assert!(!m.holds_valid_leases(Timestamp::from_secs(10), ObjectId(1)));
+        // Reconnection needs no probe: deadlines govern everything.
+        assert!(m
+            .handle(Timestamp::from_secs(5), ClientInput::Reconnected)
+            .is_empty());
     }
 
     #[test]

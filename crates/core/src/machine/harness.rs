@@ -72,6 +72,19 @@ pub struct FaultConfig {
     pub partition_prob: f64,
     /// How long a partition lasts.
     pub partition_for: Duration,
+    /// `Some(ε)` runs the machines in self-invalidation mode: grants
+    /// carry drop-deadlines, writes send no invalidations and wait the
+    /// latest deadline out padded by the skew bound `ε`.
+    pub self_inval: Option<Duration>,
+    /// Maximum absolute clock error injected per client: each client's
+    /// local clock runs at a fixed signed offset drawn uniformly from
+    /// `[-clock_skew, +clock_skew]`. Zero (the default) keeps every
+    /// clock exact — and keeps the RNG stream identical to runs that
+    /// predate the knob. Self-invalidation is safe while the *actual*
+    /// skew stays within the configured bound `ε`; pushing
+    /// `clock_skew` beyond `ε` is how the harness demonstrates the
+    /// protocol's hazard.
+    pub clock_skew: Duration,
 }
 
 impl FaultConfig {
@@ -98,6 +111,8 @@ impl FaultConfig {
             server_down_for: Duration::from_secs(2),
             partition_prob: 0.03,
             partition_for: Duration::from_secs(1),
+            self_inval: None,
+            clock_skew: Duration::ZERO,
         }
     }
 }
@@ -140,6 +155,9 @@ pub struct FaultReport {
     pub batched_deliveries: u64,
     /// Total messages carried inside those grouped deliveries.
     pub batched_messages: u64,
+    /// Invalidation messages sent across all completed writes — the
+    /// self-invalidation acceptance check is that this stays zero.
+    pub invalidations_sent: u64,
     /// Invariant violations (empty on a correct protocol).
     pub violations: Vec<String>,
     /// The full deterministic event log.
@@ -190,6 +208,10 @@ struct Harness {
     /// read must observe once leases validate it.
     committed: BTreeMap<ObjectId, (Version, Bytes)>,
     clients: Vec<ClientMachine>,
+    /// Per-client signed clock error, milliseconds. A client machine is
+    /// always driven with its *local* time `true + offset`; the server
+    /// and the event queue stay on true time.
+    offsets: Vec<i64>,
     partitioned: BTreeSet<ClientId>,
     /// In-flight reads: (client, object) -> read id (stale retries of a
     /// finished or superseded read are ignored by id mismatch).
@@ -210,18 +232,35 @@ pub fn run(cfg: &FaultConfig) -> FaultReport {
     server_cfg.object_lease = cfg.object_lease;
     server_cfg.volume_lease = cfg.volume_lease;
     server_cfg.inactive_discard = cfg.inactive_discard;
+    server_cfg.self_inval = cfg.self_inval;
+    let mut rng = SimRng::seeded(cfg.seed);
+    // Draw clock errors only when the knob is on, so zero-skew runs
+    // keep byte-identical RNG streams (and logs) with older seeds.
+    let offsets: Vec<i64> = if cfg.clock_skew.is_zero() {
+        vec![0; cfg.clients]
+    } else {
+        let s = cfg.clock_skew.as_millis() as i64;
+        (0..cfg.clients)
+            .map(|_| rng.gen_range(0..=(2 * s) as u64) as i64 - s)
+            .collect()
+    };
     let mut h = Harness {
         cfg: cfg.clone(),
         clock: VirtualClock::new(),
         queue: EventQueue::new(),
-        rng: SimRng::seeded(cfg.seed),
+        rng,
         server_cfg,
         server: None,
         stable: None,
         committed: BTreeMap::new(),
         clients: (0..cfg.clients)
-            .map(|i| ClientMachine::new(ClientMachineConfig::new(ClientId(i as u32), ServerId(0))))
+            .map(|i| {
+                let mut mc = ClientMachineConfig::new(ClientId(i as u32), ServerId(0));
+                mc.self_inval = cfg.self_inval.is_some();
+                ClientMachine::new(mc)
+            })
             .collect(),
+        offsets,
         partitioned: BTreeSet::new(),
         pending_reads: BTreeMap::new(),
         next_read_id: 0,
@@ -256,6 +295,18 @@ pub fn run(cfg: &FaultConfig) -> FaultReport {
 impl Harness {
     fn note(&mut self, line: String) {
         self.log.push(format!("[{}] {}", self.clock.now(), line));
+    }
+
+    /// What `client`'s own (possibly wrong) clock reads right now. All
+    /// client-machine transitions are driven with this value: a fast
+    /// clock drops deadlines early (safe), a slow one holds copies past
+    /// their true deadline (the self-invalidation hazard).
+    fn local_now(&self, client: ClientId) -> Timestamp {
+        let now = self.clock.now();
+        match self.offsets[client.0 as usize] {
+            o if o >= 0 => now.saturating_add(Duration::from_millis(o as u64)),
+            o => Timestamp::from_millis(now.as_millis().saturating_sub(o.unsigned_abs())),
+        }
     }
 
     /// (Re)creates the server machine, recovering from the last
@@ -306,7 +357,7 @@ impl Harness {
                 }
             }
             Ev::ToClient { to, msg } => {
-                let now = self.clock.now();
+                let now = self.local_now(to);
                 let actions = self.clients[to.0 as usize].handle(now, ClientInput::Msg(msg));
                 self.apply_client_actions(to, actions);
                 self.try_complete_reads(to);
@@ -315,7 +366,7 @@ impl Harness {
                 // Deliver in send order — exactly the order N separate
                 // ToClient entries would have popped in.
                 for (to, msg) in msgs {
-                    let now = self.clock.now();
+                    let now = self.local_now(to);
                     let actions = self.clients[to.0 as usize].handle(now, ClientInput::Msg(msg));
                     self.apply_client_actions(to, actions);
                     self.try_complete_reads(to);
@@ -395,8 +446,10 @@ impl Harness {
 
     fn crash_client(&mut self, victim: ClientId) {
         self.report.client_crashes += 1;
-        self.clients[victim.0 as usize] =
-            ClientMachine::new(ClientMachineConfig::new(victim, ServerId(0)));
+        // Keep the victim's config (notably the self_inval flag) — a
+        // crash loses the cache, not the protocol mode.
+        let mc = *self.clients[victim.0 as usize].config();
+        self.clients[victim.0 as usize] = ClientMachine::new(mc);
         let aborted: Vec<(ClientId, ObjectId)> = self
             .pending_reads
             .keys()
@@ -439,7 +492,8 @@ impl Harness {
             return;
         }
         let now = self.clock.now();
-        let actions = self.clients[client.0 as usize].handle(now, ClientInput::Read { object });
+        let local = self.local_now(client);
+        let actions = self.clients[client.0 as usize].handle(local, ClientInput::Read { object });
         let delivered = actions
             .iter()
             .any(|a| matches!(a, ClientAction::DeliverRead { .. }));
@@ -465,7 +519,8 @@ impl Harness {
             return; // completed, aborted, or superseded
         }
         let now = self.clock.now();
-        if let Some(data) = self.clients[client.0 as usize].complete_read(now, object) {
+        let local = self.local_now(client);
+        if let Some(data) = self.clients[client.0 as usize].complete_read(local, object) {
             self.pending_reads.remove(&(client, object));
             self.deliver_read(client, object, data, false);
             return;
@@ -477,7 +532,7 @@ impl Harness {
             return;
         }
         self.clients[client.0 as usize].stats_mut().retries += 1;
-        let actions = self.clients[client.0 as usize].handle(now, ClientInput::Read { object });
+        let actions = self.clients[client.0 as usize].handle(local, ClientInput::Read { object });
         self.apply_client_actions(client, actions);
         self.queue.schedule(
             now + self.cfg.retry_timeout,
@@ -493,7 +548,7 @@ impl Harness {
     /// After any server message lands at `client`, complete whatever
     /// pending reads its leases now cover (the live driver's condvar).
     fn try_complete_reads(&mut self, client: ClientId) {
-        let now = self.clock.now();
+        let now = self.local_now(client);
         let candidates: Vec<ObjectId> = self
             .pending_reads
             .keys()
@@ -567,10 +622,15 @@ impl Harness {
                     // Invariant 2: at commit, nobody still holds valid
                     // leases on the old version — every non-acked
                     // holder's min(object, volume) lease has expired.
+                    // Each client judges validity on its *own* clock:
+                    // that is exactly where an out-of-bound skew makes
+                    // self-invalidation unsafe.
                     let old = self.committed[&object].0;
-                    for c in &self.clients {
+                    for i in 0..self.clients.len() {
+                        let local = self.local_now(ClientId(i as u32));
+                        let c = &self.clients[i];
                         self.report.invariant_checks += 1;
-                        if c.holds_valid_leases(now, object)
+                        if c.holds_valid_leases(local, object)
                             && c.cached_version(object) != Some(outcome.version)
                         {
                             let v = format!(
@@ -586,6 +646,7 @@ impl Harness {
                     }
                     self.committed.insert(object, (outcome.version, data));
                     self.report.writes_completed += 1;
+                    self.report.invalidations_sent += outcome.invalidations_sent as u64;
                     self.report.max_write_delay = self.report.max_write_delay.max(outcome.delay);
                     self.note(format!(
                         "write {object} committed v{} after {} ({} invalidated, {} queued, {} waited out)",
@@ -687,5 +748,87 @@ mod tests {
         // With lossless delivery every write is either instant or
         // bounded by an ack round-trip, far under min(t, t_v).
         assert!(r.max_write_delay <= cfg.volume_lease.min(cfg.object_lease));
+    }
+
+    #[test]
+    fn self_inval_quiet_run_is_silent_and_bounded() {
+        let eps = Duration::from_secs(1);
+        let mut cfg = FaultConfig::new(11);
+        cfg.steps = 300;
+        cfg.drop_prob = 0.0;
+        cfg.client_crash_prob = 0.0;
+        cfg.server_crash_prob = 0.0;
+        cfg.partition_prob = 0.0;
+        cfg.self_inval = Some(eps);
+        let r = run(&cfg);
+        assert!(r.violations.is_empty(), "{:?}", r.violations);
+        // The whole point: zero invalidation traffic, ever.
+        assert_eq!(r.invalidations_sent, 0);
+        assert!(r.reads_delivered > 0 && r.writes_completed > 0);
+        // Per-write commit wait is ≤ t + ε once a write reaches the
+        // head of the queue, but the reported delay also counts time
+        // queued behind earlier (serialized) writes — the exact t + ε
+        // bound is cross-checked deterministically in machine_props.
+        assert!(r.max_write_delay > Duration::ZERO);
+    }
+
+    #[test]
+    fn self_inval_survives_chaos_while_skew_is_within_bound() {
+        // Full hostile mix — drops, crashes, partitions — plus real
+        // clock error up to ε. As long as the actual skew honors the
+        // promised bound, the protocol must stay safe with no
+        // invalidation messages at all.
+        let eps = Duration::from_millis(800);
+        for seed in [3, 17, 61] {
+            let mut cfg = FaultConfig::new(seed);
+            cfg.steps = 600;
+            cfg.self_inval = Some(eps);
+            cfg.clock_skew = eps;
+            let r = run(&cfg);
+            assert!(r.violations.is_empty(), "seed {seed}: {:?}", r.violations);
+            assert_eq!(r.invalidations_sent, 0, "seed {seed}");
+            assert!(r.writes_completed > 0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn self_inval_out_of_bound_skew_breaks_consistency() {
+        // The hazard the paper's volume-lease design avoids: if a clock
+        // drifts further than the promised ε, a slow client keeps
+        // serving its copy past the true deadline and the server's
+        // padded wait no longer covers it. The harness must observe
+        // real violations (stale reads and/or early writes).
+        let eps = Duration::from_millis(100);
+        let mut total_violations = 0;
+        for seed in [1, 2, 5, 8] {
+            let mut cfg = FaultConfig::new(seed);
+            cfg.steps = 400;
+            cfg.drop_prob = 0.0;
+            cfg.client_crash_prob = 0.0;
+            cfg.server_crash_prob = 0.0;
+            cfg.partition_prob = 0.0;
+            cfg.self_inval = Some(eps);
+            // Actual skew up to 30× the bound the server pads by.
+            cfg.clock_skew = Duration::from_secs(3);
+            let r = run(&cfg);
+            assert_eq!(r.invalidations_sent, 0, "seed {seed}");
+            total_violations += r.violations.len();
+        }
+        assert!(
+            total_violations > 0,
+            "out-of-bound skew never produced a violation"
+        );
+    }
+
+    #[test]
+    fn clock_skew_zero_keeps_legacy_runs_identical() {
+        // The knob must not disturb the RNG stream of existing seeds:
+        // a zero-skew run is byte-identical to one from before the
+        // field existed (same default config, same log).
+        let cfg = FaultConfig::new(7);
+        let a = run(&cfg);
+        let b = run(&cfg);
+        assert_eq!(a.log, b.log);
+        assert_eq!(a.violations, b.violations);
     }
 }

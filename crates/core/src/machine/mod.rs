@@ -115,6 +115,13 @@ pub struct MachineConfig {
     pub inactive_discard: Option<Duration>,
     /// Blocking (paper) or best-effort writes.
     pub write_mode: WriteMode,
+    /// `Some(ε)` switches the machine to self-invalidation with precise
+    /// clocks: grants carry drop-deadlines, writes send **no**
+    /// invalidations and instead wait out the latest outstanding
+    /// deadline padded by the clock-skew bound `ε`, and volume leases
+    /// are ignored (clients need none). `None` (the default) keeps the
+    /// paper's volume-lease protocol.
+    pub self_inval: Option<Duration>,
 }
 
 impl MachineConfig {
@@ -128,6 +135,7 @@ impl MachineConfig {
             volume_lease: Duration::from_secs(2),
             inactive_discard: None,
             write_mode: WriteMode::Blocking,
+            self_inval: None,
         }
     }
 }

@@ -580,12 +580,22 @@ impl ServerMachine {
                     return;
                 }
                 let t = self.cfg.object_lease;
+                let self_inval = self.cfg.self_inval;
                 let Some(obj) = self.objects.get_mut(&object) else {
                     self.stats.unknown_objects += 1;
                     return;
                 };
                 let expire = now.saturating_add(t);
-                obj.leases.grant(client, expire);
+                // The reply carries the client-clock deadline; under
+                // self-invalidation the server records it padded by ε —
+                // a client slow by up to ε believes its copy valid
+                // until `expire + ε` true time, and that is what a
+                // write must wait out.
+                let record = match self_inval {
+                    Some(eps) => expire.saturating_add(eps),
+                    None => expire,
+                };
+                obj.leases.grant(client, record);
                 let data = (obj.version != version).then(|| obj.data.clone());
                 let reply = ServerMsg::ObjLease {
                     object,
@@ -593,6 +603,12 @@ impl ServerMachine {
                     expire,
                     data,
                 };
+                if self_inval.is_some() {
+                    // No volume leases gate a recovered server here, so
+                    // the stable record must bound *object* deadlines:
+                    // a post-crash write waits them out via the gate.
+                    self.stable_dirty_max = self.stable_dirty_max.max(record);
+                }
                 self.holdings.entry(client).or_default().insert(object);
                 self.send(client, reply, actions);
             }
@@ -653,6 +669,7 @@ impl ServerMachine {
                     return;
                 }
                 let t = self.cfg.object_lease;
+                let pad = self.cfg.self_inval.unwrap_or(Duration::ZERO);
                 let mut invalidate = Vec::new();
                 let mut renew = Vec::new();
                 for (object, version) in leases {
@@ -662,7 +679,7 @@ impl ServerMachine {
                         // be trusted to track this volume's epoch.
                         Some(obj) if obj.volume == volume && obj.version == version => {
                             let expire = now.saturating_add(t);
-                            obj.leases.grant(client, expire);
+                            obj.leases.grant(client, expire.saturating_add(pad));
                             self.holdings.entry(client).or_default().insert(object);
                             renew.push((object, obj.version, expire));
                         }
@@ -913,6 +930,15 @@ impl ServerMachine {
             waited_out: 0,
             deferred: Vec::new(),
         };
+        if self.cfg.self_inval.is_some() {
+            // Self-invalidation sends nothing: every holder is simply
+            // outstanding until its (ε-padded) deadline passes. Best
+            // effort does not apply — with no volume lease to fence
+            // stragglers, skipping the wait would break consistency.
+            w.outstanding.extend(holders);
+            self.active_write = Some(w);
+            return;
+        }
         // Classification is purely by server-side volume-lease validity.
         // Clients in `unreachable` are NOT skipped: a waited-out holder
         // can still have a valid volume lease (its *object* lease is
@@ -960,26 +986,37 @@ impl ServerMachine {
             return;
         };
         // A holder may be waited out once either of its leases expires.
+        // Under self-invalidation only the object deadline counts —
+        // clients hold no volume leases, and the elapsed deadline is
+        // the protocol working as designed, not an unreachable client.
         let object = w.object;
         let volume = w.volume;
+        let self_inval = self.cfg.self_inval.is_some();
         let expired: Vec<ClientId> = w
             .outstanding
             .iter()
             .copied()
             .filter(|&c| {
-                let vol_ok = self
-                    .volumes
-                    .get(&volume)
-                    .is_some_and(|vs| vs.leases.is_valid_for(c, now));
                 let obj_ok = self
                     .objects
                     .get(&object)
                     .is_some_and(|o| o.leases.is_valid_for(c, now));
+                let vol_ok = self_inval
+                    || self
+                        .volumes
+                        .get(&volume)
+                        .is_some_and(|vs| vs.leases.is_valid_for(c, now));
                 !(vol_ok && obj_ok)
             })
             .collect();
         for c in expired {
             w.outstanding.remove(&c);
+            if self_inval {
+                if let Some(o) = self.objects.get_mut(&object) {
+                    o.leases.revoke(c);
+                }
+                continue;
+            }
             w.waited_out += 1;
             // Figure 3: unreachable ← unreachable ∪ To_contact.
             if let Some(vs) = self.volumes.get_mut(&volume) {
@@ -1073,15 +1110,21 @@ impl ServerMachine {
                 w.outstanding
                     .iter()
                     .map(|&c| {
-                        let vol = self
-                            .volumes
-                            .get(&volume)
-                            .and_then(|vs| vs.leases.expiry_of(c))
-                            .unwrap_or(now);
                         let obj = self
                             .objects
                             .get(&object)
                             .and_then(|o| o.leases.expiry_of(c))
+                            .unwrap_or(now);
+                        if self.cfg.self_inval.is_some() {
+                            // No volume leases exist in this mode; the
+                            // `unwrap_or(now)` fallback below would
+                            // fire the timer instantly.
+                            return obj;
+                        }
+                        let vol = self
+                            .volumes
+                            .get(&volume)
+                            .and_then(|vs| vs.leases.expiry_of(c))
                             .unwrap_or(now);
                         vol.min(obj)
                     })

@@ -1,16 +1,18 @@
 //! The consistency algorithms behind one trait: the paper's six plus
-//! the waiting-lease extension.
+//! the waiting-lease and self-invalidation extensions.
 
 mod callback;
 mod delay;
 mod lease;
 mod poll;
+mod self_inval;
 mod volume;
 
 pub use callback::Callback;
 pub use delay::DelayedInvalidation;
 pub use lease::ObjectLease;
 pub use poll::{Poll, PollEachRead};
+pub use self_inval::SelfInval;
 pub use volume::VolumeLease;
 
 use crate::{Ctx, ProtocolKind};
@@ -75,6 +77,10 @@ pub fn new_protocol(kind: ProtocolKind, universe: &Universe) -> Box<dyn Protocol
             inactive_discard,
             universe,
         )),
+        ProtocolKind::SelfInval {
+            timeout,
+            skew_bound,
+        } => Box::new(SelfInval::new(timeout, skew_bound, universe)),
     }
 }
 
@@ -131,6 +137,10 @@ mod tests {
                 volume_timeout: Duration::from_secs(10),
                 object_timeout: Duration::from_secs(1000),
                 inactive_discard: Duration::MAX,
+            },
+            ProtocolKind::SelfInval {
+                timeout: Duration::from_secs(1000),
+                skew_bound: Duration::from_secs(1),
             },
         ];
         for kind in kinds {

@@ -26,6 +26,7 @@ fn cost_params(t: Duration, tv: Duration) -> CostParams {
         clients_with_object_lease: 6,
         clients_with_volume_lease: 6,
         clients_recently_inactive: 0,
+        clock_skew_bound_secs: 0.0,
     }
 }
 
@@ -270,5 +271,105 @@ fn silent_holder_is_waited_out_at_exactly_min_t_tv() {
     assert_eq!(outcome.waited_out, 1);
     assert_eq!(outcome.delay, t.min(tv));
     let costs = Algorithm::VolumeLease.costs(&cost_params(t, tv));
+    assert_eq!(outcome.delay.as_secs_f64(), costs.ack_wait_secs);
+}
+
+/// Self-invalidation, same construction: a holder granted a
+/// drop-deadline at the instant of the write pins the delay to exactly
+/// `t + ε` — the `vl-analytic` SelfInval row, equality — and the write
+/// sends not a single message.
+#[test]
+fn self_inval_silent_holder_pins_delay_to_t_plus_epsilon() {
+    let t = Duration::from_secs(60);
+    let eps = Duration::from_secs(3);
+    let mut cfg = MachineConfig::new(ServerId(0));
+    cfg.object_lease = t;
+    cfg.self_inval = Some(eps);
+    let (mut server, _boot) = ServerMachine::new(cfg, None);
+
+    let now = Timestamp::ZERO;
+    server.handle(
+        now,
+        ServerInput::CreateObject {
+            object: OBJECT,
+            data: Bytes::from_static(b"v1"),
+            version: Version::FIRST,
+        },
+    );
+    let holder = ClientId(7);
+    // The client-visible deadline is now + t; the server conservatively
+    // records now + t + ε.
+    let grant = server.handle(
+        now,
+        ServerInput::Msg {
+            from: holder,
+            msg: ClientMsg::ReqObjLease {
+                object: OBJECT,
+                version: Version::NONE,
+            },
+        },
+    );
+    let expire = grant
+        .iter()
+        .find_map(|a| match a {
+            ServerAction::Send {
+                msg: ServerMsg::ObjLease { expire, .. },
+                ..
+            } => Some(*expire),
+            _ => None,
+        })
+        .expect("read grants a deadline");
+    assert_eq!(
+        expire,
+        now.saturating_add(t),
+        "client sees the raw deadline"
+    );
+
+    let actions = server.handle(
+        now,
+        ServerInput::Write {
+            object: OBJECT,
+            data: Bytes::from_static(b"v2"),
+        },
+    );
+    assert!(
+        !actions
+            .iter()
+            .any(|a| matches!(a, ServerAction::Send { .. } | ServerAction::SendPeer { .. })),
+        "self-invalidation writes send nothing"
+    );
+    assert!(
+        !actions
+            .iter()
+            .any(|a| matches!(a, ServerAction::CompleteWrite { .. })),
+        "write must wait out the outstanding deadline"
+    );
+
+    // One tick short of the padded deadline: still blocked.
+    let just_before = Timestamp::from_millis(t.as_millis() + eps.as_millis() - 1);
+    assert!(!server
+        .handle(just_before, ServerInput::Tick)
+        .iter()
+        .any(|a| matches!(a, ServerAction::CompleteWrite { .. })));
+
+    // At t + ε the holder's padded record lapses and the write commits.
+    let at_deadline = now.saturating_add(t).saturating_add(eps);
+    let outcome = server
+        .handle(at_deadline, ServerInput::Tick)
+        .into_iter()
+        .find_map(|a| match a {
+            ServerAction::CompleteWrite { outcome } => Some(outcome),
+            _ => None,
+        })
+        .expect("padded deadline unblocks the write");
+    assert_eq!(outcome.invalidations_sent, 0);
+    assert_eq!(outcome.queued, 0);
+    assert_eq!(outcome.delay, t.saturating_add(eps));
+
+    // Exactly the analytic Table 1 row, in both directions.
+    let mut params = cost_params(t, Duration::from_secs(2));
+    params.clock_skew_bound_secs = eps.as_secs_f64();
+    let costs = Algorithm::SelfInval.costs(&params);
+    assert_eq!(costs.write_cost_messages, 0.0);
     assert_eq!(outcome.delay.as_secs_f64(), costs.ack_wait_secs);
 }

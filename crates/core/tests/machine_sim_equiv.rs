@@ -100,6 +100,7 @@ impl<'a> Replay<'a> {
                     volume_lease: VOLUME_TIMEOUT,
                     inactive_discard,
                     write_mode: WriteMode::Blocking,
+                    self_inval: None,
                 };
                 ServerMachine::new(cfg, None).0
             })
@@ -141,6 +142,7 @@ impl<'a> Replay<'a> {
                 client,
                 server,
                 volume,
+                self_inval: false,
             })
         })
     }

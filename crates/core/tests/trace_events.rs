@@ -137,6 +137,7 @@ fn traced_write_delays_respect_the_analytic_ack_wait_bound() {
         clients_with_object_lease: 1,
         clients_with_volume_lease: 1,
         clients_recently_inactive: 0,
+        clock_skew_bound_secs: 0.0,
     };
     for algo in [Algorithm::VolumeLease, Algorithm::DelayedInvalidation] {
         let bound = algo.costs(&params).ack_wait_secs;

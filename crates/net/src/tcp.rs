@@ -554,6 +554,53 @@ mod tests {
     }
 
     #[test]
+    fn adversarial_length_header_tears_down_only_that_connection() {
+        let srv_id = NodeId::Server(ServerId(0));
+        let evil_id = NodeId::Client(ClientId(66));
+        let honest_id = NodeId::Client(ClientId(7));
+        let server = TcpNode::listen_with(srv_id, "127.0.0.1:0", quick_cfg()).unwrap();
+        let addr = server.local_addr().unwrap();
+
+        // A hand-rolled peer that completes the hello, then claims an
+        // impossible frame length. The stream can never resync past a
+        // bad header, so the server must drop the connection — well
+        // before the idle deadline, and without allocating the claimed
+        // payload.
+        let mut evil = TcpStream::connect(addr).unwrap();
+        write_frame(&mut evil, &encode_hello(evil_id)).unwrap();
+        let _ = read_frame(&mut evil).unwrap();
+        let start = Instant::now();
+        evil.write_all(&(wire::MAX_FRAME_LEN + 1).to_le_bytes())
+            .unwrap();
+        evil.flush().unwrap();
+
+        let mut downs = Vec::new();
+        assert!(
+            wait_for(
+                || {
+                    downs.extend(server.take_disconnected());
+                    downs.contains(&evil_id)
+                },
+                5
+            ),
+            "oversize header must tear the connection down"
+        );
+        assert!(
+            start.elapsed() < StdDuration::from_millis(300),
+            "teardown must be immediate, not idle-deadline reaping ({:?})",
+            start.elapsed()
+        );
+
+        // The server itself is unharmed: an honest peer connects and
+        // exchanges frames as usual.
+        let honest = TcpNode::dial_with(honest_id, addr, quick_cfg()).unwrap();
+        honest.send(srv_id, Bytes::from_static(b"hi")).unwrap();
+        let (from, frame) = server.recv_timeout(StdDuration::from_secs(5)).unwrap();
+        assert_eq!(from, honest_id);
+        assert_eq!(&frame[..], b"hi");
+    }
+
+    #[test]
     fn keepalives_hold_an_idle_link_open() {
         let srv_id = NodeId::Server(ServerId(0));
         let cli_id = NodeId::Client(ClientId(2));

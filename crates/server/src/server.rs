@@ -56,6 +56,11 @@ pub struct ServerConfig {
     /// Stable-storage path for crash recovery; `None` disables
     /// persistence (a restart then behaves like a first boot).
     pub stable_path: Option<PathBuf>,
+    /// `Some(ε)` runs self-invalidation with precise clocks: grants
+    /// carry drop-deadlines, writes send no invalidations and wait out
+    /// the latest deadline padded by the skew bound `ε`. `None` (the
+    /// default) keeps the paper's volume-lease protocol.
+    pub self_inval: Option<StdDuration>,
 }
 
 impl ServerConfig {
@@ -70,6 +75,7 @@ impl ServerConfig {
             inactive_discard: None,
             write_mode: WriteMode::Blocking,
             stable_path: None,
+            self_inval: None,
         }
     }
 
@@ -83,6 +89,7 @@ impl ServerConfig {
             volume_lease: Duration::from_std(self.volume_lease),
             inactive_discard: self.inactive_discard.map(Duration::from_std),
             write_mode: self.write_mode,
+            self_inval: self.self_inval.map(Duration::from_std),
         }
     }
 }

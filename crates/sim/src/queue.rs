@@ -840,6 +840,121 @@ mod tests {
     }
 
     #[test]
+    fn horizon_exact_boundary_events() {
+        // The wheel spans XOR distances < WHEEL_SPAN: with the cursor
+        // at 0, `WHEEL_SPAN - 1` is the last in-wheel timestamp and
+        // `WHEEL_SPAN` is the first far-heap resident. Both sides of
+        // the boundary must pop in time order, and an event scheduled
+        // *after* the cursor has advanced next to the horizon must
+        // still find its way home.
+        let mut q = EventQueue::new();
+        q.schedule(ms(WHEEL_SPAN), "at-horizon");
+        q.schedule(ms(WHEEL_SPAN - 1), "last-in-wheel");
+        q.schedule(ms(WHEEL_SPAN + 1), "past-horizon");
+        assert_eq!(q.peek_time(), Some(ms(WHEEL_SPAN - 1)));
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN - 1), "last-in-wheel")));
+        // Cursor now sits at WHEEL_SPAN - 1; a fresh event at the old
+        // horizon differs in the top bit, so it must coexist with the
+        // far entry already there — FIFO on the shared timestamp.
+        q.schedule(ms(WHEEL_SPAN), "at-horizon-again");
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN), "at-horizon")));
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN), "at-horizon-again")));
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN + 1), "past-horizon")));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn far_heap_cancellations_skip_blocks() {
+        // Cancelled far-heap residents are tombstones until they
+        // surface; the queue must skip them — including a cancelled
+        // *earliest* entry — and jump the cursor across empty
+        // 2^24-blocks without emitting anything.
+        let mut q = EventQueue::new();
+        let a = q.schedule(ms(WHEEL_SPAN * 2), 'a');
+        let _b = q.schedule(ms(WHEEL_SPAN * 4), 'b');
+        let c = q.schedule(ms(WHEEL_SPAN * 4 + 3), 'c');
+        let _d = q.schedule(ms(WHEEL_SPAN * 6), 'd');
+        assert_eq!(q.cancel(a), Some('a'));
+        assert_eq!(q.cancel(c), Some('c'));
+        assert_eq!(q.len(), 2);
+        // peek must see through both tombstones to b.
+        assert_eq!(q.peek_time(), Some(ms(WHEEL_SPAN * 4)));
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN * 4), 'b')));
+        assert_eq!(q.pop(), Some((ms(WHEEL_SPAN * 6), 'd')));
+        assert_eq!(q.pop(), None);
+    }
+
+    /// Random interleaved schedule/cancel/pop workload against the
+    /// heap oracle. The oracle has no `cancel`, so cancellation is
+    /// emulated with a tombstone set: tags cancelled on the wheel are
+    /// silently discarded when they surface from the heap.
+    fn cancel_equivalence_run(seed: u64, ops: usize, max_delay: u64) {
+        use std::collections::HashSet;
+        let mut rng = SimRng::seeded(seed);
+        let mut wheel = EventQueue::new();
+        let mut heap = HeapQueue::new();
+        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut handles: Vec<EventHandle> = Vec::new();
+        let mut now: u64 = 0;
+        let mut tag: u64 = 0;
+        let oracle_pop = |heap: &mut HeapQueue<u64>, cancelled: &mut HashSet<u64>| loop {
+            match heap.pop() {
+                Some((_, t)) if cancelled.remove(&t) => continue,
+                other => break other,
+            }
+        };
+        for _ in 0..ops {
+            let r = rng.gen_range(0..100u32);
+            if r < 45 {
+                let at = ms(now + rng.gen_range(0..max_delay));
+                handles.push(wheel.schedule(at, tag));
+                heap.schedule(at, tag);
+                tag += 1;
+            } else if r < 70 && !handles.is_empty() {
+                // Cancel a random handle — possibly one already popped,
+                // already cancelled, or whose slot was since recycled;
+                // stale handles must be no-ops that tombstone nothing.
+                let h = handles[rng.gen_range(0..handles.len() as u64) as usize];
+                if let Some(t) = wheel.cancel(h) {
+                    cancelled.insert(t);
+                }
+            } else if r < 95 {
+                let w = wheel.pop();
+                let h = oracle_pop(&mut heap, &mut cancelled);
+                assert_eq!(w, h, "pop diverged under cancellation (seed {seed})");
+                if let Some((at, _)) = w {
+                    now = at.as_millis();
+                }
+            } else {
+                assert_eq!(
+                    wheel.len(),
+                    heap.len() - cancelled.len(),
+                    "live count diverged (seed {seed})"
+                );
+            }
+            wheel.validate_invariants();
+        }
+        loop {
+            let w = wheel.pop();
+            let h = oracle_pop(&mut heap, &mut cancelled);
+            assert_eq!(w, h, "drain diverged under cancellation (seed {seed})");
+            if w.is_none() {
+                break;
+            }
+        }
+        assert!(cancelled.is_empty(), "tombstones left after drain");
+    }
+
+    #[test]
+    fn equivalent_to_heap_with_interleaved_cancellations() {
+        // Delays covering level-0 churn, mid-wheel cascades, and the
+        // far heap beyond WHEEL_SPAN.
+        for (seed, max_delay) in [(300, 40), (301, 1 << 10), (302, 1 << 19), (303, 1 << 26)] {
+            cancel_equivalence_run(seed, 3000, max_delay);
+        }
+    }
+
+    #[test]
     fn equivalent_to_heap_far_future_expiries() {
         let mut rng = SimRng::seeded(42);
         let mut wheel = EventQueue::new();

@@ -217,6 +217,44 @@ mod tests {
     }
 
     #[test]
+    fn canonicalization_is_order_and_duplicate_free() {
+        // Property: a map reconstructed from the wire — any permutation
+        // of the membership list, with duplicates — is *equal* to the
+        // locally built map, and owns every volume identically. Client
+        // and server may receive the list in different orders; routing
+        // must not depend on it.
+        for seed in 0..32u64 {
+            let n = 1 + (mix(seed) % 9) as u32; // 1..=9 servers
+            let canonical: Vec<ServerId> = (0..n).map(ServerId).collect();
+
+            // Seeded shuffle + duplication, driven by the same
+            // splitmix64 mixer the hash ring uses: duplicate a few
+            // members, then Fisher–Yates with mix(seed, i) as the
+            // random source.
+            let mut noisy: Vec<ServerId> = canonical.clone();
+            for d in 0..=(mix(seed ^ 0xd0d0) % 4) {
+                noisy.push(ServerId((mix(seed.wrapping_add(d)) % u64::from(n)) as u32));
+            }
+            for i in (1..noisy.len()).rev() {
+                let j = (mix(seed ^ (i as u64) << 32) % (i as u64 + 1)) as usize;
+                noisy.swap(i, j);
+            }
+
+            let a = ShardMap::new(canonical);
+            let b = ShardMap::with_version(1, noisy.clone());
+            assert_eq!(a, b, "seed {seed}: canonicalization differs ({noisy:?})");
+            assert_eq!(b.servers().len(), n as usize, "seed {seed}: dup survived");
+            for v in 0..500 {
+                assert_eq!(
+                    a.owner(VolumeId(v)),
+                    b.owner(VolumeId(v)),
+                    "seed {seed}: owner({v}) disagrees"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn add_and_remove_are_idempotent_on_membership() {
         let mut m = map3();
         m.add(ServerId(1)); // already present

@@ -181,6 +181,14 @@ impl Duration {
         Duration(self.0.saturating_mul(factor))
     }
 
+    /// Adds two spans, saturating at the infinite sentinel — the
+    /// `t + ε` write-delay bound of self-invalidation stays `∞` when
+    /// either side is.
+    #[must_use]
+    pub const fn saturating_add(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_add(other.0))
+    }
+
     /// Returns the smaller of two spans — the `min(t, t_v)` bound on a
     /// server's write delay (Table 1).
     #[must_use]

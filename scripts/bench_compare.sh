@@ -8,6 +8,14 @@
 #   bench_compare.sh live  [FRESH]   compare BENCH_live.json
 #                                    (best per-connection renewal
 #                                    efficiency across the matrix)
+#   bench_compare.sh table1 [OUT]    gate the Table 1 validation: the
+#                                    Self-Inval column must be present,
+#                                    agree with the closed form within
+#                                    VL_TABLE1_TOLERANCE (default 0.05
+#                                    rel. err), and report zero stale
+#                                    reads. OUT is a captured table1
+#                                    transcript; omitted, the binary is
+#                                    built and run.
 #
 # FRESH defaults to the file at the repo root, i.e. whatever
 # bench_smoke.sh / bench_live.sh just wrote over the committed copy;
@@ -36,8 +44,39 @@ TOLERANCE="${VL_BENCH_TOLERANCE:-25}"
 case "$MODE" in
 sweep) FILE="${2:-BENCH_sweep.json}" BASE_PATH="BENCH_sweep.json" ;;
 live) FILE="${2:-BENCH_live.json}" BASE_PATH="BENCH_live.json" ;;
+table1)
+    OUT="${2:-}"
+    if [ -z "$OUT" ]; then
+        cargo build --release -p vl-bench --bin table1 >/dev/null
+        OUT=$(mktemp)
+        trap 'rm -f "$OUT"' EXIT
+        target/release/table1 >"$OUT"
+    fi
+    VL_T1_OUT="$OUT" VL_T1_TOL="${VL_TABLE1_TOLERANCE:-0.05}" python3 - <<'PY'
+import os, sys
+
+tol = float(os.environ["VL_T1_TOL"])
+row = None
+with open(os.environ["VL_T1_OUT"]) as f:
+    for line in f:
+        parts = line.split()
+        if len(parts) >= 5 and parts[0] == "Self-Inval":
+            row = parts
+if row is None:
+    sys.exit("REGRESSION: Self-Inval row missing from the Table 1 validation output")
+analytic, simulated, rel_err, stale = map(float, row[-4:])
+print(f"table1: Self-Inval  analytic {analytic:.4f}  simulated {simulated:.4f}  "
+      f"rel err {rel_err:.4f}  stale frac {stale:.4f}")
+if rel_err > tol:
+    sys.exit(f"REGRESSION: Self-Inval rel err {rel_err:.4f} exceeds tolerance {tol}")
+if stale != 0.0:
+    sys.exit(f"REGRESSION: Self-Inval reported a nonzero stale fraction {stale}")
+print("  within tolerance")
+PY
+    exit 0
+    ;;
 *)
-    echo "usage: bench_compare.sh sweep|live [FRESH_JSON]" >&2
+    echo "usage: bench_compare.sh sweep|live|table1 [FRESH]" >&2
     exit 2
     ;;
 esac

@@ -37,6 +37,25 @@ echo "==> scripts/bench_compare.sh sweep (regression gate vs committed baseline)
 # preset; only the full-preset sweep is comparable to the baseline).
 ./scripts/bench_compare.sh sweep
 
+echo "==> self-inval smoke (simulator column + chaos harness run)"
+si_trace=$(mktemp)
+cargo run --release -q -p vl-cli -- gen --out "$si_trace" --preset smoke --seed 7 >/dev/null
+si_out=$(cargo run --release -q -p vl-cli -- sim --trace "$si_trace" \
+    --protocol self-inval --t 100000)
+rm -f "$si_trace"
+echo "$si_out"
+echo "$si_out" | grep -Eq 'stale reads: +0 ' || {
+    echo "error: self-inval simulator column reported stale reads" >&2
+    exit 1
+}
+# Exits non-zero if any consistency invariant is violated while every
+# client clock stays within the skew bound.
+cargo run --release -q -p vl-cli -- sim --chaos-profile havoc --chaos-seed 17 \
+    --steps 600 --self-inval --skew-bound-ms 800 --clock-skew-ms 800
+
+echo "==> scripts/bench_compare.sh table1 (Self-Inval column gate)"
+./scripts/bench_compare.sh table1
+
 echo "==> scripts/bench_live.sh (1k clients/reactor, reactor matrix 1,4)"
 ./scripts/bench_live.sh 1000 5 1,4
 
